@@ -1,0 +1,16 @@
+"""Ablation A1 — layer count versus random-join redundancy.
+
+Verifies the paper's Appendix-E observation that adding layers reduces (and
+never increases) redundancy relative to a single layer.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_layer_ablation
+
+
+def test_bench_ablation_layer_count(benchmark):
+    result = benchmark(run_layer_ablation)
+    print("\n" + result.table())
+    assert result.never_worse_than_single_layer
+    assert result.monotone_in_layers

@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the core machinery (not tied to a specific figure).
+
+These track the raw cost of the water-filling construction, the fairness
+property checkers, and the packet-level simulator so that performance
+regressions are visible independently of the figure-level experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_all_properties, max_min_fair_allocation
+from repro.network import random_multicast_network
+from repro.protocols import make_protocol
+from repro.simulator import simulate_star, uniform_star
+
+
+@pytest.mark.parametrize("num_sessions,num_links", [(5, 20), (10, 40), (20, 80)])
+def test_bench_water_filling_scaling(benchmark, num_sessions, num_links):
+    network = random_multicast_network(
+        seed=42, num_links=num_links, num_sessions=num_sessions, max_receivers_per_session=5
+    )
+    allocation = benchmark(max_min_fair_allocation, network)
+    assert allocation.min_rate() > 0
+
+
+def test_bench_property_checkers(benchmark):
+    network = random_multicast_network(
+        seed=7, num_links=60, num_sessions=15, max_receivers_per_session=5
+    )
+    allocation = max_min_fair_allocation(network)
+    reports = benchmark(check_all_properties, allocation)
+    assert all(report.holds for report in reports.values())
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Packet-level simulator cost for one short Figure-7(b) style run."""
+    config = uniform_star(50, 0.0001, 0.05, duration_units=200)
+
+    def run():
+        return simulate_star(make_protocol("coordinated"), config, seed=0)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.redundancy >= 1.0

@@ -1,0 +1,31 @@
+"""Benchmarks for the Section-5 extension experiments (A4-A6).
+
+* active-node coordination: redundancy of one is feasible when joins/leaves
+  are decided at the branch-point router;
+* leave latency: longer leave latencies increase redundancy;
+* bursty loss: the Figure-8 protocol ordering survives Gilbert–Elliott loss.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_active_nodes, run_burstiness, run_leave_latency
+
+
+def test_bench_extension_active_nodes(benchmark):
+    result = benchmark.pedantic(run_active_nodes, rounds=1, iterations=1)
+    print("\n" + result.table())
+    assert result.active_node_redundancy_near_one
+    assert result.active_node_is_lowest
+
+
+def test_bench_extension_leave_latency(benchmark):
+    result = benchmark.pedantic(run_leave_latency, rounds=1, iterations=1)
+    print("\n" + result.table())
+    assert result.redundancy_increases_with_latency
+    assert result.monotone_within_tolerance
+
+
+def test_bench_extension_burstiness(benchmark):
+    result = benchmark.pedantic(run_burstiness, rounds=1, iterations=1)
+    print("\n" + result.table())
+    assert result.ordering_preserved

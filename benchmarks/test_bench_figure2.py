@@ -1,0 +1,19 @@
+"""Benchmark E2 — regenerate Figure 2 (single-rate fairness limitations).
+
+Reports the single-rate and multi-rate max-min allocations on the Figure 2
+topology and which fairness properties each satisfies.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure2
+
+
+def test_bench_figure2(benchmark):
+    result = benchmark(run_figure2)
+    print("\n" + result.table())
+    assert result.single_rate_matches_paper
+    assert result.multi_rate_is_more_max_min_fair
+    assert result.single_rate_properties["per-session-link-fairness"]
+    assert not result.single_rate_properties["same-path-receiver-fairness"]
+    assert all(result.multi_rate_properties.values())

@@ -1,0 +1,13 @@
+"""Benchmark E3 — regenerate Figure 3 (receiver removal moving rates both ways)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure3
+
+
+def test_bench_figure3(benchmark):
+    result = benchmark(run_figure3)
+    print("\n" + result.table())
+    assert result.example_a.matches_paper
+    assert result.example_b.matches_paper
+    assert result.demonstrates_both_directions

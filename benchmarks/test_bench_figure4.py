@@ -1,0 +1,12 @@
+"""Benchmark E4 — regenerate Figure 4 (redundancy breaking session-perspective fairness)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_figure4
+
+
+def test_bench_figure4(benchmark):
+    result = benchmark(run_figure4)
+    print("\n" + result.table())
+    assert result.matches_paper
+    assert result.shared_link_redundancy == 2.0

@@ -1,0 +1,12 @@
+"""Benchmark E7 — the Section 3 fixed-layer example (no max-min fair allocation)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fixed_layers
+
+
+def test_bench_fixed_layers(benchmark):
+    result = benchmark(run_fixed_layers)
+    print("\n" + result.table())
+    assert result.matches_paper_set
+    assert result.no_max_min_fair_exists

@@ -1,0 +1,85 @@
+"""Provisioning study: how much redundancy can a network tolerate?
+
+The paper argues (Section 3.1, Figure 6) that because multi-rate sessions are
+expected to be a small fraction of traffic, moderate redundancy barely moves
+fair rates.  This example turns that argument into a small planning tool:
+
+1. given a population of receiver rates behind a shared link, it evaluates
+   the Appendix-B redundancy of uncoordinated joins as a function of the
+   number of layers the sender provisions (Figure 5 / layer-count ablation);
+2. it then folds the resulting redundancy into the Figure 6 closed form to
+   show the fair-rate penalty for different multi-rate traffic shares;
+3. finally it verifies the closed form against the water-filling solver on a
+   concrete bottleneck network.
+
+Run with::
+
+    python examples/redundancy_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, format_table
+from repro.core import bottleneck_fair_rate, max_min_fair_allocation, normalized_fair_rate
+from repro.layering import layer_count_ablation, single_layer_redundancy, uniform_rates
+from repro.network import shared_bottleneck_with_redundancy
+
+
+def study_layer_provisioning() -> dict:
+    rates = uniform_rates(30, 0.3)
+    print("Receiver population: 30 receivers, each with fair rate 0.3 (budget 1.0)\n")
+
+    layer_counts = (1, 2, 4, 8)
+    redundancy_by_layers = layer_count_ablation(rates, 1.0, layer_counts)
+    print(
+        format_series(
+            "layers provisioned",
+            list(layer_counts),
+            {"uncoordinated-join redundancy": [redundancy_by_layers[k] for k in layer_counts]},
+        )
+    )
+    single = single_layer_redundancy(rates, 1.0)
+    print(f"\nsingle-layer redundancy {single:.2f}; "
+          f"8 layers reduce it to {redundancy_by_layers[8]:.2f}\n")
+    return redundancy_by_layers
+
+
+def study_fair_rate_impact(redundancy_by_layers: dict) -> None:
+    fractions = (0.01, 0.05, 0.1, 0.5, 1.0)
+    rows = []
+    for layers in (1, 2, 8):
+        redundancy = redundancy_by_layers[layers]
+        for fraction in fractions:
+            rows.append(
+                [layers, fraction, redundancy, normalized_fair_rate(fraction, redundancy)]
+            )
+    print(
+        format_table(
+            ["layers", "multi-rate share m/n", "redundancy v", "normalised fair rate"], rows
+        )
+    )
+    print()
+
+
+def verify_against_water_filling(redundancy: float) -> None:
+    num_sessions, num_redundant = 20, 2
+    network = shared_bottleneck_with_redundancy(
+        num_sessions=num_sessions, num_redundant=num_redundant,
+        redundancy=redundancy, capacity=1.0,
+    )
+    allocation = max_min_fair_allocation(network)
+    formula = bottleneck_fair_rate(num_sessions, num_redundant, redundancy, capacity=1.0)
+    print(
+        f"water-filling fair rate on a 20-session bottleneck with 2 redundant sessions: "
+        f"{allocation.min_rate():.6f} (closed form {formula:.6f})"
+    )
+
+
+def main() -> None:
+    redundancy_by_layers = study_layer_provisioning()
+    study_fair_rate_impact(redundancy_by_layers)
+    verify_against_water_filling(redundancy_by_layers[1])
+
+
+if __name__ == "__main__":
+    main()

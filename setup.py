@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/wheel versions predate PEP 660 support
+(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "The Impact of Multicast Layering on Network Fairness".
+
+A production-quality reimplementation of the systems described in the
+SIGCOMM 1999 paper by Rubenstein, Kurose, and Towsley:
+
+* a multicast network model with single-rate and multi-rate sessions
+  (:mod:`repro.network`);
+* multi-rate max-min fairness, the four desirable fairness properties, the
+  min-unfavorability ordering, and redundancy (:mod:`repro.core`);
+* the layered-multicast substrate: layer schemes, fixed-layer allocations,
+  the quantum join/leave model, and the analytical random-join redundancy
+  (:mod:`repro.layering`);
+* the Section-4 congestion-control protocols — Uncoordinated, Deterministic,
+  and sender-Coordinated — with a packet-level simulator and a Markov
+  analysis (:mod:`repro.protocols`, :mod:`repro.simulator`);
+* experiment drivers regenerating every figure in the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+>>> from repro.network import figure1_network
+>>> from repro.core import max_min_fair_allocation, check_all_properties
+>>> network = figure1_network()
+>>> allocation = max_min_fair_allocation(network)
+>>> sorted(allocation.ordered_vector())
+[1.0, 1.0, 1.0, 2.0, 2.0]
+>>> all(report.holds for report in check_all_properties(allocation).values())
+True
+"""
+
+from . import analysis, core, errors, experiments, layering, network, protocols, simulator
+from .core import (
+    Allocation,
+    check_all_properties,
+    max_min_fair_allocation,
+    min_unfavorable,
+    single_rate_max_min_fair,
+    unicast_max_min_fair,
+)
+from .network import Network, NetworkGraph, Session, SessionType
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "errors",
+    "experiments",
+    "layering",
+    "network",
+    "protocols",
+    "simulator",
+    "Allocation",
+    "check_all_properties",
+    "max_min_fair_allocation",
+    "min_unfavorable",
+    "single_rate_max_min_fair",
+    "unicast_max_min_fair",
+    "Network",
+    "NetworkGraph",
+    "Session",
+    "SessionType",
+    "__version__",
+]

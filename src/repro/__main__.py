@@ -1,0 +1,14 @@
+"""``python -m repro`` — regenerate every experiment of the paper.
+
+Delegates to :mod:`repro.experiments.runner`; pass ``--full`` for the
+paper-scale Figure 8 sweep.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

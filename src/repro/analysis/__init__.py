@@ -1,0 +1,28 @@
+"""Analysis helpers: summary statistics and result-table formatting."""
+
+from .stats import (
+    SummaryStatistics,
+    confidence_interval,
+    jain_fairness_index,
+    mean,
+    relative_half_width,
+    sample_stddev,
+    sample_variance,
+    standard_error,
+    summarize,
+)
+from .tables import format_table, format_series
+
+__all__ = [
+    "SummaryStatistics",
+    "confidence_interval",
+    "jain_fairness_index",
+    "mean",
+    "relative_half_width",
+    "sample_stddev",
+    "sample_variance",
+    "standard_error",
+    "summarize",
+    "format_table",
+    "format_series",
+]

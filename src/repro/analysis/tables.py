@@ -1,0 +1,60 @@
+"""Plain-text table formatting for experiment and benchmark output.
+
+The benchmark harness regenerates each figure of the paper as a table of
+rows/series printed to stdout; these helpers keep that output aligned and
+consistent without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _stringify(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 5,
+) -> str:
+    """Render rows as an aligned plain-text table with a header rule."""
+    string_rows: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        string_rows.append([_stringify(cell, precision) for cell in row])
+    widths = [
+        max(len(string_rows[r][c]) for r in range(len(string_rows)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(string_rows):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    precision: int = 5,
+) -> str:
+    """Render several named series sharing one x axis as a table.
+
+    This matches how the paper's figures are reported: one x column (e.g.
+    "independent link loss") and one column per curve (e.g. each protocol).
+    """
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name][index])
+        rows.append(row)
+    return format_table(headers, rows, precision)

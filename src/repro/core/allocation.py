@@ -1,0 +1,274 @@
+"""Allocations of receiver rates and the link rates they induce.
+
+An *allocation* assigns a rate ``a_{i,k}`` to every receiver in a network
+(Section 2).  From an allocation and the network's routing we derive:
+
+* the session link rate ``u_{i,j} = v_i({a_{i,k} : r_{i,k} in R_{i,j}})``,
+  where ``v_i`` defaults to the efficient link rate (``max``);
+* the link rate ``u_j = sum_i u_{i,j}``;
+* link utilisation and the set of fully utilised links;
+* the ordered receiver-rate vector used by the min-unfavorability ordering.
+
+The class is immutable; derived builders (:meth:`Allocation.with_rate`,
+:meth:`Allocation.scaled`) return new instances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import AllocationError
+from ..network.network import LinkRateFunction, Network
+from ..network.session import ReceiverId
+from .redundancy import efficient_link_rate
+
+__all__ = ["Allocation", "DEFAULT_TOLERANCE"]
+
+#: Default absolute/relative tolerance used for capacity and equality checks.
+DEFAULT_TOLERANCE = 1e-9
+
+
+class Allocation(Mapping[ReceiverId, float]):
+    """An immutable assignment of rates to every receiver of a network.
+
+    Parameters
+    ----------
+    network:
+        The network the allocation refers to.
+    rates:
+        Mapping from receiver id ``(session_id, receiver_index)`` to its rate
+        ``a_{i,k}``.  Every receiver of the network must be present and every
+        rate must be non-negative and finite.
+    link_rate_functions:
+        Optional per-session link-rate functions ``v_i`` overriding both the
+        efficient default and any functions attached to the network.  Sessions
+        absent from the mapping use the network's function (if any) or the
+        efficient link rate.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        rates: Mapping[ReceiverId, float],
+        link_rate_functions: Optional[Mapping[int, LinkRateFunction]] = None,
+    ) -> None:
+        self._network = network
+        expected = set(network.all_receiver_ids())
+        provided = set(rates.keys())
+        if provided != expected:
+            missing = sorted(expected - provided)
+            extra = sorted(provided - expected)
+            raise AllocationError(
+                f"allocation must cover exactly the network's receivers; "
+                f"missing={missing}, unexpected={extra}"
+            )
+        cleaned: Dict[ReceiverId, float] = {}
+        for rid, rate in rates.items():
+            value = float(rate)
+            if not math.isfinite(value) or value < 0:
+                raise AllocationError(
+                    f"rate for receiver {rid} must be finite and non-negative, got {rate}"
+                )
+            cleaned[rid] = value
+        self._rates = cleaned
+
+        merged: Dict[int, LinkRateFunction] = dict(network.link_rate_functions)
+        if link_rate_functions:
+            merged.update(link_rate_functions)
+        self._link_rate_functions = merged
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, network: Network) -> "Allocation":
+        """The all-zero allocation (always feasible)."""
+        return cls(network, {rid: 0.0 for rid in network.all_receiver_ids()})
+
+    @classmethod
+    def uniform(cls, network: Network, rate: float) -> "Allocation":
+        """Every receiver gets the same rate (not necessarily feasible)."""
+        return cls(network, {rid: rate for rid in network.all_receiver_ids()})
+
+    @classmethod
+    def from_session_rates(cls, network: Network, session_rates: Mapping[int, float]) -> "Allocation":
+        """Build an allocation where all receivers of a session share one rate.
+
+        Natural for single-rate sessions; sessions missing from the mapping
+        get rate zero.
+        """
+        rates: Dict[ReceiverId, float] = {}
+        for session in network.sessions:
+            rate = float(session_rates.get(session.session_id, 0.0))
+            for rid in session.receiver_ids:
+                rates[rid] = rate
+        return cls(network, rates)
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, receiver_id: ReceiverId) -> float:
+        return self._rates[receiver_id]
+
+    def __iter__(self) -> Iterator[ReceiverId]:
+        return iter(sorted(self._rates.keys()))
+
+    def __len__(self) -> int:
+        return len(self._rates)
+
+    # ------------------------------------------------------------------
+    # receiver-perspective accessors
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def rate(self, receiver_id: ReceiverId) -> float:
+        """The rate ``a_{i,k}`` assigned to a receiver."""
+        try:
+            return self._rates[receiver_id]
+        except KeyError:
+            raise AllocationError(f"unknown receiver id {receiver_id}") from None
+
+    def session_receiver_rates(self, session_id: int) -> Dict[ReceiverId, float]:
+        """Rates of all receivers belonging to one session."""
+        session = self._network.session(session_id)
+        return {rid: self._rates[rid] for rid in session.receiver_ids}
+
+    def session_rate(self, session_id: int) -> float:
+        """The common rate of a single-rate (or unicast) session.
+
+        Raises
+        ------
+        AllocationError
+            If the session's receivers do not all share the same rate.
+        """
+        values = list(self.session_receiver_rates(session_id).values())
+        first = values[0]
+        if any(abs(v - first) > DEFAULT_TOLERANCE * max(1.0, abs(first)) for v in values):
+            raise AllocationError(
+                f"session {session_id} receivers do not share a single rate: {values}"
+            )
+        return first
+
+    def ordered_vector(self) -> Tuple[float, ...]:
+        """Receiver rates sorted ascending — the vector used by ``<=_m``."""
+        return tuple(sorted(self._rates.values()))
+
+    def min_rate(self) -> float:
+        return min(self._rates.values())
+
+    def max_rate(self) -> float:
+        return max(self._rates.values())
+
+    def total_receiver_throughput(self) -> float:
+        """Sum of receiver rates (a receiver-satisfaction style metric)."""
+        return sum(self._rates.values())
+
+    def as_dict(self) -> Dict[ReceiverId, float]:
+        return dict(self._rates)
+
+    # ------------------------------------------------------------------
+    # link-perspective accessors
+    # ------------------------------------------------------------------
+    def link_rate_function(self, session_id: int) -> LinkRateFunction:
+        """The link-rate function ``v_i`` in effect for a session."""
+        return self._link_rate_functions.get(session_id, efficient_link_rate)
+
+    def session_link_rate(self, session_id: int, link_id: int) -> float:
+        """The session link rate ``u_{i,j}``.
+
+        Zero when no receiver of the session crosses the link.
+        """
+        downstream = self._network.receivers_of_session_on_link(session_id, link_id)
+        if not downstream:
+            return 0.0
+        rates = [self._rates[rid] for rid in downstream]
+        return self.link_rate_function(session_id)(rates)
+
+    def efficient_session_link_rate(self, session_id: int, link_id: int) -> float:
+        """The efficient link rate ``max{a_{i,k} : r_{i,k} in R_{i,j}}``."""
+        downstream = self._network.receivers_of_session_on_link(session_id, link_id)
+        if not downstream:
+            return 0.0
+        return efficient_link_rate([self._rates[rid] for rid in downstream])
+
+    def link_rate(self, link_id: int) -> float:
+        """The total link rate ``u_j = sum_i u_{i,j}``."""
+        total = 0.0
+        for session_id in self._network.sessions_on_link(link_id):
+            total += self.session_link_rate(session_id, link_id)
+        return total
+
+    def link_rates(self) -> Dict[int, float]:
+        """Total link rate for every link (links carrying no traffic report 0)."""
+        return {link.link_id: self.link_rate(link.link_id) for link in self._network.graph.links}
+
+    def session_link_rates(self, link_id: int) -> Dict[int, float]:
+        """Per-session link rates ``u_{i,j}`` on one link, for all sessions."""
+        return {
+            session.session_id: self.session_link_rate(session.session_id, link_id)
+            for session in self._network.sessions
+        }
+
+    def link_utilization(self, link_id: int) -> float:
+        """``u_j / c_j``."""
+        capacity = self._network.link_capacity(link_id)
+        return self.link_rate(link_id) / capacity
+
+    def is_link_fully_utilized(self, link_id: int, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+        """True when ``u_j`` equals ``c_j`` up to tolerance."""
+        capacity = self._network.link_capacity(link_id)
+        return self.link_rate(link_id) >= capacity - tolerance * max(1.0, capacity)
+
+    def fully_utilized_links(self, tolerance: float = DEFAULT_TOLERANCE) -> FrozenSet[int]:
+        """Ids of all fully utilised links."""
+        return frozenset(
+            link.link_id
+            for link in self._network.graph.links
+            if self.is_link_fully_utilized(link.link_id, tolerance)
+        )
+
+    def link_redundancy(self, session_id: int, link_id: int) -> float:
+        """Measured redundancy of the session on the link: ``u_{i,j}`` over efficient.
+
+        1.0 when the session does not use the link.
+        """
+        efficient = self.efficient_session_link_rate(session_id, link_id)
+        if efficient <= 0.0:
+            return 1.0
+        return self.session_link_rate(session_id, link_id) / efficient
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_rate(self, receiver_id: ReceiverId, rate: float) -> "Allocation":
+        """A copy with one receiver's rate replaced."""
+        if receiver_id not in self._rates:
+            raise AllocationError(f"unknown receiver id {receiver_id}")
+        rates = dict(self._rates)
+        rates[receiver_id] = rate
+        return Allocation(self._network, rates, self._link_rate_functions)
+
+    def scaled(self, factor: float) -> "Allocation":
+        """A copy with every rate multiplied by ``factor >= 0``."""
+        if factor < 0:
+            raise AllocationError(f"scale factor must be non-negative, got {factor}")
+        return Allocation(
+            self._network,
+            {rid: rate * factor for rid, rate in self._rates.items()},
+            self._link_rate_functions,
+        )
+
+    def with_link_rate_functions(
+        self, functions: Mapping[int, LinkRateFunction]
+    ) -> "Allocation":
+        """A copy evaluated under different link-rate functions ``v_i``."""
+        return Allocation(self._network, self._rates, functions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{self._network.receiver(rid).name}={rate:g}" for rid, rate in sorted(self._rates.items())
+        )
+        return f"Allocation({parts})"

@@ -1,0 +1,143 @@
+"""Feasibility of allocations (Section 2).
+
+An allocation is *feasible* when
+
+* every receiver rate satisfies ``0 <= a_{i,k} <= rho_i``;
+* no link is over-utilised: ``u_j = sum_i u_{i,j} <= c_j`` for every link;
+* every single-rate session's receivers share one common rate.
+
+:func:`check_feasibility` reports all violations; :func:`is_feasible` gives
+the boolean; :func:`assert_feasible` raises on the first failure with a
+readable message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import InfeasibleAllocationError
+from ..network.network import Network
+from .allocation import Allocation, DEFAULT_TOLERANCE
+
+__all__ = [
+    "FeasibilityViolation",
+    "FeasibilityReport",
+    "check_feasibility",
+    "is_feasible",
+    "assert_feasible",
+]
+
+
+@dataclass(frozen=True)
+class FeasibilityViolation:
+    """A single feasibility violation.
+
+    ``kind`` is one of ``"negative-rate"``, ``"max-rate"``,
+    ``"link-capacity"``, or ``"single-rate"``.
+    """
+
+    kind: str
+    description: str
+    amount: float = 0.0
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of a feasibility check."""
+
+    feasible: bool
+    violations: List[FeasibilityViolation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.feasible
+
+    def summary(self) -> str:
+        if self.feasible:
+            return "feasible"
+        lines = [f"infeasible ({len(self.violations)} violations):"]
+        lines.extend(f"  - [{v.kind}] {v.description}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def check_feasibility(
+    allocation: Allocation,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> FeasibilityReport:
+    """Check an allocation against rate bounds, capacities, and session types."""
+    network: Network = allocation.network
+    violations: List[FeasibilityViolation] = []
+
+    # Receiver-rate bounds: 0 <= a_{i,k} <= rho_i.
+    for session in network.sessions:
+        for receiver in session.receivers:
+            rate = allocation.rate(receiver.receiver_id)
+            if rate < -tolerance:
+                violations.append(
+                    FeasibilityViolation(
+                        kind="negative-rate",
+                        description=f"{receiver.name} has negative rate {rate}",
+                        amount=-rate,
+                    )
+                )
+            excess = rate - session.max_rate
+            if excess > tolerance * max(1.0, session.max_rate):
+                violations.append(
+                    FeasibilityViolation(
+                        kind="max-rate",
+                        description=(
+                            f"{receiver.name} rate {rate} exceeds the session maximum "
+                            f"desired rate rho={session.max_rate}"
+                        ),
+                        amount=excess,
+                    )
+                )
+
+    # Link capacities: u_j <= c_j.
+    for link in network.graph.links:
+        link_rate = allocation.link_rate(link.link_id)
+        capacity = link.capacity
+        excess = link_rate - capacity
+        if excess > tolerance * max(1.0, capacity):
+            violations.append(
+                FeasibilityViolation(
+                    kind="link-capacity",
+                    description=(
+                        f"link {link.name} carries {link_rate:.6g} "
+                        f"exceeding capacity {capacity:.6g}"
+                    ),
+                    amount=excess,
+                )
+            )
+
+    # Single-rate sessions: all receivers equal.
+    for session in network.sessions:
+        if not session.is_single_rate or session.num_receivers <= 1:
+            continue
+        rates = [allocation.rate(rid) for rid in session.receiver_ids]
+        spread = max(rates) - min(rates)
+        if spread > tolerance * max(1.0, max(rates)):
+            violations.append(
+                FeasibilityViolation(
+                    kind="single-rate",
+                    description=(
+                        f"single-rate session {session.name} has unequal receiver "
+                        f"rates {rates}"
+                    ),
+                    amount=spread,
+                )
+            )
+
+    return FeasibilityReport(feasible=not violations, violations=violations)
+
+
+def is_feasible(allocation: Allocation, tolerance: float = DEFAULT_TOLERANCE) -> bool:
+    """True when the allocation satisfies all feasibility constraints."""
+    return check_feasibility(allocation, tolerance).feasible
+
+
+def assert_feasible(allocation: Allocation, tolerance: float = DEFAULT_TOLERANCE) -> None:
+    """Raise :class:`InfeasibleAllocationError` if the allocation is infeasible."""
+    report = check_feasibility(allocation, tolerance)
+    if not report.feasible:
+        raise InfeasibleAllocationError(report.summary())

@@ -1,0 +1,305 @@
+"""Max-min fair allocation construction (Appendix A of the paper).
+
+The paper's construction algorithm water-fills receiver rates: starting from
+zero, the rates of all "active" receivers are raised uniformly as far as
+feasibility allows; a receiver becomes inactive (its rate is frozen) once
+
+* it reaches its session's maximum desired rate ``rho_i``, or
+* some link on its data-path becomes fully utilised, or
+* it belongs to a single-rate session in which another receiver has been
+  frozen (keeping all rates of the session identical).
+
+The construction works for any session-type mapping ``sigma`` (mixes of
+single-rate, multi-rate, and unicast sessions) and — following Section 3.1 —
+for arbitrary monotone session link-rate functions ``v_i`` with
+``v_i(X) >= max(X)``, which is how redundancy enters the fair allocation
+(Lemma 4, Figures 4 and 6).
+
+The resulting allocation is the unique max-min fair allocation for the
+network (Lemma 5 / Corollary 5 of the technical report); tests verify
+max-min fairness directly against the definition on randomised networks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import FairnessComputationError
+from ..network.network import LinkRateFunction, Network
+from ..network.session import ReceiverId
+from .allocation import Allocation, DEFAULT_TOLERANCE
+from .redundancy import efficient_link_rate
+
+__all__ = ["max_min_fair_allocation", "MaxMinTrace", "MaxMinStep"]
+
+
+@dataclass(frozen=True)
+class MaxMinStep:
+    """One iteration of the water-filling construction (for tracing/debugging)."""
+
+    level: float
+    increment: float
+    frozen_receivers: Tuple[ReceiverId, ...]
+    saturated_links: Tuple[int, ...]
+
+
+@dataclass
+class MaxMinTrace:
+    """Optional record of the water-filling iterations."""
+
+    steps: List[MaxMinStep] = field(default_factory=list)
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.steps)
+
+
+def max_min_fair_allocation(
+    network: Network,
+    link_rate_functions: Optional[Mapping[int, LinkRateFunction]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    trace: Optional[MaxMinTrace] = None,
+) -> Allocation:
+    """Compute the max-min fair allocation of receiver rates for a network.
+
+    Parameters
+    ----------
+    network:
+        The network (graph, sessions with types and ``rho_i``, routing).
+    link_rate_functions:
+        Optional per-session link-rate functions ``v_i`` overriding the
+        network's own functions; sessions without a function use the
+        efficient link rate ``max``.
+    tolerance:
+        Numerical tolerance used for saturation and ``rho`` tests.
+    trace:
+        When supplied, the water-filling steps are appended to it.
+
+    Returns
+    -------
+    Allocation
+        The (unique) max-min fair allocation, evaluated under the same
+        link-rate functions.
+    """
+    functions: Dict[int, LinkRateFunction] = dict(network.link_rate_functions)
+    if link_rate_functions:
+        functions.update(link_rate_functions)
+
+    state = _WaterFillState(network, functions, tolerance)
+    iteration_limit = 4 * (network.num_receivers + network.num_links) + 16
+    iterations = 0
+    while state.active:
+        iterations += 1
+        if iterations > iteration_limit:
+            raise FairnessComputationError(
+                "water-filling did not converge within "
+                f"{iteration_limit} iterations (numerical issue?)"
+            )
+        increment = state.compute_increment()
+        state.apply_increment(increment)
+        frozen, saturated = state.freeze_receivers()
+        if trace is not None:
+            trace.steps.append(
+                MaxMinStep(
+                    level=state.level,
+                    increment=increment,
+                    frozen_receivers=tuple(sorted(frozen)),
+                    saturated_links=tuple(sorted(saturated)),
+                )
+            )
+        if not frozen and increment <= tolerance:
+            raise FairnessComputationError(
+                "water-filling stalled: no progress and no receiver frozen"
+            )
+
+    return Allocation(network, state.rates, functions)
+
+
+class _WaterFillState:
+    """Mutable state of the Appendix-A water-filling construction.
+
+    Invariant: all active receivers share the same current rate
+    (``self.level``); frozen receivers keep the rate at which they were
+    frozen, which never exceeds the current level.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        functions: Mapping[int, LinkRateFunction],
+        tolerance: float,
+    ) -> None:
+        self.network = network
+        self.functions = functions
+        self.tolerance = tolerance
+        self.level = 0.0
+        self.rates: Dict[ReceiverId, float] = {
+            rid: 0.0 for rid in network.all_receiver_ids()
+        }
+        self.active: Set[ReceiverId] = set(self.rates.keys())
+        # Pre-compute, per link, which sessions have receivers there and the
+        # receiver sets R_{i,j}; only links on some data-path matter.
+        self.relevant_links: List[int] = sorted(network.routing.links_used())
+        self.downstream: Dict[Tuple[int, int], Tuple[ReceiverId, ...]] = {}
+        for link_id in self.relevant_links:
+            for session_id in network.sessions_on_link(link_id):
+                receivers = network.receivers_of_session_on_link(session_id, link_id)
+                self.downstream[(session_id, link_id)] = tuple(sorted(receivers))
+
+    # ------------------------------------------------------------------
+    # link-rate evaluation
+    # ------------------------------------------------------------------
+    def _function(self, session_id: int) -> LinkRateFunction:
+        return self.functions.get(session_id, efficient_link_rate)
+
+    def _session_link_rate_at(
+        self, session_id: int, link_id: int, active_rate: float
+    ) -> float:
+        """``u_{i,j}`` when active receivers are (hypothetically) at ``active_rate``."""
+        receivers = self.downstream.get((session_id, link_id), ())
+        if not receivers:
+            return 0.0
+        rates = [
+            active_rate if rid in self.active else self.rates[rid] for rid in receivers
+        ]
+        return self._function(session_id)(rates)
+
+    def _link_rate_at(self, link_id: int, active_rate: float) -> float:
+        total = 0.0
+        for session_id in self.network.sessions_on_link(link_id):
+            total += self._session_link_rate_at(session_id, link_id, active_rate)
+        return total
+
+    def _link_has_active(self, link_id: int) -> bool:
+        for session_id in self.network.sessions_on_link(link_id):
+            for rid in self.downstream.get((session_id, link_id), ()):
+                if rid in self.active:
+                    return True
+        return False
+
+    def _link_slope(self, link_id: int) -> Optional[float]:
+        """Exact growth rate of ``u_j`` per unit of level, when all ``v_i`` are linear.
+
+        Returns ``None`` when some session on the link uses a link-rate
+        function without a declared ``redundancy_factor`` (the caller then
+        falls back to bisection).
+        """
+        slope = 0.0
+        for session_id in self.network.sessions_on_link(link_id):
+            receivers = self.downstream.get((session_id, link_id), ())
+            if not any(rid in self.active for rid in receivers):
+                continue
+            function = self._function(session_id)
+            factor = getattr(function, "redundancy_factor", None)
+            if factor is None:
+                return None
+            slope += float(factor)
+        return slope
+
+    # ------------------------------------------------------------------
+    # increment computation
+    # ------------------------------------------------------------------
+    def compute_increment(self) -> float:
+        """Largest uniform rate increase for all active receivers (step 3)."""
+        bound = self._rho_bound()
+        for link_id in self.relevant_links:
+            if not self._link_has_active(link_id):
+                continue
+            capacity = self.network.link_capacity(link_id)
+            current = self._link_rate_at(link_id, self.level)
+            headroom = capacity - current
+            if headroom <= 0:
+                return 0.0
+            slope = self._link_slope(link_id)
+            if slope is not None:
+                if slope > 0:
+                    bound = min(bound, headroom / slope)
+            else:
+                bound = min(bound, self._bisect_link(link_id, capacity, bound))
+        return max(bound, 0.0)
+
+    def _rho_bound(self) -> float:
+        """Increment bound imposed by the sessions' maximum desired rates."""
+        bound = math.inf
+        for rid in self.active:
+            rho = self.network.session(rid[0]).max_rate
+            if math.isfinite(rho):
+                bound = min(bound, rho - self.level)
+        if math.isinf(bound):
+            # No rho constraint: receiver rates are still bounded by the
+            # largest capacity in the network, which caps the search space.
+            max_capacity = max(
+                self.network.link_capacity(j) for j in self.relevant_links
+            )
+            bound = max(max_capacity - self.level, 0.0)
+        return bound
+
+    def _bisect_link(self, link_id: int, capacity: float, upper: float) -> float:
+        """Largest increment keeping ``u_j <= c_j`` for a non-linear ``v_i``."""
+        if upper <= 0:
+            return 0.0
+        if self._link_rate_at(link_id, self.level + upper) <= capacity:
+            return upper
+        lo, hi = 0.0, upper
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self._link_rate_at(link_id, self.level + mid) <= capacity:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # state updates
+    # ------------------------------------------------------------------
+    def apply_increment(self, increment: float) -> None:
+        """Raise all active receivers' rates by ``increment`` (steps 4-5)."""
+        self.level += increment
+        for rid in self.active:
+            self.rates[rid] = self.level
+
+    def freeze_receivers(self) -> Tuple[Set[ReceiverId], Set[int]]:
+        """Freeze receivers at rho or on saturated links; propagate to single-rate mates."""
+        saturated: Set[int] = set()
+        for link_id in self.relevant_links:
+            capacity = self.network.link_capacity(link_id)
+            if self._link_rate_at(link_id, self.level) >= capacity - self.tolerance * max(
+                1.0, capacity
+            ):
+                saturated.add(link_id)
+
+        frozen: Set[ReceiverId] = set()
+        for rid in list(self.active):
+            session = self.network.session(rid[0])
+            at_rho = math.isfinite(session.max_rate) and self.level >= session.max_rate - self.tolerance * max(
+                1.0, session.max_rate
+            )
+            on_saturated = any(
+                link_id in saturated for link_id in self.network.data_path(rid)
+            )
+            if at_rho or on_saturated:
+                frozen.add(rid)
+
+        # Step 7: a single-rate session freezes as a unit.
+        changed = True
+        while changed:
+            changed = False
+            for rid in list(self.active):
+                if rid in frozen:
+                    continue
+                session = self.network.session(rid[0])
+                if not session.is_single_rate:
+                    continue
+                mates = set(session.receiver_ids)
+                if any(
+                    (mate in frozen) or (mate not in self.active)
+                    for mate in mates
+                    if mate != rid
+                ):
+                    frozen.add(rid)
+                    changed = True
+
+        self.active -= frozen
+        return frozen, saturated

@@ -1,0 +1,146 @@
+"""The min-unfavorability ordering on allocations (Definition 2, Lemmas 1-2).
+
+The paper compares allocations by sorting their receiver rates into ordered
+(non-decreasing) vectors and applying the *min-unfavorable* relation
+``<=_m``: ``X <=_m Y`` iff ``X = Y`` or, at the first position where the two
+ordered vectors differ, ``X`` is smaller — i.e. lexicographic order on the
+sorted vectors ("alphabetisation places X before Y").
+
+Key facts reproduced and tested here:
+
+* ``<=_m`` is reflexive, transitive, and total on ordered vectors of equal
+  length (Definition 2);
+* Lemma 1: every feasible allocation is min-unfavorable to the max-min fair
+  allocation, so the max-min fair allocation is the maximum under ``<=_m``;
+* Lemma 2: ``X <_m Y`` iff there is a threshold ``x0`` such that below it
+  ``X`` never has fewer small entries than ``Y`` and at ``x0`` it has
+  strictly more.
+
+Numerical tolerance matters because allocations come out of floating-point
+water-filling; all comparisons accept a ``tolerance`` below which two rates
+are considered equal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import AllocationError
+from .allocation import Allocation, DEFAULT_TOLERANCE
+
+__all__ = [
+    "ordered_vector",
+    "is_ordered",
+    "min_unfavorable",
+    "strictly_min_unfavorable",
+    "compare_ordered_vectors",
+    "compare_allocations",
+    "lemma2_threshold",
+    "count_at_or_below",
+]
+
+VectorLike = Union[Sequence[float], Allocation]
+
+
+def _as_vector(value: VectorLike) -> Tuple[float, ...]:
+    if isinstance(value, Allocation):
+        return value.ordered_vector()
+    return tuple(sorted(float(x) for x in value))
+
+
+def ordered_vector(values: Iterable[float]) -> Tuple[float, ...]:
+    """Sort values into the non-decreasing "ordered vector" of Definition 2."""
+    return tuple(sorted(float(x) for x in values))
+
+
+def is_ordered(values: Sequence[float]) -> bool:
+    """True when the sequence is already non-decreasing."""
+    return all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+
+
+def compare_ordered_vectors(
+    x: VectorLike,
+    y: VectorLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> int:
+    """Three-way comparison under min-unfavorability.
+
+    Returns ``-1`` when ``X <_m Y``, ``0`` when the vectors are equal (up to
+    tolerance), and ``+1`` when ``Y <_m X``.  Vectors must have equal length
+    (allocations being compared must cover the same number of receivers).
+    """
+    vec_x = _as_vector(x)
+    vec_y = _as_vector(y)
+    if len(vec_x) != len(vec_y):
+        raise AllocationError(
+            f"cannot compare ordered vectors of different lengths "
+            f"({len(vec_x)} vs {len(vec_y)})"
+        )
+    for a, b in zip(vec_x, vec_y):
+        if abs(a - b) <= tolerance * max(1.0, abs(a), abs(b)):
+            continue
+        return -1 if a < b else 1
+    return 0
+
+
+def min_unfavorable(
+    x: VectorLike,
+    y: VectorLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """``X <=_m Y``: X is min-unfavorable to Y (Y is at least as max-min fair)."""
+    return compare_ordered_vectors(x, y, tolerance) <= 0
+
+
+def strictly_min_unfavorable(
+    x: VectorLike,
+    y: VectorLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> bool:
+    """``X <_m Y``: min-unfavorable and not equal."""
+    return compare_ordered_vectors(x, y, tolerance) < 0
+
+
+def compare_allocations(
+    a: Allocation,
+    b: Allocation,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> int:
+    """Three-way ``<=_m`` comparison of two allocations' receiver-rate vectors.
+
+    ``-1`` means ``a`` is strictly less max-min fair than ``b``; ``+1`` the
+    opposite; ``0`` means their ordered rate vectors coincide.
+    """
+    return compare_ordered_vectors(a, b, tolerance)
+
+
+def count_at_or_below(values: VectorLike, threshold: float, tolerance: float = DEFAULT_TOLERANCE) -> int:
+    """``|{x_i : x_i <= z}|`` with tolerance, used by the Lemma 2 statement."""
+    vec = _as_vector(values)
+    return sum(1 for v in vec if v <= threshold + tolerance * max(1.0, abs(threshold)))
+
+
+def lemma2_threshold(
+    x: VectorLike,
+    y: VectorLike,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Optional[float]:
+    """The Lemma 2 witness threshold ``x0`` for ``X <_m Y``, or ``None``.
+
+    When ``X <_m Y`` there exists ``x0`` such that for every ``z < x0`` the
+    number of entries of ``X`` at or below ``z`` is at least the number for
+    ``Y``, and at ``x0`` it is strictly larger.  The witness returned is the
+    value of ``X`` at the first position where the ordered vectors differ
+    (which satisfies the statement); ``None`` is returned when
+    ``X <_m Y`` does not hold.
+    """
+    vec_x = _as_vector(x)
+    vec_y = _as_vector(y)
+    if compare_ordered_vectors(vec_x, vec_y, tolerance) >= 0:
+        return None
+    for a, b in zip(vec_x, vec_y):
+        if abs(a - b) <= tolerance * max(1.0, abs(a), abs(b)):
+            continue
+        # First differing position; X is smaller there.
+        return a
+    return None  # pragma: no cover - unreachable given the comparison above

@@ -1,0 +1,331 @@
+"""The four desirable fairness properties (Section 2.1) and their checkers.
+
+Each checker inspects an allocation for one of the paper's fairness
+properties and returns a :class:`PropertyReport` describing whether the
+property holds and, when it does not, exactly which receivers, receiver
+pairs, or sessions violate it.  The properties are:
+
+1. **Fully-utilized-receiver-fairness** — every receiver either reaches its
+   session's maximum desired rate or crosses a fully utilised link on which
+   no other receiver (of any session) receives at a higher rate.
+2. **Same-path-receiver-fairness** — two receivers whose data-paths traverse
+   the same set of links receive at equal rates unless one of them is capped
+   by its session's maximum desired rate.
+3. **Per-receiver-link-fairness** — for each receiver, some fully utilised
+   link on its data-path carries its session's traffic at a link rate no
+   smaller than any other session's link rate there (or the receiver is at
+   its maximum desired rate).
+4. **Per-session-link-fairness** — the weaker, per-session version of (3):
+   at least one receiver's data-path contains such a link.
+
+The unicast properties 1 and 2 from which these are derived are also
+provided for completeness on unicast networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.network import Network
+from ..network.session import ReceiverId
+from .allocation import Allocation, DEFAULT_TOLERANCE
+
+__all__ = [
+    "PropertyViolation",
+    "PropertyReport",
+    "fully_utilized_receiver_fairness",
+    "same_path_receiver_fairness",
+    "per_receiver_link_fairness",
+    "per_session_link_fairness",
+    "check_all_properties",
+    "PROPERTY_CHECKERS",
+]
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One violation of a fairness property.
+
+    ``subject`` identifies the violating entity: a receiver id, a pair of
+    receiver ids, or a session id, depending on the property.
+    """
+
+    subject: object
+    description: str
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking one fairness property on an allocation."""
+
+    property_name: str
+    holds: bool
+    violations: List[PropertyViolation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def summary(self) -> str:
+        if self.holds:
+            return f"{self.property_name}: holds"
+        lines = [f"{self.property_name}: fails ({len(self.violations)} violations)"]
+        lines.extend(f"  - {v.description}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def _at_max_rate(network: Network, allocation: Allocation, rid: ReceiverId, tol: float) -> bool:
+    rho = network.session(rid[0]).max_rate
+    rate = allocation.rate(rid)
+    return rate >= rho - tol * max(1.0, rho)
+
+
+# ----------------------------------------------------------------------
+# Fairness Property 1
+# ----------------------------------------------------------------------
+
+def fully_utilized_receiver_fairness(
+    allocation: Allocation,
+    receivers: Optional[Sequence[ReceiverId]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> PropertyReport:
+    """Check fully-utilized-receiver-fairness (Fairness Property 1).
+
+    A receiver's rate is fully-utilized-receiver-fair when it equals the
+    session's maximum desired rate, or some fully utilised link on its
+    data-path carries no receiver (of any session) at a higher rate.  When
+    ``receivers`` is given only those receivers are checked (used by
+    Theorem 2, which restricts the property to multi-rate sessions in mixed
+    networks).
+    """
+    network = allocation.network
+    full_links = allocation.fully_utilized_links(tolerance)
+    targets = list(receivers) if receivers is not None else network.all_receiver_ids()
+
+    violations: List[PropertyViolation] = []
+    for rid in targets:
+        if _at_max_rate(network, allocation, rid, tolerance):
+            continue
+        rate = allocation.rate(rid)
+        witnessed = False
+        for link_id in network.data_path(rid):
+            if link_id not in full_links:
+                continue
+            others = network.receivers_on_link(link_id)
+            if all(
+                allocation.rate(other) <= rate + tolerance * max(1.0, rate)
+                for other in others
+            ):
+                witnessed = True
+                break
+        if not witnessed:
+            violations.append(
+                PropertyViolation(
+                    subject=rid,
+                    description=(
+                        f"receiver {network.receiver(rid).name} (rate {rate:g}) has no fully "
+                        "utilised link on its data-path on which it receives at the "
+                        "highest rate"
+                    ),
+                )
+            )
+    return PropertyReport("fully-utilized-receiver-fairness", not violations, violations)
+
+
+# ----------------------------------------------------------------------
+# Fairness Property 2
+# ----------------------------------------------------------------------
+
+def same_path_receiver_fairness(
+    allocation: Allocation,
+    receivers: Optional[Sequence[ReceiverId]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> PropertyReport:
+    """Check same-path-receiver-fairness (Fairness Property 2).
+
+    Every pair of receivers with identical data-path link sets must have
+    equal rates, unless the lower-rate receiver of the pair is capped by its
+    session's maximum desired rate.  When ``receivers`` is given only pairs
+    drawn from that set are checked.
+    """
+    network = allocation.network
+    targets = list(receivers) if receivers is not None else network.all_receiver_ids()
+
+    # Group receivers by their data-path link set; only groups of size >= 2
+    # give rise to pair constraints.
+    groups: Dict[frozenset, List[ReceiverId]] = {}
+    for rid in targets:
+        groups.setdefault(network.routing.data_path_set(rid), []).append(rid)
+
+    violations: List[PropertyViolation] = []
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        for index, rid_a in enumerate(group):
+            for rid_b in group[index + 1:]:
+                rate_a = allocation.rate(rid_a)
+                rate_b = allocation.rate(rid_b)
+                if abs(rate_a - rate_b) <= tolerance * max(1.0, rate_a, rate_b):
+                    continue
+                lower, higher = (rid_a, rid_b) if rate_a < rate_b else (rid_b, rid_a)
+                if _at_max_rate(network, allocation, lower, tolerance):
+                    continue
+                violations.append(
+                    PropertyViolation(
+                        subject=(rid_a, rid_b),
+                        description=(
+                            f"receivers {network.receiver(rid_a).name} (rate {rate_a:g}) and "
+                            f"{network.receiver(rid_b).name} (rate {rate_b:g}) share a "
+                            "data-path but receive at different rates"
+                        ),
+                    )
+                )
+    return PropertyReport("same-path-receiver-fairness", not violations, violations)
+
+
+# ----------------------------------------------------------------------
+# Fairness Property 3
+# ----------------------------------------------------------------------
+
+def per_receiver_link_fairness(
+    allocation: Allocation,
+    sessions: Optional[Sequence[int]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> PropertyReport:
+    """Check per-receiver-link-fairness (Fairness Property 3).
+
+    A session's allocation is per-receiver-link-fair when every one of its
+    receivers either is at the maximum desired rate or has, somewhere on its
+    data-path, a fully utilised link on which the session's link rate is at
+    least as large as every other session's link rate.  When ``sessions`` is
+    given only those sessions are checked.
+    """
+    network = allocation.network
+    full_links = allocation.fully_utilized_links(tolerance)
+    session_ids = list(sessions) if sessions is not None else [
+        s.session_id for s in network.sessions
+    ]
+
+    violations: List[PropertyViolation] = []
+    for session_id in session_ids:
+        session = network.session(session_id)
+        for rid in session.receiver_ids:
+            if _at_max_rate(network, allocation, rid, tolerance):
+                continue
+            witnessed = False
+            for link_id in network.data_path(rid):
+                if link_id not in full_links:
+                    continue
+                own = allocation.session_link_rate(session_id, link_id)
+                if all(
+                    allocation.session_link_rate(other_id, link_id)
+                    <= own + tolerance * max(1.0, own)
+                    for other_id in network.sessions_on_link(link_id)
+                    if other_id != session_id
+                ):
+                    witnessed = True
+                    break
+            if not witnessed:
+                violations.append(
+                    PropertyViolation(
+                        subject=rid,
+                        description=(
+                            f"session {session.name} is not per-receiver-link-fair on the "
+                            f"data-path of {network.receiver(rid).name}"
+                        ),
+                    )
+                )
+    return PropertyReport("per-receiver-link-fairness", not violations, violations)
+
+
+# ----------------------------------------------------------------------
+# Fairness Property 4
+# ----------------------------------------------------------------------
+
+def per_session_link_fairness(
+    allocation: Allocation,
+    sessions: Optional[Sequence[int]] = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> PropertyReport:
+    """Check per-session-link-fairness (Fairness Property 4).
+
+    A session is per-session-link-fair when all its receivers are at the
+    maximum desired rate, or at least one fully utilised link on the
+    session's data-path carries the session at a link rate no smaller than
+    any other session's link rate there.
+    """
+    network = allocation.network
+    full_links = allocation.fully_utilized_links(tolerance)
+    session_ids = list(sessions) if sessions is not None else [
+        s.session_id for s in network.sessions
+    ]
+
+    violations: List[PropertyViolation] = []
+    for session_id in session_ids:
+        session = network.session(session_id)
+        if all(
+            _at_max_rate(network, allocation, rid, tolerance)
+            for rid in session.receiver_ids
+        ):
+            continue
+        witnessed = False
+        for link_id in network.session_data_path(session_id):
+            if link_id not in full_links:
+                continue
+            own = allocation.session_link_rate(session_id, link_id)
+            if all(
+                allocation.session_link_rate(other_id, link_id)
+                <= own + tolerance * max(1.0, own)
+                for other_id in network.sessions_on_link(link_id)
+                if other_id != session_id
+            ):
+                witnessed = True
+                break
+        if not witnessed:
+            violations.append(
+                PropertyViolation(
+                    subject=session_id,
+                    description=(
+                        f"session {session.name} has no fully utilised link on its "
+                        "data-path where its link rate is the largest"
+                    ),
+                )
+            )
+    return PropertyReport("per-session-link-fairness", not violations, violations)
+
+
+#: Name -> checker mapping, in paper order.
+PROPERTY_CHECKERS = {
+    "fully-utilized-receiver-fairness": fully_utilized_receiver_fairness,
+    "same-path-receiver-fairness": same_path_receiver_fairness,
+    "per-receiver-link-fairness": per_receiver_link_fairness,
+    "per-session-link-fairness": per_session_link_fairness,
+}
+
+
+def check_all_properties(
+    allocation: Allocation,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, PropertyReport]:
+    """Run all four fairness-property checkers on an allocation.
+
+    Returns a mapping from property name (paper order) to its report.  The
+    receiver-perspective checkers run over all receivers and the session
+    perspective checkers over all sessions; use the individual checkers with
+    their ``receivers``/``sessions`` arguments for the restricted Theorem-2
+    statements on mixed networks.
+    """
+    return {
+        "fully-utilized-receiver-fairness": fully_utilized_receiver_fairness(
+            allocation, tolerance=tolerance
+        ),
+        "same-path-receiver-fairness": same_path_receiver_fairness(
+            allocation, tolerance=tolerance
+        ),
+        "per-receiver-link-fairness": per_receiver_link_fairness(
+            allocation, tolerance=tolerance
+        ),
+        "per-session-link-fairness": per_session_link_fairness(
+            allocation, tolerance=tolerance
+        ),
+    }

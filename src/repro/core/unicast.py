@@ -1,0 +1,134 @@
+"""Classic unicast max-min fairness (Bertsekas & Gallagher).
+
+This is the baseline against which the paper derives its desirable fairness
+properties (Unicast Fairness Properties 1 and 2 in Section 2.1).  The
+implementation is the standard bottleneck-based progressive-filling
+algorithm over *flows* (one flow per unicast session) and is deliberately
+independent of the general Appendix-A construction in
+:mod:`repro.core.maxmin`, so the two can be cross-validated in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set
+
+from ..errors import FairnessComputationError, NetworkModelError
+from ..network.network import Network
+from .allocation import Allocation, DEFAULT_TOLERANCE
+
+__all__ = ["unicast_max_min_fair"]
+
+
+def unicast_max_min_fair(
+    network: Network,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Allocation:
+    """Compute the unicast max-min fair allocation.
+
+    Every session of the network must be unicast (exactly one receiver).
+    Each session is treated as a single flow consuming its rate on every
+    link of its data-path.  The algorithm repeatedly finds the bottleneck
+    link — the link with the smallest equal share of remaining capacity among
+    its unfrozen flows — and freezes those flows at that share.
+
+    Raises
+    ------
+    NetworkModelError
+        If any session has more than one receiver.
+    """
+    for session in network.sessions:
+        if session.num_receivers != 1:
+            raise NetworkModelError(
+                f"unicast_max_min_fair requires unicast sessions; session "
+                f"{session.name} has {session.num_receivers} receivers"
+            )
+
+    flows: List[int] = [session.session_id for session in network.sessions]
+    paths: Dict[int, Set[int]] = {
+        i: set(network.data_path((i, 0))) for i in flows
+    }
+    rho: Dict[int, float] = {i: network.session(i).max_rate for i in flows}
+
+    rates: Dict[int, float] = {i: 0.0 for i in flows}
+    frozen: Set[int] = set()
+    remaining: Dict[int, float] = {
+        link.link_id: link.capacity for link in network.graph.links
+    }
+
+    max_rounds = len(flows) + network.num_links + 4
+    for _ in range(max_rounds):
+        unfrozen = [i for i in flows if i not in frozen]
+        if not unfrozen:
+            break
+
+        # Share of remaining capacity per unfrozen flow on each link.
+        best_share = math.inf
+        bottleneck: Optional[int] = None
+        for link_id, capacity_left in remaining.items():
+            users = [i for i in unfrozen if link_id in paths[i]]
+            if not users:
+                continue
+            share = capacity_left / len(users)
+            if share < best_share - tolerance:
+                best_share = share
+                bottleneck = link_id
+
+        # Flows limited only by their rho freeze at rho when that is smaller
+        # than the best link share (or when they use no capacitated link).
+        rho_limited = [
+            i for i in unfrozen if rho[i] - rates[i] <= best_share + tolerance
+        ]
+        if rho_limited and (
+            bottleneck is None
+            or min(rho[i] - rates[i] for i in rho_limited) <= best_share + tolerance
+        ):
+            increment = min(rho[i] - rates[i] for i in rho_limited)
+            increment = max(increment, 0.0)
+            _apply_increment(unfrozen, increment, rates, paths, remaining)
+            for i in unfrozen:
+                if math.isfinite(rho[i]) and rho[i] - rates[i] <= tolerance * max(1.0, rho[i]):
+                    frozen.add(i)
+            continue
+
+        if bottleneck is None:
+            # No capacitated link constrains the remaining flows and no rho is
+            # finite: the allocation is unbounded, which cannot happen in a
+            # valid network (every data-path crosses at least one link of
+            # finite capacity) unless a receiver is co-located with the
+            # sender, which the model forbids.
+            raise FairnessComputationError(
+                "no bottleneck found for unfrozen unicast flows"
+            )
+
+        increment = max(best_share, 0.0)
+        _apply_increment(unfrozen, increment, rates, paths, remaining)
+        for i in unfrozen:
+            if bottleneck in paths[i]:
+                frozen.add(i)
+        # Also freeze flows on any other link that saturated simultaneously.
+        for link_id, capacity_left in remaining.items():
+            if capacity_left <= tolerance:
+                for i in unfrozen:
+                    if link_id in paths[i]:
+                        frozen.add(i)
+    else:
+        raise FairnessComputationError("unicast progressive filling did not converge")
+
+    return Allocation(network, {(i, 0): rates[i] for i in flows})
+
+
+def _apply_increment(
+    unfrozen: List[int],
+    increment: float,
+    rates: Dict[int, float],
+    paths: Dict[int, Set[int]],
+    remaining: Dict[int, float],
+) -> None:
+    """Raise every unfrozen flow by ``increment`` and charge its links."""
+    if increment <= 0:
+        return
+    for i in unfrozen:
+        rates[i] += increment
+        for link_id in paths[i]:
+            remaining[link_id] -= increment

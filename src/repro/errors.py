@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class NetworkModelError(ReproError):
+    """Raised when a network, graph, or session is structurally invalid."""
+
+
+class RoutingError(NetworkModelError):
+    """Raised when a data-path cannot be constructed or is inconsistent."""
+
+
+class AllocationError(ReproError):
+    """Raised when an allocation is malformed or references unknown members."""
+
+
+class InfeasibleAllocationError(AllocationError):
+    """Raised when an allocation violates capacity or session constraints."""
+
+
+class FairnessComputationError(ReproError):
+    """Raised when a fairness algorithm cannot make progress."""
+
+
+class LayeringError(ReproError):
+    """Raised for invalid layer schemes or layer subscriptions."""
+
+
+class SimulationError(ReproError):
+    """Raised when the packet-level simulator is misconfigured."""
+
+
+class ProtocolError(SimulationError):
+    """Raised when a congestion-control protocol is misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is given inconsistent parameters."""

@@ -1,0 +1,69 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module corresponds to one paper artefact (see DESIGN.md's experiment
+index) and exposes a ``run_*`` function returning a result dataclass with a
+``table()`` method; :mod:`~repro.experiments.runner` runs them all.
+"""
+
+from .active_nodes import ActiveNodeResult, run_active_nodes
+from .burstiness import BurstinessResult, gilbert_for_average_loss, run_burstiness
+from .figure1 import Figure1Result, run_figure1
+from .figure2 import Figure2Result, run_figure2
+from .figure3 import Figure3Result, RemovalOutcome, run_figure3
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .figure6 import Figure6Result, run_figure6
+from .figure7 import Figure7Result, run_figure7
+from .figure8 import (
+    Figure8Panel,
+    Figure8Point,
+    Figure8Result,
+    run_figure8,
+    run_figure8_panel,
+)
+from .fixed_layers import FixedLayerResult, run_fixed_layers
+from .layer_ablation import LayerAblationResult, run_layer_ablation
+from .leave_latency import LeaveLatencyResult, run_leave_latency
+from .loss_correlation import LossCorrelationResult, run_loss_correlation
+from .mixed_sessions import ConversionStep, MixedSessionsResult, run_mixed_sessions
+from .runner import run_all
+
+__all__ = [
+    "ActiveNodeResult",
+    "run_active_nodes",
+    "BurstinessResult",
+    "gilbert_for_average_loss",
+    "run_burstiness",
+    "LeaveLatencyResult",
+    "run_leave_latency",
+    "Figure1Result",
+    "run_figure1",
+    "Figure2Result",
+    "run_figure2",
+    "Figure3Result",
+    "RemovalOutcome",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "Figure7Result",
+    "run_figure7",
+    "Figure8Panel",
+    "Figure8Point",
+    "Figure8Result",
+    "run_figure8",
+    "run_figure8_panel",
+    "FixedLayerResult",
+    "run_fixed_layers",
+    "LayerAblationResult",
+    "run_layer_ablation",
+    "LossCorrelationResult",
+    "run_loss_correlation",
+    "ConversionStep",
+    "MixedSessionsResult",
+    "run_mixed_sessions",
+    "run_all",
+]

@@ -1,0 +1,75 @@
+"""Experiment E1 — Figure 1: the sample network and its fair allocation.
+
+Recomputes the multi-rate max-min fair allocation of the Figure 1 network,
+its session link rates, and the four fairness properties, and compares them
+to the values printed in the paper (receiver rates ``(1, 1, 2, 1, 2)``,
+session link rates ``l1=(1,2,0)``, ``l2=(0,0,2)``, ``l3=(0,2,2)``,
+``l4=(1,1,1)``, all properties holding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.tables import format_table
+from ..core import Allocation, check_all_properties, max_min_fair_allocation
+from ..network import Network, figure1_network
+from ..network.topologies import FIGURE1_EXPECTED_RATES
+
+__all__ = ["Figure1Result", "run_figure1"]
+
+
+@dataclass
+class Figure1Result:
+    """Computed allocation for the Figure 1 network, with paper reference values."""
+
+    network: Network
+    allocation: Allocation
+    receiver_rates: Dict[Tuple[int, int], float]
+    expected_rates: Dict[Tuple[int, int], float]
+    session_link_rates: Dict[str, Tuple[float, ...]]
+    properties: Dict[str, bool]
+
+    @property
+    def matches_paper(self) -> bool:
+        """True when every receiver rate matches the paper to within 1e-9."""
+        return all(
+            abs(self.receiver_rates[rid] - expected) <= 1e-9
+            for rid, expected in self.expected_rates.items()
+        )
+
+    def table(self) -> str:
+        rows = []
+        for rid, expected in sorted(self.expected_rates.items()):
+            receiver = self.network.receiver(rid)
+            rows.append([receiver.name, expected, self.receiver_rates[rid]])
+        receiver_table = format_table(["receiver", "paper rate", "measured rate"], rows)
+        link_rows = [
+            [name] + list(rates) for name, rates in sorted(self.session_link_rates.items())
+        ]
+        link_table = format_table(
+            ["link", "u_1j", "u_2j", "u_3j"], link_rows
+        )
+        property_rows = [[name, "holds" if holds else "FAILS"] for name, holds in self.properties.items()]
+        property_table = format_table(["fairness property", "status"], property_rows)
+        return "\n\n".join([receiver_table, link_table, property_table])
+
+
+def run_figure1() -> Figure1Result:
+    """Compute the Figure 1 multi-rate max-min fair allocation and properties."""
+    network = figure1_network()
+    allocation = max_min_fair_allocation(network)
+    link_rates: Dict[str, Tuple[float, ...]] = {}
+    for link in network.graph.links:
+        rates = allocation.session_link_rates(link.link_id)
+        link_rates[link.name] = tuple(rates[i] for i in sorted(rates))
+    reports = check_all_properties(allocation)
+    return Figure1Result(
+        network=network,
+        allocation=allocation,
+        receiver_rates=allocation.as_dict(),
+        expected_rates=dict(FIGURE1_EXPECTED_RATES),
+        session_link_rates=link_rates,
+        properties={name: report.holds for name, report in reports.items()},
+    )

@@ -1,0 +1,100 @@
+"""Experiment E5 — Figure 5: redundancy of a single layer with random joins.
+
+Evaluates the Appendix-B closed form for the five receiver-rate
+configurations of Figure 5 over a logarithmic sweep of receiver counts
+(1 to 100), optionally validating the analytical values against the
+Monte-Carlo quantum simulator.  The shapes to reproduce:
+
+* redundancy grows with the number of receivers and saturates at the bound
+  ``lambda / max(a_t)`` (e.g. 10 for "All 0.1", 2 for "All 0.5");
+* for a fixed efficient link rate, redundancy grows fastest when all
+  receivers share the same rate ("All z" above "1st w rest z").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.tables import format_series
+from ..layering.quantum import QuantumModel
+from ..layering.random_joins import (
+    FIGURE5_CONFIGURATIONS,
+    figure5_curves,
+    one_fast_rest_slow,
+    redundancy_upper_bound,
+)
+
+__all__ = ["Figure5Result", "run_figure5", "DEFAULT_RECEIVER_COUNTS"]
+
+#: Logarithmic receiver-count sweep matching the paper's 1..100 x-axis.
+DEFAULT_RECEIVER_COUNTS = (1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100)
+
+
+@dataclass
+class Figure5Result:
+    """Analytical (and optionally simulated) Figure 5 redundancy curves."""
+
+    receiver_counts: Sequence[int]
+    curves: Dict[str, List[float]]
+    upper_bounds: Dict[str, float]
+    simulated: Optional[Dict[str, List[float]]]
+
+    def table(self) -> str:
+        return format_series("receivers", list(self.receiver_counts), self.curves)
+
+    @property
+    def respects_upper_bounds(self) -> bool:
+        return all(
+            value <= self.upper_bounds[name] + 1e-9
+            for name, values in self.curves.items()
+            for value in values
+        )
+
+
+def run_figure5(
+    receiver_counts: Sequence[int] = DEFAULT_RECEIVER_COUNTS,
+    transmission_rate: float = 1.0,
+    simulate: bool = False,
+    packets_per_quantum: int = 100,
+    num_quanta: int = 200,
+    seed: int = 0,
+) -> Figure5Result:
+    """Evaluate the Figure 5 curves; optionally cross-check by simulation.
+
+    When ``simulate`` is true, each analytical point is re-estimated with the
+    Monte-Carlo quantum model (``packets_per_quantum`` packets per quantum,
+    ``num_quanta`` quanta), which is slower but validates the closed form.
+    """
+    curves = figure5_curves(receiver_counts, transmission_rate)
+    bounds = {}
+    for name, params in FIGURE5_CONFIGURATIONS.items():
+        rates = one_fast_rest_slow(max(receiver_counts), params["fast"], params["slow"])
+        bounds[name] = redundancy_upper_bound(rates, transmission_rate)
+
+    simulated: Optional[Dict[str, List[float]]] = None
+    if simulate:
+        simulated = {}
+        rng = random.Random(seed)
+        model = QuantumModel(
+            transmission_rate=packets_per_quantum, quantum=1.0
+        )
+        for name, params in FIGURE5_CONFIGURATIONS.items():
+            points = []
+            for count in receiver_counts:
+                rates = {
+                    index: rate * packets_per_quantum / transmission_rate
+                    for index, rate in enumerate(
+                        one_fast_rest_slow(count, params["fast"], params["slow"])
+                    )
+                }
+                points.append(model.simulate_random_join_redundancy(rates, num_quanta, rng))
+            simulated[name] = points
+
+    return Figure5Result(
+        receiver_counts=tuple(receiver_counts),
+        curves=curves,
+        upper_bounds=bounds,
+        simulated=simulated,
+    )

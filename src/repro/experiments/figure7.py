@@ -1,0 +1,78 @@
+"""Experiment E8 — Figure 7(a): Markov analysis of the two-receiver star.
+
+Uses the :class:`~repro.protocols.markov.TwoReceiverMarkovModel` to study how
+the split of a fixed end-to-end loss budget between shared and independent
+loss — and between the two receivers — affects redundancy on the shared
+link.  The headline finding to reproduce (Section 4): *redundancy is highest
+when receivers experience the same end-to-end loss rates*, and sender
+coordination lowers redundancy for every split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.tables import format_series
+from ..protocols.markov import TwoReceiverMarkovModel
+
+__all__ = ["Figure7Result", "run_figure7", "DEFAULT_SPLITS"]
+
+#: How the fixed independent-loss budget is split between the two receivers.
+DEFAULT_SPLITS = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
+
+PROTOCOLS = ("uncoordinated", "deterministic", "coordinated")
+
+
+@dataclass
+class Figure7Result:
+    """Redundancy of each protocol as the loss split between receivers varies."""
+
+    splits: Sequence[float]
+    total_independent_loss: float
+    shared_loss_rate: float
+    redundancy: Dict[str, List[float]]
+    mean_levels: Dict[str, List[Tuple[float, float]]]
+
+    def table(self) -> str:
+        return format_series("loss split to r1", list(self.splits), self.redundancy)
+
+    def peak_split(self, protocol: str) -> float:
+        """The split at which the protocol's redundancy peaks."""
+        values = self.redundancy[protocol]
+        return self.splits[values.index(max(values))]
+
+    @property
+    def equal_loss_is_worst(self) -> bool:
+        """True when every protocol peaks at (or adjacent to) the even split."""
+        return all(abs(self.peak_split(protocol) - 0.5) <= 0.13 for protocol in self.redundancy)
+
+
+def run_figure7(
+    splits: Sequence[float] = DEFAULT_SPLITS,
+    total_independent_loss: float = 0.04,
+    shared_loss_rate: float = 0.0001,
+    num_layers: int = 8,
+) -> Figure7Result:
+    """Analyse the two-receiver star for every protocol and loss split."""
+    redundancy: Dict[str, List[float]] = {name: [] for name in PROTOCOLS}
+    mean_levels: Dict[str, List[Tuple[float, float]]] = {name: [] for name in PROTOCOLS}
+    for protocol in PROTOCOLS:
+        for split in splits:
+            model = TwoReceiverMarkovModel(
+                protocol=protocol,
+                shared_loss_rate=shared_loss_rate,
+                loss_rate_one=split * total_independent_loss,
+                loss_rate_two=(1.0 - split) * total_independent_loss,
+                num_layers=num_layers,
+            )
+            analysis = model.analyze()
+            redundancy[protocol].append(analysis.redundancy)
+            mean_levels[protocol].append(analysis.mean_levels)
+    return Figure7Result(
+        splits=tuple(splits),
+        total_independent_loss=total_independent_loss,
+        shared_loss_rate=shared_loss_rate,
+        redundancy=redundancy,
+        mean_levels=mean_levels,
+    )

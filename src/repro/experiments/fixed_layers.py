@@ -1,0 +1,85 @@
+"""Experiment E7 — Section 3's fixed-layer non-existence example.
+
+Enumerates the feasible fixed-subscription allocations of the paper's
+single-link example (session 1 with three layers of rate ``c/3``, session 2
+with two layers of rate ``c/2``), verifies the set matches the seven
+allocations listed in the paper, and confirms that no element of the set is
+max-min fair — whereas once receivers may time joins and leaves (the quantum
+model), the max-min fair rates ``(c/2, c/2)`` become achievable as long-term
+averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core import max_min_fair_allocation
+from ..layering.fixed import section3_nonexistence_example
+from ..network.topologies import single_bottleneck_network
+
+__all__ = ["FixedLayerResult", "run_fixed_layers"]
+
+
+@dataclass
+class FixedLayerResult:
+    """Feasible fixed-layer allocations and the (absent) max-min fair element."""
+
+    capacity: float
+    feasible_allocations: List[Tuple[float, ...]]
+    max_min_fair: Optional[Tuple[float, ...]]
+    unconstrained_fair_rates: Tuple[float, ...]
+
+    @property
+    def paper_expected_set(self) -> List[Tuple[float, float]]:
+        """The seven feasible allocations listed in the paper (scaled by capacity)."""
+        c = self.capacity
+        return sorted(
+            [
+                (0.0, 0.0),
+                (0.0, c / 2),
+                (0.0, c),
+                (c / 3, 0.0),
+                (c / 3, c / 2),
+                (2 * c / 3, 0.0),
+                (c, 0.0),
+            ]
+        )
+
+    @property
+    def matches_paper_set(self) -> bool:
+        measured = sorted(tuple(round(v, 9) for v in a) for a in self.feasible_allocations)
+        expected = sorted(tuple(round(v, 9) for v in a) for a in self.paper_expected_set)
+        return measured == expected
+
+    @property
+    def no_max_min_fair_exists(self) -> bool:
+        return self.max_min_fair is None
+
+    def table(self) -> str:
+        rows = [[f"({a:.4g}, {b:.4g})"] for a, b in self.feasible_allocations]
+        allocation_table = format_table(["feasible fixed-layer allocation (a1, a2)"], rows)
+        verdict = (
+            "no max-min fair allocation exists among the fixed-layer allocations"
+            if self.max_min_fair is None
+            else f"max-min fair allocation: {self.max_min_fair}"
+        )
+        fair = ", ".join(f"{v:.4g}" for v in self.unconstrained_fair_rates)
+        return (
+            allocation_table
+            + f"\n\n{verdict}\nunconstrained (join/leave) max-min fair rates: ({fair})"
+        )
+
+
+def run_fixed_layers(capacity: float = 1.0) -> FixedLayerResult:
+    """Enumerate the paper's fixed-layer example and contrast with the fluid rates."""
+    feasible, max_min = section3_nonexistence_example(capacity)
+    network = single_bottleneck_network(num_sessions=2, capacity=capacity)
+    allocation = max_min_fair_allocation(network)
+    return FixedLayerResult(
+        capacity=capacity,
+        feasible_allocations=feasible,
+        max_min_fair=max_min,
+        unconstrained_fair_rates=allocation.ordered_vector(),
+    )

@@ -1,0 +1,85 @@
+"""Ablation A1 — how the number of layers affects random-join redundancy.
+
+Section 3 (summarising Appendix E of the technical report) observes that
+"having additional layers often leads to a reduction in redundancy that is
+sometimes substantial, and that it never increases redundancy beyond that
+exhibited for the single-layer case".  This ablation evaluates the
+multi-layer random-join model for several receiver-rate populations and
+layer counts and checks both halves of that statement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.tables import format_series
+from ..errors import ExperimentError
+from ..layering.random_joins import layer_count_ablation, one_fast_rest_slow, uniform_rates
+
+__all__ = ["LayerAblationResult", "run_layer_ablation", "DEFAULT_LAYER_COUNTS"]
+
+DEFAULT_LAYER_COUNTS = (1, 2, 4, 8)
+
+#: Receiver-rate populations studied (transmission budget 1.0).
+DEFAULT_POPULATIONS = {
+    "All 0.1 (20 receivers)": uniform_rates(20, 0.1),
+    "All 0.5 (20 receivers)": uniform_rates(20, 0.5),
+    "1st .9 rest .1 (20 receivers)": one_fast_rest_slow(20, 0.9, 0.1),
+    "All 0.9 (20 receivers)": uniform_rates(20, 0.9),
+}
+
+
+@dataclass
+class LayerAblationResult:
+    """Redundancy per population and layer count."""
+
+    layer_counts: Sequence[int]
+    max_rate: float
+    redundancy: Dict[str, Dict[int, float]]
+
+    def table(self) -> str:
+        series = {
+            name: [values[count] for count in self.layer_counts]
+            for name, values in self.redundancy.items()
+        }
+        return format_series("layers", list(self.layer_counts), series)
+
+    @property
+    def never_worse_than_single_layer(self) -> bool:
+        """Multi-layer redundancy never exceeds the single-layer redundancy."""
+        return all(
+            values[count] <= values[self.layer_counts[0]] + 1e-9
+            for values in self.redundancy.values()
+            for count in self.layer_counts
+        )
+
+    @property
+    def monotone_in_layers(self) -> bool:
+        """Redundancy is non-increasing as layers are added."""
+        counts = list(self.layer_counts)
+        return all(
+            values[counts[index + 1]] <= values[counts[index]] + 1e-9
+            for values in self.redundancy.values()
+            for index in range(len(counts) - 1)
+        )
+
+
+def run_layer_ablation(
+    layer_counts: Sequence[int] = DEFAULT_LAYER_COUNTS,
+    populations: Dict[str, List[float]] | None = None,
+    max_rate: float = 1.0,
+) -> LayerAblationResult:
+    """Evaluate random-join redundancy for each population and layer count."""
+    if not layer_counts or layer_counts[0] != 1:
+        raise ExperimentError("layer_counts must start with 1 (the single-layer baseline)")
+    if populations is None:
+        populations = dict(DEFAULT_POPULATIONS)
+    redundancy: Dict[str, Dict[int, float]] = {}
+    for name, rates in populations.items():
+        redundancy[name] = layer_count_ablation(rates, max_rate, layer_counts)
+    return LayerAblationResult(
+        layer_counts=tuple(layer_counts),
+        max_rate=max_rate,
+        redundancy=redundancy,
+    )

@@ -1,0 +1,149 @@
+"""Ablation A3 — mixed session types and the Lemma 3 / Corollary 1 ordering.
+
+Sweeps the fraction of multi-rate sessions in randomised multicast networks
+from "all single-rate" to "all multi-rate", converting sessions one at a
+time (same members, same topology) and recomputing the max-min fair
+allocation.  The properties verified:
+
+* Lemma 3 / Corollary 1: each conversion makes the allocation at least as
+  max-min fair under the ``<=_m`` ordering, so the ordered rate vectors form
+  a monotone chain with the all-multi-rate allocation at the top;
+* Theorem 2: after each conversion, the four fairness properties hold when
+  restricted to the (current) multi-rate sessions, and per-session-link
+  fairness holds for every session;
+* the aggregate receiver throughput and minimum receiver rate never
+  decrease relative to the all-single-rate baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..core import (
+    Allocation,
+    fully_utilized_receiver_fairness,
+    max_min_fair_allocation,
+    min_unfavorable,
+    per_receiver_link_fairness,
+    per_session_link_fairness,
+    same_path_receiver_fairness,
+)
+from ..network import Network, SessionType
+from ..network.topologies import random_multicast_network
+
+__all__ = ["ConversionStep", "MixedSessionsResult", "run_mixed_sessions"]
+
+
+@dataclass
+class ConversionStep:
+    """Allocation metrics after converting a prefix of sessions to multi-rate."""
+
+    num_multi_rate: int
+    ordered_rates: Tuple[float, ...]
+    min_rate: float
+    total_throughput: float
+    multi_rate_properties_hold: bool
+    per_session_link_fair: bool
+
+
+@dataclass
+class MixedSessionsResult:
+    """The Lemma-3 conversion chain for one random network."""
+
+    seed: int
+    num_sessions: int
+    steps: List[ConversionStep] = field(default_factory=list)
+
+    @property
+    def ordering_is_monotone(self) -> bool:
+        """Each step's allocation is at least as max-min fair as the previous one."""
+        return all(
+            min_unfavorable(self.steps[index].ordered_rates, self.steps[index + 1].ordered_rates)
+            for index in range(len(self.steps) - 1)
+        )
+
+    @property
+    def theorem2_holds_throughout(self) -> bool:
+        return all(
+            step.multi_rate_properties_hold and step.per_session_link_fair
+            for step in self.steps
+        )
+
+    def table(self) -> str:
+        rows = [
+            [
+                step.num_multi_rate,
+                step.min_rate,
+                step.total_throughput,
+                "yes" if step.multi_rate_properties_hold else "NO",
+                "yes" if step.per_session_link_fair else "NO",
+            ]
+            for step in self.steps
+        ]
+        return format_table(
+            ["# multi-rate sessions", "min rate", "total throughput",
+             "Thm2 multi-rate props", "per-session-link fair"],
+            rows,
+        )
+
+
+def _theorem2_checks(network: Network, allocation: Allocation) -> Tuple[bool, bool]:
+    """(multi-rate restricted properties hold, per-session-link holds for all)."""
+    multi_sessions = sorted(network.multi_rate_session_ids())
+    multi_receivers = [
+        rid for sid in multi_sessions for rid in network.session(sid).receiver_ids
+    ]
+    if multi_receivers:
+        receiver_side = (
+            fully_utilized_receiver_fairness(allocation, receivers=multi_receivers).holds
+            and same_path_receiver_fairness(allocation, receivers=multi_receivers).holds
+            and per_receiver_link_fairness(allocation, sessions=multi_sessions).holds
+        )
+    else:
+        receiver_side = True
+    session_side = per_session_link_fairness(allocation).holds
+    return receiver_side, session_side
+
+
+def run_mixed_sessions(
+    seed: int = 7,
+    num_links: int = 12,
+    num_sessions: int = 5,
+    max_receivers_per_session: int = 4,
+) -> MixedSessionsResult:
+    """Convert sessions one at a time from single-rate to multi-rate.
+
+    The conversion order is session-id order; step ``k`` has the first ``k``
+    sessions multi-rate and the rest single-rate.
+    """
+    base = random_multicast_network(
+        seed=seed,
+        num_links=num_links,
+        num_sessions=num_sessions,
+        max_receivers_per_session=max_receivers_per_session,
+        multi_rate_fraction=0.0,
+    )
+    result = MixedSessionsResult(seed=seed, num_sessions=base.num_sessions)
+    for num_multi in range(base.num_sessions + 1):
+        types = {
+            session_id: (
+                SessionType.MULTI_RATE if session_id < num_multi else SessionType.SINGLE_RATE
+            )
+            for session_id in range(base.num_sessions)
+        }
+        network = base.with_session_types(types)
+        allocation = max_min_fair_allocation(network)
+        multi_props, session_props = _theorem2_checks(network, allocation)
+        result.steps.append(
+            ConversionStep(
+                num_multi_rate=num_multi,
+                ordered_rates=allocation.ordered_vector(),
+                min_rate=allocation.min_rate(),
+                total_throughput=allocation.total_receiver_throughput(),
+                multi_rate_properties_hold=multi_props,
+                per_session_link_fair=session_props,
+            )
+        )
+    return result

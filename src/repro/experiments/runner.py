@@ -1,0 +1,123 @@
+"""Run every experiment and print the regenerated tables.
+
+``python -m repro.experiments.runner`` regenerates all figures of the paper
+(and the ablations) at the default reduced scale and prints each as a table,
+together with a one-line verdict on whether the paper's qualitative claim is
+reproduced.  Use ``--full`` for the paper-scale Figure 8 sweep (slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from .active_nodes import run_active_nodes
+from .burstiness import run_burstiness
+from .figure1 import run_figure1
+from .figure2 import run_figure2
+from .figure3 import run_figure3
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .figure7 import run_figure7
+from .figure8 import PAPER_INDEPENDENT_LOSS_RATES, run_figure8
+from .fixed_layers import run_fixed_layers
+from .layer_ablation import run_layer_ablation
+from .leave_latency import run_leave_latency
+from .loss_correlation import run_loss_correlation
+from .mixed_sessions import run_mixed_sessions
+
+__all__ = ["run_all", "main"]
+
+
+def _figure8_runner(full_scale: bool) -> Callable[[], object]:
+    if not full_scale:
+        return run_figure8
+    return lambda: run_figure8(
+        independent_loss_rates=PAPER_INDEPENDENT_LOSS_RATES,
+        num_receivers=100,
+        duration_units=2000,
+        repetitions=5,
+    )
+
+
+def run_all(full_scale: bool = False) -> List[Tuple[str, object, str]]:
+    """Run every experiment; return (name, result, verdict) triples."""
+    experiments: List[Tuple[str, Callable[[], object], Callable[[object], str]]] = [
+        ("Figure 1 (sample network)", run_figure1,
+         lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
+        ("Figure 2 (single-rate limitations)", run_figure2,
+         lambda r: "matches paper" if (r.single_rate_matches_paper and r.multi_rate_is_more_max_min_fair)
+         else "MISMATCH"),
+        ("Figure 3 (receiver removal)", run_figure3,
+         lambda r: "matches paper" if r.demonstrates_both_directions else "MISMATCH"),
+        ("Figure 4 (redundancy vs session fairness)", run_figure4,
+         lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
+        ("Figure 5 (random-join redundancy)", run_figure5,
+         lambda r: "bounded as predicted" if r.respects_upper_bounds else "MISMATCH"),
+        ("Figure 6 (redundancy vs fair rate)", run_figure6,
+         lambda r: f"formula vs water-filling max error {r.cross_check_max_error:.2e}"),
+        ("Section 3 fixed-layer example", run_fixed_layers,
+         lambda r: "no max-min fair allocation exists" if r.no_max_min_fair_exists else "MISMATCH"),
+        ("Figure 7(a) Markov analysis", run_figure7,
+         lambda r: "equal loss rates give the highest redundancy"
+         if r.equal_loss_is_worst else "MISMATCH"),
+        ("Figure 8 (protocol redundancy)", _figure8_runner(full_scale),
+         lambda r: "coordinated protocol lowest; below 2.5"
+         if (r.low_shared_loss.coordinated_is_lowest
+             and r.low_shared_loss.max_redundancy("coordinated") < 2.5)
+         else "shape differs"),
+        ("Ablation: layer count", run_layer_ablation,
+         lambda r: "more layers never increase redundancy"
+         if r.never_worse_than_single_layer else "MISMATCH"),
+        ("Ablation: loss correlation", run_loss_correlation,
+         lambda r: "correlated loss lowers redundancy"
+         if r.all_protocols_benefit_from_correlation else "shape differs"),
+        ("Ablation: mixed session types (Lemma 3)", run_mixed_sessions,
+         lambda r: "ordering monotone and Theorem 2 holds"
+         if (r.ordering_is_monotone and r.theorem2_holds_throughout) else "MISMATCH"),
+        ("Extension: active-node coordination", run_active_nodes,
+         lambda r: "redundancy of one is feasible"
+         if (r.active_node_redundancy_near_one and r.active_node_is_lowest)
+         else "shape differs"),
+        ("Extension: leave latency", run_leave_latency,
+         lambda r: "longer leave latency increases redundancy"
+         if r.redundancy_increases_with_latency else "shape differs"),
+        ("Extension: bursty loss", run_burstiness,
+         lambda r: "protocol ordering robust to burstiness"
+         if r.ordering_preserved else "shape differs"),
+    ]
+
+    results = []
+    for name, runner, verdict in experiments:
+        start = time.time()
+        result = runner()
+        elapsed = time.time() - start
+        results.append((name, result, f"{verdict(result)} ({elapsed:.1f}s)"))
+    return results
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run Figure 8 at paper scale (100 receivers, full loss sweep)",
+    )
+    args = parser.parse_args(argv)
+
+    for name, result, verdict in run_all(full_scale=args.full):
+        print("=" * 72)
+        print(f"{name}: {verdict}")
+        print("=" * 72)
+        table = getattr(result, "table", None)
+        if callable(table):
+            print(table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

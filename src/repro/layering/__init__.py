@@ -1,0 +1,75 @@
+"""Layered-multicast substrate (Section 3 of the paper).
+
+* :mod:`~repro.layering.layers` — layer schemes (exponential, uniform,
+  custom) and the cumulative-rate arithmetic;
+* :mod:`~repro.layering.fixed` — fixed-subscription allocations and the
+  non-existence of a max-min fair allocation with fixed layers;
+* :mod:`~repro.layering.quantum` — the quantum join/leave model achieving
+  average fair rates, with per-link packet accounting and redundancy;
+* :mod:`~repro.layering.random_joins` — the Appendix-B analytical redundancy
+  under uncoordinated joins (Figure 5) and its multi-layer extension.
+"""
+
+from .fixed import (
+    FixedLayerAllocation,
+    enumerate_network_allocations,
+    enumerate_single_link_allocations,
+    find_max_min_fair_allocation,
+    is_max_min_fair_among,
+    section3_nonexistence_example,
+)
+from .layers import (
+    CustomLayerScheme,
+    ExponentialLayerScheme,
+    LayerScheme,
+    UniformLayerScheme,
+    layers_for_receiver_rates,
+)
+from .quantum import (
+    QuantumModel,
+    ReceiverQuantumSchedule,
+    fractional_prefix_schedule,
+    prefix_packet_count,
+)
+from .random_joins import (
+    FIGURE5_CONFIGURATIONS,
+    expected_link_rate,
+    figure5_curves,
+    figure5_redundancy,
+    layer_count_ablation,
+    multi_layer_link_rate,
+    multi_layer_redundancy,
+    one_fast_rest_slow,
+    redundancy_upper_bound,
+    single_layer_redundancy,
+    uniform_rates,
+)
+
+__all__ = [
+    "FixedLayerAllocation",
+    "enumerate_network_allocations",
+    "enumerate_single_link_allocations",
+    "find_max_min_fair_allocation",
+    "is_max_min_fair_among",
+    "section3_nonexistence_example",
+    "CustomLayerScheme",
+    "ExponentialLayerScheme",
+    "LayerScheme",
+    "UniformLayerScheme",
+    "layers_for_receiver_rates",
+    "QuantumModel",
+    "ReceiverQuantumSchedule",
+    "fractional_prefix_schedule",
+    "prefix_packet_count",
+    "FIGURE5_CONFIGURATIONS",
+    "expected_link_rate",
+    "figure5_curves",
+    "figure5_redundancy",
+    "layer_count_ablation",
+    "multi_layer_link_rate",
+    "multi_layer_redundancy",
+    "one_fast_rest_slow",
+    "redundancy_upper_bound",
+    "single_layer_redundancy",
+    "uniform_rates",
+]

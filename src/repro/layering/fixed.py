@@ -1,0 +1,235 @@
+"""Fixed-layer subscriptions and the non-existence of max-min fairness.
+
+Section 3 shows that when each receiver must pick a *fixed* subset of layers
+for the whole session (no joins/leaves), the restricted set of achievable
+rates may contain no max-min fair allocation at all.  The canonical example
+is a single link of capacity ``c`` shared by two sessions: one offering
+three layers of rate ``c/3`` and one offering two layers of rate ``c/2``.
+
+This module provides:
+
+* enumeration of the feasible fixed-subscription allocations, both for the
+  single-link case and for a general :class:`~repro.network.network.Network`
+  (each receiver picks a level; a session's link rate is the cumulative rate
+  of the highest level subscribed downstream, because layers are nested);
+* a direct max-min fairness check against Definition 1 over a finite set of
+  allocations (:func:`find_max_min_fair_allocation`), which returns ``None``
+  when no allocation in the set is max-min fair;
+* :func:`section3_nonexistence_example`, reproducing the paper's example.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import LayeringError
+from ..network.network import Network
+from ..network.session import ReceiverId
+from .layers import LayerScheme
+
+__all__ = [
+    "FixedLayerAllocation",
+    "enumerate_single_link_allocations",
+    "enumerate_network_allocations",
+    "is_max_min_fair_among",
+    "find_max_min_fair_allocation",
+    "section3_nonexistence_example",
+]
+
+#: Guard against combinatorial explosion when enumerating subscriptions.
+_MAX_ENUMERATION = 2_000_000
+
+
+@dataclass(frozen=True)
+class FixedLayerAllocation:
+    """A feasible assignment of subscription levels to receivers.
+
+    ``levels`` maps each receiver to its subscription level and ``rates`` to
+    the corresponding cumulative rate.
+    """
+
+    levels: Tuple[Tuple[ReceiverId, int], ...]
+    rates: Tuple[Tuple[ReceiverId, float], ...]
+
+    def rate_vector(self) -> Tuple[float, ...]:
+        """Receiver rates in receiver-id order (not sorted)."""
+        return tuple(rate for _rid, rate in self.rates)
+
+    def rate_of(self, receiver_id: ReceiverId) -> float:
+        for rid, rate in self.rates:
+            if rid == receiver_id:
+                return rate
+        raise LayeringError(f"unknown receiver id {receiver_id}")
+
+
+# ----------------------------------------------------------------------
+# single shared link (the paper's example setting)
+# ----------------------------------------------------------------------
+
+def enumerate_single_link_allocations(
+    schemes: Sequence[LayerScheme],
+    capacity: float,
+) -> List[Tuple[float, ...]]:
+    """All feasible rate vectors when ``len(schemes)`` unicast sessions share one link.
+
+    Session ``i`` has a single receiver that may subscribe to any level of
+    ``schemes[i]``; the allocation is feasible when the cumulative rates sum
+    to at most ``capacity``.  Returns the feasible rate vectors (one entry
+    per session), sorted for deterministic output.
+    """
+    if capacity <= 0:
+        raise LayeringError(f"capacity must be positive, got {capacity}")
+    per_session_rates = [scheme.cumulative_rates() for scheme in schemes]
+    total = 1
+    for rates in per_session_rates:
+        total *= len(rates)
+    if total > _MAX_ENUMERATION:
+        raise LayeringError(
+            f"too many subscription combinations to enumerate ({total})"
+        )
+    feasible: List[Tuple[float, ...]] = []
+    for combination in itertools.product(*per_session_rates):
+        if sum(combination) <= capacity + 1e-9 * max(1.0, capacity):
+            feasible.append(tuple(combination))
+    return sorted(set(feasible))
+
+
+def enumerate_network_allocations(
+    network: Network,
+    schemes: Mapping[int, LayerScheme],
+) -> List[FixedLayerAllocation]:
+    """All feasible fixed-subscription allocations for a general network.
+
+    Every session must have a scheme in ``schemes``.  Each receiver picks a
+    subscription level of its session's scheme; the session link rate on a
+    link is the cumulative rate of the *highest* level subscribed by a
+    downstream receiver (layers are nested, so the link must carry every
+    layer any downstream receiver wants).  Feasibility additionally requires
+    every rate to respect the session's maximum desired rate.
+    """
+    receiver_ids = network.all_receiver_ids()
+    level_choices: List[List[int]] = []
+    for rid in receiver_ids:
+        scheme = schemes.get(rid[0])
+        if scheme is None:
+            raise LayeringError(f"no layer scheme supplied for session {rid[0]}")
+        level_choices.append(list(range(scheme.num_layers + 1)))
+
+    total = 1
+    for choices in level_choices:
+        total *= len(choices)
+    if total > _MAX_ENUMERATION:
+        raise LayeringError(
+            f"too many subscription combinations to enumerate ({total})"
+        )
+
+    used_links = sorted(network.routing.links_used())
+    feasible: List[FixedLayerAllocation] = []
+    for combination in itertools.product(*level_choices):
+        levels = dict(zip(receiver_ids, combination))
+        rates = {
+            rid: schemes[rid[0]].cumulative_rate(level) for rid, level in levels.items()
+        }
+        if any(
+            rates[rid] > network.session(rid[0]).max_rate + 1e-9 for rid in receiver_ids
+        ):
+            continue
+        if _network_feasible(network, schemes, rates, used_links):
+            feasible.append(
+                FixedLayerAllocation(
+                    levels=tuple(sorted(levels.items())),
+                    rates=tuple(sorted(rates.items())),
+                )
+            )
+    return feasible
+
+
+def _network_feasible(
+    network: Network,
+    schemes: Mapping[int, LayerScheme],
+    rates: Mapping[ReceiverId, float],
+    used_links: Sequence[int],
+) -> bool:
+    for link_id in used_links:
+        load = 0.0
+        for session_id in network.sessions_on_link(link_id):
+            downstream = network.receivers_of_session_on_link(session_id, link_id)
+            if not downstream:
+                continue
+            # Nested layers: the link carries the union of layers wanted
+            # downstream, i.e. the largest subscribed cumulative rate.
+            load += max(rates[rid] for rid in downstream)
+        if load > network.link_capacity(link_id) + 1e-9:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# max-min fairness over a finite allocation set (Definition 1)
+# ----------------------------------------------------------------------
+
+def is_max_min_fair_among(
+    candidate: Sequence[float],
+    feasible: Iterable[Sequence[float]],
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check Definition 1 for ``candidate`` against a finite feasible set.
+
+    ``candidate`` is max-min fair when, for every alternative feasible
+    allocation that raises some receiver's rate, some other receiver with a
+    rate no larger than the raised receiver's sees its rate decreased.
+    """
+    candidate = tuple(float(x) for x in candidate)
+    for other in feasible:
+        other = tuple(float(x) for x in other)
+        if len(other) != len(candidate):
+            raise LayeringError("allocations must have equal length")
+        for k, (a, b) in enumerate(zip(candidate, other)):
+            if b <= a + tolerance:
+                continue
+            # Receiver k gained; Definition 1 demands a loser no richer than k.
+            has_loser = any(
+                candidate[j] <= candidate[k] + tolerance and other[j] < candidate[j] - tolerance
+                for j in range(len(candidate))
+                if j != k
+            )
+            if not has_loser:
+                return False
+    return True
+
+
+def find_max_min_fair_allocation(
+    feasible: Sequence[Sequence[float]],
+    tolerance: float = 1e-9,
+) -> Optional[Tuple[float, ...]]:
+    """The max-min fair allocation within a finite feasible set, or ``None``.
+
+    Section 3 uses this to show that with fixed layers the max-min fair
+    allocation may not exist: every candidate fails Definition 1 against
+    some alternative.
+    """
+    for candidate in feasible:
+        if is_max_min_fair_among(candidate, feasible, tolerance):
+            return tuple(float(x) for x in candidate)
+    return None
+
+
+def section3_nonexistence_example(
+    capacity: float = 1.0,
+) -> Tuple[List[Tuple[float, ...]], Optional[Tuple[float, ...]]]:
+    """The paper's fixed-layer example: no max-min fair allocation exists.
+
+    One link of capacity ``c`` is shared by two sessions; session 1 offers
+    three layers of rate ``c/3`` each and session 2 two layers of rate
+    ``c/2`` each.  Returns the feasible allocation set (which matches the
+    seven-element set listed in the paper) and the result of the max-min
+    search, which is ``None``.
+    """
+    from .layers import UniformLayerScheme
+
+    scheme_one = UniformLayerScheme(3, capacity / 3.0)
+    scheme_two = UniformLayerScheme(2, capacity / 2.0)
+    feasible = enumerate_single_link_allocations([scheme_one, scheme_two], capacity)
+    return feasible, find_max_min_fair_allocation(feasible)

@@ -1,0 +1,182 @@
+"""Layer schemes: how a sender splits data across multicast groups.
+
+Section 3 of the paper describes layered multicast: data is split into ``M``
+layers ``L_1 .. L_M`` transmitted on separate multicast groups.  Layers are
+*cumulative*: a receiver joined "up to" layer ``L_i`` receives the aggregate
+of layers ``L_1 .. L_i``, so joining increases and leaving decreases the
+aggregate rate.
+
+A :class:`LayerScheme` records the per-layer rates and exposes the derived
+quantities the rest of the library needs: cumulative (subscription) rates,
+the largest subscription level affordable within a given rate, and the
+number of layers.  Three concrete schemes are provided:
+
+* :class:`ExponentialLayerScheme` — the Section 4 protocol scheme where the
+  aggregate rate of layers ``1..i`` equals ``2^(i-1)`` (times a base rate);
+* :class:`UniformLayerScheme` — equal-rate layers;
+* :class:`CustomLayerScheme` — arbitrary caller-supplied rates, including
+  the idealised "one layer per distinct receiver rate" configuration
+  produced by :func:`layers_for_receiver_rates`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+from ..errors import LayeringError
+
+__all__ = [
+    "LayerScheme",
+    "ExponentialLayerScheme",
+    "UniformLayerScheme",
+    "CustomLayerScheme",
+    "layers_for_receiver_rates",
+]
+
+
+class LayerScheme:
+    """An ordered set of cumulative layers with fixed per-layer rates.
+
+    Subscription *levels* are counted from 0 (no layers joined) to
+    ``num_layers`` (all layers joined); level ``i`` means "joined up to layer
+    ``L_i``" and yields the cumulative rate ``sum(layer_rates[:i])``.
+    """
+
+    def __init__(self, layer_rates: Sequence[float]) -> None:
+        rates = [float(r) for r in layer_rates]
+        if not rates:
+            raise LayeringError("a layer scheme needs at least one layer")
+        if any(r <= 0 or not math.isfinite(r) for r in rates):
+            raise LayeringError(f"layer rates must be positive and finite, got {rates}")
+        self._layer_rates: Tuple[float, ...] = tuple(rates)
+        cumulative = [0.0]
+        for rate in rates:
+            cumulative.append(cumulative[-1] + rate)
+        self._cumulative: Tuple[float, ...] = tuple(cumulative)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def layer_rates(self) -> Tuple[float, ...]:
+        """Per-layer transmission rates ``(rate(L_1), ..., rate(L_M))``."""
+        return self._layer_rates
+
+    @property
+    def num_layers(self) -> int:
+        return len(self._layer_rates)
+
+    @property
+    def max_rate(self) -> float:
+        """The aggregate rate when joined to all layers."""
+        return self._cumulative[-1]
+
+    def layer_rate(self, layer: int) -> float:
+        """Transmission rate of layer ``L_layer`` (1-based)."""
+        if not 1 <= layer <= self.num_layers:
+            raise LayeringError(
+                f"layer must be in [1, {self.num_layers}], got {layer}"
+            )
+        return self._layer_rates[layer - 1]
+
+    def cumulative_rate(self, level: int) -> float:
+        """Aggregate rate when joined up to ``level`` layers (0 = none)."""
+        if not 0 <= level <= self.num_layers:
+            raise LayeringError(
+                f"subscription level must be in [0, {self.num_layers}], got {level}"
+            )
+        return self._cumulative[level]
+
+    def cumulative_rates(self) -> Tuple[float, ...]:
+        """Aggregate rates for levels ``0 .. num_layers``."""
+        return self._cumulative
+
+    def level_for_rate(self, rate: float, tolerance: float = 1e-9) -> int:
+        """The largest level whose cumulative rate does not exceed ``rate``.
+
+        This is the subscription a receiver with fair rate ``rate`` can hold
+        permanently without exceeding its fair share.
+        """
+        if rate < -tolerance:
+            raise LayeringError(f"rate must be non-negative, got {rate}")
+        level = 0
+        for candidate in range(1, self.num_layers + 1):
+            if self._cumulative[candidate] <= rate + tolerance * max(1.0, rate):
+                level = candidate
+            else:
+                break
+        return level
+
+    def quantization_error(self, rate: float) -> float:
+        """Rate lost by rounding down to the nearest subscription level."""
+        return max(rate - self.cumulative_rate(self.level_for_rate(rate)), 0.0)
+
+    def scaled(self, factor: float) -> "LayerScheme":
+        """A scheme with every layer rate multiplied by ``factor > 0``."""
+        if factor <= 0:
+            raise LayeringError(f"scale factor must be positive, got {factor}")
+        return CustomLayerScheme([r * factor for r in self._layer_rates])
+
+    def __len__(self) -> int:
+        return self.num_layers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(layer_rates={list(self._layer_rates)})"
+
+
+class ExponentialLayerScheme(LayerScheme):
+    """The Section 4 scheme: aggregate rate of layers ``1..i`` is ``2^(i-1)``.
+
+    Layer rates are therefore ``base, base, 2*base, 4*base, ...`` — the
+    classic RLM/RLC doubling scheme.  ``base_rate`` rescales the whole
+    scheme (the paper uses 1 packet per unit time for layer 1).
+    """
+
+    def __init__(self, num_layers: int, base_rate: float = 1.0) -> None:
+        if num_layers < 1:
+            raise LayeringError(f"need at least one layer, got {num_layers}")
+        if base_rate <= 0:
+            raise LayeringError(f"base_rate must be positive, got {base_rate}")
+        rates: List[float] = [base_rate]
+        for layer in range(2, num_layers + 1):
+            rates.append(base_rate * 2.0 ** (layer - 2))
+        super().__init__(rates)
+        self.base_rate = base_rate
+
+    def cumulative_rate_for_level(self, level: int) -> float:
+        """Closed form ``base * 2^(level-1)`` (0 for level 0)."""
+        if level == 0:
+            return 0.0
+        return self.base_rate * 2.0 ** (level - 1)
+
+
+class UniformLayerScheme(LayerScheme):
+    """Equal-rate layers: joining each layer adds the same increment."""
+
+    def __init__(self, num_layers: int, layer_rate: float = 1.0) -> None:
+        if num_layers < 1:
+            raise LayeringError(f"need at least one layer, got {num_layers}")
+        super().__init__([layer_rate] * num_layers)
+
+
+class CustomLayerScheme(LayerScheme):
+    """A scheme with arbitrary caller-supplied per-layer rates."""
+
+
+def layers_for_receiver_rates(rates: Iterable[float]) -> LayerScheme:
+    """The idealised scheme whose cumulative rates hit every receiver rate.
+
+    Section 3 notes that configuring layers "to the exact needs and desires
+    of its receivers" may require as many layers as receivers.  Given the
+    receivers' (fair) rates, this returns the scheme whose cumulative rates
+    are exactly the sorted distinct positive rates, so every receiver can
+    reach its rate by a static subscription.
+    """
+    distinct = sorted({float(r) for r in rates if r > 0})
+    if not distinct:
+        raise LayeringError("need at least one positive receiver rate")
+    layer_rates = [distinct[0]]
+    for previous, current in zip(distinct, distinct[1:]):
+        layer_rates.append(current - previous)
+    return CustomLayerScheme(layer_rates)

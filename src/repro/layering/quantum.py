@@ -1,0 +1,242 @@
+"""The quantum model: achieving average fair rates via timed joins and leaves.
+
+Section 3 shows that although fixed subscriptions cannot in general realise
+the max-min fair allocation, receivers *can* achieve their fair rates as
+long-term averages by joining and leaving layers within a time *quantum*
+``delta_t`` (the minimum interval over which average rates are measured).
+
+In the idealised network of the paper:
+
+* a single layer transmits at rate ``lambda >= max_k a_{i,k}``, i.e.
+  ``lambda * delta_t`` equal-size packets per quantum;
+* receiver ``r_{i,k}`` joins at the start of the quantum, receives the first
+  ``a_{i,k} * delta_t`` packets, then leaves — so its average rate equals its
+  fair rate;
+* a packet crosses a link only if some downstream receiver receives it, so
+  when downstream receivers take *prefixes* of the quantum their packet sets
+  nest and the link carries exactly ``max_k a_{i,k} * delta_t`` packets —
+  redundancy 1;
+* when receivers instead pick their packets without coordination the link
+  carries the union of the chosen sets, and redundancy grows (Appendix B).
+
+This module implements the packet bookkeeping behind those statements:
+prefix (coordinated) schedules, arbitrary packet-set schedules, the induced
+per-link packet counts and redundancy, and a Monte-Carlo random-join
+scheduler used to validate the Appendix-B expectation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import LayeringError
+
+__all__ = [
+    "ReceiverQuantumSchedule",
+    "QuantumModel",
+    "prefix_packet_count",
+    "fractional_prefix_schedule",
+]
+
+
+@dataclass(frozen=True)
+class ReceiverQuantumSchedule:
+    """The packets one receiver takes from a layer within one quantum.
+
+    ``packets`` holds zero-based packet indices within the quantum; the
+    receiver's achieved rate is ``len(packets) / delta_t``.
+    """
+
+    receiver: object
+    packets: frozenset
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+
+def prefix_packet_count(rate: float, quantum: float, tolerance: float = 1e-9) -> int:
+    """Number of packets per quantum needed to average ``rate``: ``floor(rate * quantum)``.
+
+    The paper notes that when ``rate * quantum`` is not an integer the
+    receiver alternates between the floor and the ceiling to approach the
+    target; this helper returns the floor (the conservative per-quantum
+    count), and :func:`fractional_prefix_schedule` produces the alternating
+    sequence.
+    """
+    if rate < 0:
+        raise LayeringError(f"rate must be non-negative, got {rate}")
+    if quantum <= 0:
+        raise LayeringError(f"quantum must be positive, got {quantum}")
+    target = rate * quantum
+    return int(math.floor(target + tolerance))
+
+
+def fractional_prefix_schedule(rate: float, quantum: float, num_quanta: int) -> List[int]:
+    """Per-quantum packet counts whose average approaches ``rate * quantum``.
+
+    Alternates between ``floor`` and ``ceil`` of the target so that the
+    cumulative average converges to the fair rate, as described in the
+    paper's footnote on non-integer ``a_{i,k} * delta_t``.
+    """
+    if num_quanta < 1:
+        raise LayeringError(f"num_quanta must be positive, got {num_quanta}")
+    target = rate * quantum
+    counts: List[int] = []
+    delivered = 0.0
+    for index in range(1, num_quanta + 1):
+        desired_total = target * index
+        count = int(math.floor(desired_total - delivered + 1e-9))
+        counts.append(count)
+        delivered += count
+    return counts
+
+
+class QuantumModel:
+    """Packet-level accounting for one layer, one link, and one quantum.
+
+    Parameters
+    ----------
+    transmission_rate:
+        The layer rate ``lambda`` (packets per unit time).
+    quantum:
+        The quantum length ``delta_t``.  ``lambda * delta_t`` must be a
+        positive integer (the number of packets transmitted per quantum).
+    """
+
+    def __init__(self, transmission_rate: float, quantum: float = 1.0) -> None:
+        if transmission_rate <= 0:
+            raise LayeringError(
+                f"transmission rate must be positive, got {transmission_rate}"
+            )
+        if quantum <= 0:
+            raise LayeringError(f"quantum must be positive, got {quantum}")
+        packets = transmission_rate * quantum
+        if abs(packets - round(packets)) > 1e-9 or round(packets) < 1:
+            raise LayeringError(
+                "transmission_rate * quantum must be a positive integer number "
+                f"of packets, got {packets}"
+            )
+        self.transmission_rate = float(transmission_rate)
+        self.quantum = float(quantum)
+        self.packets_per_quantum = int(round(packets))
+
+    # ------------------------------------------------------------------
+    # schedules
+    # ------------------------------------------------------------------
+    def _validate_rate(self, rate: float) -> None:
+        if rate < 0:
+            raise LayeringError(f"receiver rate must be non-negative, got {rate}")
+        if rate > self.transmission_rate + 1e-9:
+            raise LayeringError(
+                f"receiver rate {rate} exceeds the layer transmission rate "
+                f"{self.transmission_rate}"
+            )
+
+    def prefix_schedule(self, rates: Mapping[object, float]) -> List[ReceiverQuantumSchedule]:
+        """Coordinated schedules: every receiver takes a prefix of the quantum.
+
+        Because prefixes nest, the union of the received packet sets equals
+        the largest individual set, so the link is efficient (redundancy 1).
+        """
+        schedules = []
+        for receiver, rate in rates.items():
+            self._validate_rate(rate)
+            count = prefix_packet_count(rate, self.quantum)
+            schedules.append(
+                ReceiverQuantumSchedule(receiver=receiver, packets=frozenset(range(count)))
+            )
+        return schedules
+
+    def random_schedule(
+        self,
+        rates: Mapping[object, float],
+        rng: Optional[random.Random] = None,
+    ) -> List[ReceiverQuantumSchedule]:
+        """Uncoordinated schedules: each receiver samples its packets uniformly.
+
+        This is the Appendix-B model: each receiver independently chooses
+        which ``a_{i,k} * delta_t`` of the quantum's packets to receive, all
+        subsets being equally likely.
+        """
+        rng = rng or random.Random()
+        schedules = []
+        population = range(self.packets_per_quantum)
+        for receiver, rate in rates.items():
+            self._validate_rate(rate)
+            count = prefix_packet_count(rate, self.quantum)
+            chosen = rng.sample(population, count) if count else []
+            schedules.append(
+                ReceiverQuantumSchedule(receiver=receiver, packets=frozenset(chosen))
+            )
+        return schedules
+
+    # ------------------------------------------------------------------
+    # link accounting
+    # ------------------------------------------------------------------
+    def link_packets(self, schedules: Sequence[ReceiverQuantumSchedule]) -> int:
+        """Packets the upstream link must carry: the union of receiver sets."""
+        union: Set[int] = set()
+        for schedule in schedules:
+            union |= schedule.packets
+        return len(union)
+
+    def link_rate(self, schedules: Sequence[ReceiverQuantumSchedule]) -> float:
+        """Average link rate over the quantum implied by the schedules."""
+        return self.link_packets(schedules) / self.quantum
+
+    def efficient_link_rate(self, schedules: Sequence[ReceiverQuantumSchedule]) -> float:
+        """The lower bound: the largest individual receiving rate."""
+        if not schedules:
+            return 0.0
+        return max(s.packet_count for s in schedules) / self.quantum
+
+    def redundancy(self, schedules: Sequence[ReceiverQuantumSchedule]) -> float:
+        """Redundancy of the link for the session: union size over max set size."""
+        efficient = self.efficient_link_rate(schedules)
+        if efficient <= 0:
+            return 1.0
+        return self.link_rate(schedules) / efficient
+
+    # ------------------------------------------------------------------
+    # Monte Carlo
+    # ------------------------------------------------------------------
+    def simulate_random_join_link_rate(
+        self,
+        rates: Mapping[object, float],
+        num_quanta: int,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """Average link rate over many quanta of uncoordinated random joins.
+
+        Converges (in ``num_quanta``) to the Appendix-B expectation
+        ``lambda * (1 - prod_t (1 - a_t / lambda))``; used by tests to
+        validate :func:`repro.layering.random_joins.expected_link_rate`.
+        """
+        if num_quanta < 1:
+            raise LayeringError(f"num_quanta must be positive, got {num_quanta}")
+        rng = rng or random.Random()
+        total_packets = 0
+        for _ in range(num_quanta):
+            schedules = self.random_schedule(rates, rng)
+            total_packets += self.link_packets(schedules)
+        return total_packets / (num_quanta * self.quantum)
+
+    def simulate_random_join_redundancy(
+        self,
+        rates: Mapping[object, float],
+        num_quanta: int,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """Average redundancy over many quanta of uncoordinated random joins."""
+        link_rate = self.simulate_random_join_link_rate(rates, num_quanta, rng)
+        efficient = max(
+            (prefix_packet_count(rate, self.quantum) for rate in rates.values()),
+            default=0,
+        ) / self.quantum
+        if efficient <= 0:
+            return 1.0
+        return link_rate / efficient

@@ -1,0 +1,62 @@
+"""Network-model substrate: graphs, sessions, routing, and topologies.
+
+This subpackage implements the paper's network model
+``N = (G, {S_1..S_m}, tau, sigma)`` (Section 2, Table 1):
+
+* :class:`~repro.network.graph.NetworkGraph` / :class:`~repro.network.graph.Link`
+  — the capacitated graph ``G``;
+* :class:`~repro.network.session.Session`,
+  :class:`~repro.network.session.SessionType` — sessions with a single sender,
+  one or more receivers, a maximum desired rate ``rho_i``, and a type
+  (single-rate ``S`` or multi-rate ``M``);
+* :class:`~repro.network.routing.RoutingTable` — receiver data-paths and the
+  derived sets ``R_{i,j}`` and ``R_j``;
+* :class:`~repro.network.network.Network` — the assembled tuple;
+* :mod:`~repro.network.topologies` — builders for the paper's example
+  networks and synthetic workloads.
+"""
+
+from .graph import Link, NetworkGraph
+from .network import LinkRateFunction, Network
+from .routing import ExplicitRouting, RoutingStrategy, RoutingTable, ShortestPathRouting
+from .session import Receiver, ReceiverId, Sender, Session, SessionType
+from .topologies import (
+    figure1_network,
+    figure2_network,
+    figure3a_network,
+    figure3b_network,
+    figure4_network,
+    modified_star_network,
+    random_multicast_network,
+    random_tree_network,
+    shared_bottleneck_with_redundancy,
+    single_bottleneck_network,
+    star_network,
+)
+
+__all__ = [
+    "Link",
+    "NetworkGraph",
+    "LinkRateFunction",
+    "Network",
+    "ExplicitRouting",
+    "RoutingStrategy",
+    "RoutingTable",
+    "ShortestPathRouting",
+    "Receiver",
+    "ReceiverId",
+    "Sender",
+    "Session",
+    "SessionType",
+    "figure1_network",
+    "figure2_network",
+    "figure3a_network",
+    "figure3b_network",
+    "figure4_network",
+    "modified_star_network",
+    "random_multicast_network",
+    "random_tree_network",
+    "shared_bottleneck_with_redundancy",
+    "single_bottleneck_network",
+    "star_network",
+]

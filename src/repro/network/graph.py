@@ -1,0 +1,315 @@
+"""Network graph primitives: nodes, capacitated links, and adjacency.
+
+The paper models a network graph ``G`` as a set of nodes connected by ``n``
+links ``l_1 .. l_n``, where each link ``l_j`` has a capacity ``c_j`` that
+limits the aggregate flow it can carry (Section 2, Table 1).  Links are
+undirected in the paper's formulation; a bidirectional link with independent
+per-direction capacity can be modelled as two parallel links.
+
+This module provides :class:`Link` and :class:`NetworkGraph`.  The graph is
+deliberately small and explicit rather than a thin wrapper over ``networkx``:
+fairness algorithms index links by integer id constantly and benefit from the
+direct list/dict representation.  A :meth:`NetworkGraph.to_networkx` bridge is
+provided for interoperability (e.g. drawing, alternative routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..errors import NetworkModelError
+
+__all__ = ["Link", "NetworkGraph"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A capacitated link between two nodes.
+
+    Attributes
+    ----------
+    link_id:
+        Zero-based integer identifier.  The paper writes ``l_j`` with
+        ``1 <= j <= n``; we use zero-based ids internally and format them as
+        ``l{j+1}`` for display.
+    u, v:
+        Endpoint node names.  Order carries no meaning.
+    capacity:
+        The capacity ``c_j`` (in rate units, e.g. Mbit/s or packets/s).
+        Must be strictly positive; ``float('inf')`` is allowed for
+        uncapacitated links.
+    name:
+        Optional human-readable name (defaults to ``l{j+1}``).
+    """
+
+    link_id: int
+    u: str
+    v: str
+    capacity: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.link_id < 0:
+            raise NetworkModelError(f"link_id must be non-negative, got {self.link_id}")
+        if self.capacity <= 0:
+            raise NetworkModelError(
+                f"link {self.link_id} capacity must be positive, got {self.capacity}"
+            )
+        if self.u == self.v:
+            raise NetworkModelError(f"link {self.link_id} is a self-loop at node {self.u!r}")
+        if not self.name:
+            object.__setattr__(self, "name", f"l{self.link_id + 1}")
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        """The pair of endpoint node names."""
+        return (self.u, self.v)
+
+    def other_end(self, node: str) -> str:
+        """Return the endpoint opposite ``node``.
+
+        Raises
+        ------
+        NetworkModelError
+            If ``node`` is not an endpoint of this link.
+        """
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise NetworkModelError(f"node {node!r} is not an endpoint of {self.name}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.u}--{self.v}, c={self.capacity})"
+
+
+class NetworkGraph:
+    """An undirected graph of named nodes and capacitated links.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of node names to pre-register.  Nodes referenced by
+        :meth:`add_link` are registered automatically.
+
+    Examples
+    --------
+    >>> g = NetworkGraph()
+    >>> g.add_link("a", "b", capacity=5.0)
+    Link(link_id=0, u='a', v='b', capacity=5.0, name='l1')
+    >>> g.num_links
+    1
+    """
+
+    def __init__(self, nodes: Optional[Iterable[str]] = None) -> None:
+        self._nodes: List[str] = []
+        self._node_set: Set[str] = set()
+        self._links: List[Link] = []
+        self._incident: Dict[str, List[int]] = {}
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> str:
+        """Register a node.  Adding an existing node is a no-op."""
+        if not isinstance(name, str) or not name:
+            raise NetworkModelError(f"node name must be a non-empty string, got {name!r}")
+        if name not in self._node_set:
+            self._node_set.add(name)
+            self._nodes.append(name)
+            self._incident[name] = []
+        return name
+
+    def add_link(self, u: str, v: str, capacity: float, name: str = "") -> Link:
+        """Create a link between ``u`` and ``v`` with the given capacity.
+
+        Endpoints that are not yet registered are added automatically.
+        Parallel links between the same pair of nodes are permitted (each gets
+        its own id), which is occasionally useful for modelling per-direction
+        capacities.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        link = Link(link_id=len(self._links), u=u, v=v, capacity=capacity, name=name)
+        self._links.append(link)
+        self._incident[u].append(link.link_id)
+        self._incident[v].append(link.link_id)
+        return link
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Sequence[str]:
+        """Node names in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def links(self) -> Sequence[Link]:
+        """All links in id order."""
+        return tuple(self._links)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_set
+
+    def link(self, link_id: int) -> Link:
+        """Return the link with the given id."""
+        try:
+            return self._links[link_id]
+        except IndexError:
+            raise NetworkModelError(f"no link with id {link_id}") from None
+
+    def link_by_name(self, name: str) -> Link:
+        """Return the link with the given display name."""
+        for link in self._links:
+            if link.name == name:
+                return link
+        raise NetworkModelError(f"no link named {name!r}")
+
+    def capacity(self, link_id: int) -> float:
+        """Capacity ``c_j`` of link ``link_id``."""
+        return self.link(link_id).capacity
+
+    def capacities(self) -> List[float]:
+        """Capacities of all links, indexed by link id."""
+        return [link.capacity for link in self._links]
+
+    def incident_links(self, node: str) -> List[int]:
+        """Ids of links incident to ``node``."""
+        if node not in self._node_set:
+            raise NetworkModelError(f"unknown node {node!r}")
+        return list(self._incident[node])
+
+    def neighbors(self, node: str) -> List[str]:
+        """Nodes adjacent to ``node`` (each neighbour listed once)."""
+        seen: Set[str] = set()
+        result: List[str] = []
+        for link_id in self.incident_links(node):
+            other = self._links[link_id].other_end(node)
+            if other not in seen:
+                seen.add(other)
+                result.append(other)
+        return result
+
+    def links_between(self, u: str, v: str) -> List[Link]:
+        """All links whose endpoints are exactly ``{u, v}``."""
+        return [
+            link
+            for link in self._links
+            if {link.u, link.v} == {u, v}
+        ]
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    # ------------------------------------------------------------------
+    # path finding
+    # ------------------------------------------------------------------
+    def shortest_path_links(self, source: str, target: str) -> List[int]:
+        """Return link ids of a minimum-hop path from ``source`` to ``target``.
+
+        Ties are broken deterministically by preferring lower link ids, so
+        repeated calls yield the same route.  Raises :class:`RoutingError`
+        (via :class:`NetworkModelError` subclassing) if no path exists.
+        """
+        from ..errors import RoutingError
+
+        if source not in self._node_set:
+            raise NetworkModelError(f"unknown source node {source!r}")
+        if target not in self._node_set:
+            raise NetworkModelError(f"unknown target node {target!r}")
+        if source == target:
+            return []
+
+        # Breadth-first search over nodes, remembering the link taken.
+        prev: Dict[str, Tuple[str, int]] = {}
+        frontier = [source]
+        visited = {source}
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for link_id in self._incident[node]:
+                    other = self._links[link_id].other_end(node)
+                    if other in visited:
+                        continue
+                    visited.add(other)
+                    prev[other] = (node, link_id)
+                    if other == target:
+                        return self._reconstruct(prev, source, target)
+                    next_frontier.append(other)
+            frontier = next_frontier
+        raise RoutingError(f"no path from {source!r} to {target!r}")
+
+    def _reconstruct(
+        self, prev: Dict[str, Tuple[str, int]], source: str, target: str
+    ) -> List[int]:
+        path: List[int] = []
+        node = target
+        while node != source:
+            parent, link_id = prev[node]
+            path.append(link_id)
+            node = parent
+        path.reverse()
+        return path
+
+    def is_connected(self) -> bool:
+        """True if every node is reachable from every other node."""
+        if self.num_nodes <= 1:
+            return True
+        start = self._nodes[0]
+        visited = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self.neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        return len(visited) == self.num_nodes
+
+    # ------------------------------------------------------------------
+    # interoperability
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.MultiGraph:
+        """Convert to a :class:`networkx.MultiGraph` with capacity attributes."""
+        graph = nx.MultiGraph()
+        graph.add_nodes_from(self._nodes)
+        for link in self._links:
+            graph.add_edge(link.u, link.v, key=link.link_id, capacity=link.capacity, name=link.name)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, capacity_attr: str = "capacity") -> "NetworkGraph":
+        """Build a :class:`NetworkGraph` from a networkx graph.
+
+        Every edge must carry a positive ``capacity`` attribute (name
+        configurable through ``capacity_attr``).
+        """
+        result = cls(nodes=(str(n) for n in graph.nodes))
+        for u, v, data in graph.edges(data=True):
+            if capacity_attr not in data:
+                raise NetworkModelError(
+                    f"edge ({u!r}, {v!r}) is missing the {capacity_attr!r} attribute"
+                )
+            result.add_link(str(u), str(v), capacity=float(data[capacity_attr]))
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkGraph(nodes={self.num_nodes}, links={self.num_links})"

@@ -1,0 +1,288 @@
+"""Sessions, senders, and receivers.
+
+A session ``S_i`` in the paper is a tuple ``(X_i, {r_i,1 .. r_i,k_i})`` of a
+single sender and one or more receivers (Section 2).  Sessions carry a
+*maximum desired rate* ``rho_i`` (possibly infinite) and are classified by the
+type mapping ``sigma`` as either single-rate (``S``) or multi-rate (``M``):
+
+* single-rate: data must be transmitted to all receivers at the same rate;
+* multi-rate: receivers may receive at independently chosen (arbitrary) rates,
+  realisable in practice through layered multicast.
+
+A unicast session is simply a session with a single receiver; per the paper it
+can be modelled as either type without changing the max-min fair allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import NetworkModelError
+
+__all__ = [
+    "SessionType",
+    "Sender",
+    "Receiver",
+    "Session",
+    "ReceiverId",
+]
+
+#: A receiver is globally identified by ``(session_id, receiver_index)``.
+ReceiverId = Tuple[int, int]
+
+
+class SessionType(str, enum.Enum):
+    """The session type mapping ``sigma`` of the paper.
+
+    ``SINGLE_RATE`` corresponds to ``sigma(S_i) = S`` and ``MULTI_RATE`` to
+    ``sigma(S_i) = M``.
+    """
+
+    SINGLE_RATE = "single-rate"
+    MULTI_RATE = "multi-rate"
+
+    @property
+    def short(self) -> str:
+        """One-letter code used in the paper (``S`` or ``M``)."""
+        return "S" if self is SessionType.SINGLE_RATE else "M"
+
+    @classmethod
+    def from_code(cls, code: str) -> "SessionType":
+        """Parse ``'S'``/``'M'`` (case-insensitive) or the full value."""
+        normalized = code.strip().upper()
+        if normalized in ("S", "SINGLE-RATE", "SINGLE_RATE", "SINGLERATE"):
+            return cls.SINGLE_RATE
+        if normalized in ("M", "MULTI-RATE", "MULTI_RATE", "MULTIRATE"):
+            return cls.MULTI_RATE
+        raise NetworkModelError(f"unknown session type code {code!r}")
+
+
+@dataclass(frozen=True)
+class Sender:
+    """The sender ``X_i`` of session ``i``, attached to a graph node."""
+
+    session_id: int
+    node: str
+
+    @property
+    def name(self) -> str:
+        """Display name ``X{i+1}`` matching the paper's notation."""
+        return f"X{self.session_id + 1}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}@{self.node}"
+
+
+@dataclass(frozen=True)
+class Receiver:
+    """Receiver ``r_{i,k}`` of session ``i``, attached to a graph node."""
+
+    session_id: int
+    index: int
+    node: str
+
+    @property
+    def receiver_id(self) -> ReceiverId:
+        """The ``(session_id, index)`` pair identifying this receiver."""
+        return (self.session_id, self.index)
+
+    @property
+    def name(self) -> str:
+        """Display name ``r{i+1},{k+1}`` matching the paper's notation."""
+        return f"r{self.session_id + 1},{self.index + 1}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}@{self.node}"
+
+
+class Session:
+    """A multicast (or unicast) session: one sender, one or more receivers.
+
+    Parameters
+    ----------
+    session_id:
+        Zero-based identifier (the paper's ``i`` minus one).
+    sender_node:
+        Graph node hosting the sender ``X_i``.
+    receiver_nodes:
+        Graph nodes hosting the receivers ``r_{i,1} .. r_{i,k_i}`` in order.
+        The paper forbids two members of the same session sharing a node;
+        this is validated here.
+    session_type:
+        ``SessionType.MULTI_RATE`` (default) or ``SessionType.SINGLE_RATE``.
+    max_rate:
+        The maximum desired rate ``rho_i`` (default infinity).
+    name:
+        Optional display name, defaulting to ``S{i+1}``.
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        sender_node: str,
+        receiver_nodes: Sequence[str],
+        session_type: SessionType = SessionType.MULTI_RATE,
+        max_rate: float = math.inf,
+        name: str = "",
+    ) -> None:
+        if session_id < 0:
+            raise NetworkModelError(f"session_id must be non-negative, got {session_id}")
+        if not receiver_nodes:
+            raise NetworkModelError("a session must contain at least one receiver")
+        if max_rate <= 0:
+            raise NetworkModelError(f"max_rate must be positive, got {max_rate}")
+        if not isinstance(session_type, SessionType):
+            session_type = SessionType.from_code(str(session_type))
+
+        members = list(receiver_nodes) + [sender_node]
+        if len(set(members)) != len(members):
+            raise NetworkModelError(
+                f"session {session_id}: no two members of a session may share a node "
+                f"(members: {members})"
+            )
+
+        self._session_id = session_id
+        self._sender = Sender(session_id=session_id, node=sender_node)
+        self._receivers: Tuple[Receiver, ...] = tuple(
+            Receiver(session_id=session_id, index=k, node=node)
+            for k, node in enumerate(receiver_nodes)
+        )
+        self._session_type = session_type
+        self._max_rate = float(max_rate)
+        self._name = name or f"S{session_id + 1}"
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def session_id(self) -> int:
+        return self._session_id
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def sender(self) -> Sender:
+        """The single sender ``X_i``."""
+        return self._sender
+
+    @property
+    def receivers(self) -> Tuple[Receiver, ...]:
+        """Receivers in index order."""
+        return self._receivers
+
+    @property
+    def receiver_ids(self) -> List[ReceiverId]:
+        """``(session_id, index)`` pairs for all receivers."""
+        return [r.receiver_id for r in self._receivers]
+
+    @property
+    def num_receivers(self) -> int:
+        return len(self._receivers)
+
+    @property
+    def session_type(self) -> SessionType:
+        return self._session_type
+
+    @property
+    def is_multi_rate(self) -> bool:
+        """True when ``sigma(S_i) = M``."""
+        return self._session_type is SessionType.MULTI_RATE
+
+    @property
+    def is_single_rate(self) -> bool:
+        """True when ``sigma(S_i) = S``."""
+        return self._session_type is SessionType.SINGLE_RATE
+
+    @property
+    def is_unicast(self) -> bool:
+        """True when the session has exactly one receiver.
+
+        Per the paper, a unicast session behaves identically whether it is
+        declared single-rate or multi-rate.
+        """
+        return len(self._receivers) == 1
+
+    @property
+    def max_rate(self) -> float:
+        """The maximum desired rate ``rho_i``."""
+        return self._max_rate
+
+    def receiver(self, index: int) -> Receiver:
+        """Return receiver ``r_{i, index+1}``."""
+        try:
+            return self._receivers[index]
+        except IndexError:
+            raise NetworkModelError(
+                f"session {self._name} has no receiver with index {index}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Receiver]:
+        return iter(self._receivers)
+
+    def __len__(self) -> int:
+        return len(self._receivers)
+
+    # ------------------------------------------------------------------
+    # derivation
+    # ------------------------------------------------------------------
+    def with_type(self, session_type: SessionType) -> "Session":
+        """Return a copy of this session with a different type.
+
+        Used when studying the effect of "replacing" a single-rate session by
+        an identical multi-rate session (Lemma 3 / Corollary 1).
+        """
+        return Session(
+            session_id=self._session_id,
+            sender_node=self._sender.node,
+            receiver_nodes=[r.node for r in self._receivers],
+            session_type=session_type,
+            max_rate=self._max_rate,
+            name=self._name,
+        )
+
+    def with_max_rate(self, max_rate: float) -> "Session":
+        """Return a copy of this session with a different ``rho_i``."""
+        return Session(
+            session_id=self._session_id,
+            sender_node=self._sender.node,
+            receiver_nodes=[r.node for r in self._receivers],
+            session_type=self._session_type,
+            max_rate=max_rate,
+            name=self._name,
+        )
+
+    def without_receiver(self, index: int) -> "Session":
+        """Return a copy with receiver ``index`` removed (Section 2.5).
+
+        Remaining receivers keep their relative order but are re-indexed so
+        that indices stay dense.  Removing the last receiver is an error
+        because a session must retain at least one receiver.
+        """
+        if not 0 <= index < len(self._receivers):
+            raise NetworkModelError(
+                f"session {self._name} has no receiver with index {index}"
+            )
+        remaining = [r.node for k, r in enumerate(self._receivers) if k != index]
+        if not remaining:
+            raise NetworkModelError(
+                f"cannot remove the only receiver of session {self._name}"
+            )
+        return Session(
+            session_id=self._session_id,
+            sender_node=self._sender.node,
+            receiver_nodes=remaining,
+            session_type=self._session_type,
+            max_rate=self._max_rate,
+            name=self._name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session({self._name}, type={self._session_type.short}, "
+            f"sender={self._sender.node!r}, receivers={[r.node for r in self._receivers]})"
+        )

@@ -1,0 +1,476 @@
+"""Topology builders: the paper's example networks and synthetic workloads.
+
+The figures in the paper are schematic; where the scanned figure geometry is
+ambiguous we reconstruct a concrete topology that satisfies every statement
+the text makes about the figure (capacities, session link rates, max-min fair
+rates, and which fairness properties hold or fail).  Each builder's docstring
+records the expected allocation so tests and experiments can assert against
+it.
+
+Builders fall into three groups:
+
+* paper examples — :func:`figure1_network`, :func:`figure2_network`,
+  :func:`figure3a_network`, :func:`figure3b_network`, :func:`figure4_network`;
+* analytic workloads — :func:`single_bottleneck_network`,
+  :func:`shared_bottleneck_with_redundancy` (Figure 6),
+  :func:`star_network`, :func:`modified_star_network` (Figure 7);
+* randomised workloads — :func:`random_tree_network`,
+  :func:`random_multicast_network` for property-based tests and ablations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NetworkModelError
+from .graph import NetworkGraph
+from .network import Network
+from .session import Session, SessionType
+
+__all__ = [
+    "figure1_network",
+    "figure2_network",
+    "figure3a_network",
+    "figure3b_network",
+    "figure4_network",
+    "single_bottleneck_network",
+    "shared_bottleneck_with_redundancy",
+    "star_network",
+    "modified_star_network",
+    "random_tree_network",
+    "random_multicast_network",
+    "FIGURE1_EXPECTED_RATES",
+    "FIGURE2_EXPECTED_SINGLE_RATE",
+    "FIGURE2_EXPECTED_MULTI_RATE",
+    "FIGURE3A_EXPECTED",
+    "FIGURE3B_EXPECTED",
+    "FIGURE4_EXPECTED_RATES",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the sample network used to illustrate the fairness properties
+# ----------------------------------------------------------------------
+
+#: Multi-rate max-min fair rates of the Figure 1 network, keyed by receiver id.
+FIGURE1_EXPECTED_RATES: Dict[Tuple[int, int], float] = {
+    (0, 0): 1.0,  # r1,1
+    (1, 0): 1.0,  # r2,1
+    (1, 1): 2.0,  # r2,2
+    (2, 0): 1.0,  # r3,1
+    (2, 1): 2.0,  # r3,2
+}
+
+
+def figure1_network() -> Network:
+    """The three-session sample network of Figure 1.
+
+    Reconstruction.  Sessions: ``S1`` (sender ``X1``, one receiver ``r1,1``),
+    ``S2`` (sender ``X2``, receivers ``r2,1``, ``r2,2``), ``S3`` (sender
+    ``X3``, receivers ``r3,1``, ``r3,2``).  ``X1`` and ``X2`` share a node;
+    ``X3`` sits at the branching hub.  Link capacities ``l1=5, l2=7, l3=4,
+    l4=3``.
+
+    In the multi-rate max-min fair allocation the rates are
+    ``(r1,1, r2,1, r2,2, r3,1, r3,2) = (1, 1, 2, 1, 2)`` and the session link
+    rates are ``l1=(1,2,0)``, ``l2=(0,0,2)``, ``l3=(0,2,2)``, ``l4=(1,1,1)``,
+    with ``l3`` and ``l4`` fully utilised — exactly the configuration the
+    paper uses to illustrate that all four fairness properties hold.
+    """
+    graph = NetworkGraph()
+    # l1: source node -> hub, l2: leaf_b -> leaf_c, l3: hub -> leaf_b,
+    # l4: hub -> leaf_a.  Link ids are assigned in insertion order, so insert
+    # in paper order l1..l4.
+    graph.add_link("src", "hub", capacity=5.0, name="l1")
+    graph.add_link("leaf_b", "leaf_c", capacity=7.0, name="l2")
+    graph.add_link("hub", "leaf_b", capacity=4.0, name="l3")
+    graph.add_link("hub", "leaf_a", capacity=3.0, name="l4")
+
+    sessions = [
+        Session(0, "src", ["leaf_a"], SessionType.MULTI_RATE),
+        Session(1, "src", ["leaf_a", "leaf_b"], SessionType.MULTI_RATE),
+        Session(2, "hub", ["leaf_a", "leaf_c"], SessionType.MULTI_RATE),
+    ]
+    return Network(graph, sessions)
+
+
+# ----------------------------------------------------------------------
+# Figure 2: single-rate session failing three of the four properties
+# ----------------------------------------------------------------------
+
+#: Max-min fair rates of the Figure 2 network when S1 is single-rate.
+FIGURE2_EXPECTED_SINGLE_RATE: Dict[Tuple[int, int], float] = {
+    (0, 0): 2.0,  # r1,1
+    (0, 1): 2.0,  # r1,2
+    (0, 2): 2.0,  # r1,3
+    (1, 0): 3.0,  # r2,1
+}
+
+#: Max-min fair rates of the Figure 2 topology when S1 is made multi-rate.
+FIGURE2_EXPECTED_MULTI_RATE: Dict[Tuple[int, int], float] = {
+    (0, 0): 2.5,
+    (0, 1): 2.0,
+    (0, 2): 3.0,
+    (1, 0): 2.5,
+}
+
+
+def figure2_network(single_rate: bool = True) -> Network:
+    """The Figure 2 network where a single-rate session fails three properties.
+
+    Sessions: ``S1`` with three receivers (single-rate by default) and the
+    unicast session ``S2`` whose receiver ``r2,1`` shares a node with
+    ``r1,1``.  Both senders share a node.  Capacities: ``l1=5``, ``l2=2``,
+    ``l3=3``, ``l4=6``; maximum desired rates are 100 (effectively unbounded).
+
+    With ``single_rate=True`` the max-min fair allocation is
+    ``a_1 = 2`` (all of S1) and ``a_2 = 3``; session link rates are
+    ``l1=(2,3)``, ``l2=(2,0)``, ``l3=(2,0)``, ``l4=(2,3)``.  Same-path,
+    fully-utilized-receiver and per-receiver-link fairness all fail while
+    per-session-link fairness holds, reproducing Section 2.3.
+
+    With ``single_rate=False`` (S1 replaced by an identical multi-rate
+    session) the allocation becomes ``(2.5, 2, 3)`` for S1 and ``2.5`` for S2
+    and all four properties hold (Theorem 1).
+    """
+    graph = NetworkGraph()
+    graph.add_link("junction", "leaf_a", capacity=5.0, name="l1")
+    graph.add_link("junction", "leaf_b", capacity=2.0, name="l2")
+    graph.add_link("junction", "leaf_c", capacity=3.0, name="l3")
+    graph.add_link("source", "junction", capacity=6.0, name="l4")
+
+    s1_type = SessionType.SINGLE_RATE if single_rate else SessionType.MULTI_RATE
+    sessions = [
+        Session(0, "source", ["leaf_a", "leaf_b", "leaf_c"], s1_type, max_rate=100.0),
+        Session(1, "source", ["leaf_a"], SessionType.MULTI_RATE, max_rate=100.0),
+    ]
+    return Network(graph, sessions)
+
+
+# ----------------------------------------------------------------------
+# Figure 3: receiver removal moving fair rates in either direction
+# ----------------------------------------------------------------------
+
+#: Figure 3(a) rates before and after removing ``r3,2``.
+FIGURE3A_EXPECTED: Dict[str, Dict[Tuple[int, int], float]] = {
+    "before": {(0, 0): 2.0, (1, 0): 10.0, (2, 0): 8.0, (2, 1): 2.0},
+    "after": {(0, 0): 4.0, (1, 0): 10.0, (2, 0): 6.0},
+}
+
+#: Figure 3(b) rates before and after removing ``r3,2``.
+FIGURE3B_EXPECTED: Dict[str, Dict[Tuple[int, int], float]] = {
+    "before": {(0, 0): 11.0, (1, 0): 2.0, (2, 0): 13.0, (2, 1): 2.0},
+    "after": {(0, 0): 9.0, (1, 0): 4.0, (2, 0): 15.0},
+}
+
+
+def figure3a_network() -> Network:
+    """Figure 3(a): removing ``r3,2`` *decreases* ``r3,1`` and *increases* ``r1,1``.
+
+    Reconstruction with three multi-rate sessions.  ``S1``'s single receiver
+    crosses links ``A`` then ``B``; ``S3`` has ``r3,1`` on ``B`` and ``r3,2``
+    on ``A``; ``S2`` is an unrelated unicast session on its own link ``C``.
+    Capacities ``A=4, B=10, C=10``.
+
+    Max-min fair rates: before removal ``(r1,1, r2,1, r3,1, r3,2) =
+    (2, 10, 8, 2)``; after removing ``r3,2``: ``(4, 10, 6)`` — the
+    intra-session rate ``r3,1`` decreases while ``r1,1`` increases.
+    """
+    graph = NetworkGraph()
+    graph.add_link("edge_a", "center", capacity=4.0, name="A")
+    graph.add_link("center", "edge_b", capacity=10.0, name="B")
+    graph.add_link("side_q", "side_p", capacity=10.0, name="C")
+
+    sessions = [
+        Session(0, "edge_a", ["edge_b"], SessionType.MULTI_RATE),
+        Session(1, "side_q", ["side_p"], SessionType.MULTI_RATE),
+        Session(2, "center", ["edge_b", "edge_a"], SessionType.MULTI_RATE),
+    ]
+    return Network(graph, sessions)
+
+
+def figure3b_network() -> Network:
+    """Figure 3(b): removing ``r3,2`` *increases* ``r3,1`` and *decreases* ``r1,1``.
+
+    Reconstruction with three multi-rate sessions on a star.  ``r2,1`` crosses
+    links ``G`` and ``F``; ``r1,1`` crosses ``F`` and ``E``; ``r3,1`` crosses
+    only ``E``; ``r3,2`` crosses only ``G``.  Capacities ``G=4, F=13, E=24``.
+
+    Max-min fair rates: before removal ``(r1,1, r2,1, r3,1, r3,2) =
+    (11, 2, 13, 2)``; after removing ``r3,2``: ``(9, 4, 15)`` — ``r3,1``
+    increases while ``r1,1`` decreases.
+    """
+    graph = NetworkGraph()
+    graph.add_link("center", "leaf_g", capacity=4.0, name="G")
+    graph.add_link("center", "leaf_f", capacity=13.0, name="F")
+    graph.add_link("center", "leaf_e", capacity=24.0, name="E")
+
+    sessions = [
+        Session(0, "leaf_f", ["leaf_e"], SessionType.MULTI_RATE),
+        Session(1, "leaf_g", ["leaf_f"], SessionType.MULTI_RATE),
+        Session(2, "center", ["leaf_e", "leaf_g"], SessionType.MULTI_RATE),
+    ]
+    return Network(graph, sessions)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: redundancy breaking the session-perspective properties
+# ----------------------------------------------------------------------
+
+#: Max-min fair rates of the Figure 4 network (S1 multi-rate, redundancy 2 on l4).
+FIGURE4_EXPECTED_RATES: Dict[Tuple[int, int], float] = {
+    (0, 0): 2.0,
+    (0, 1): 2.0,
+    (0, 2): 2.0,
+    (1, 0): 2.0,
+}
+
+
+def figure4_network() -> Network:
+    """The Figure 4 network: the Figure 2 topology with different capacities.
+
+    ``S1`` is multi-rate and exhibits a redundancy of 2 on the shared link
+    ``l4`` (capacity 6).  Capacities: ``l1=5, l2=2, l3=3, l4=6``.  The
+    redundancy function itself is attached by the caller (see
+    :func:`repro.core.redundancy.constant_redundancy`); with redundancy 2 on
+    ``l4`` the max-min fair rates are all 2, the session link rates are
+    ``l4=(4,2)``, ``l1=(2,2)``, ``l2=(2,0)``, ``l3=(2,0)``, and
+    per-session-link fairness fails for ``S2``.
+    """
+    graph = NetworkGraph()
+    graph.add_link("junction", "leaf_a", capacity=5.0, name="l1")
+    graph.add_link("junction", "leaf_b", capacity=2.0, name="l2")
+    graph.add_link("junction", "leaf_c", capacity=3.0, name="l3")
+    graph.add_link("source", "junction", capacity=6.0, name="l4")
+
+    sessions = [
+        Session(0, "source", ["leaf_a", "leaf_b", "leaf_c"], SessionType.MULTI_RATE,
+                max_rate=100.0),
+        Session(1, "source", ["leaf_a"], SessionType.MULTI_RATE, max_rate=100.0),
+    ]
+    return Network(graph, sessions)
+
+
+# ----------------------------------------------------------------------
+# Analytic workloads
+# ----------------------------------------------------------------------
+
+def single_bottleneck_network(
+    num_sessions: int,
+    capacity: float = 1.0,
+    receivers_per_session: int = 1,
+    session_type: SessionType = SessionType.MULTI_RATE,
+    max_rate: float = math.inf,
+) -> Network:
+    """``num_sessions`` sessions all sharing one bottleneck link.
+
+    Every receiver's data-path is the two-link chain ``source -> bottleneck ->
+    fan-out``, so the single link of interest (the bottleneck, link id 0)
+    constrains all sessions equally.  Used for the Figure 6 analysis and for
+    sanity checks (the max-min fair rate is ``capacity / num_sessions`` when
+    all sessions are efficient).
+    """
+    if num_sessions < 1:
+        raise NetworkModelError("need at least one session")
+    if receivers_per_session < 1:
+        raise NetworkModelError("need at least one receiver per session")
+
+    graph = NetworkGraph()
+    graph.add_link("head", "tail", capacity=capacity, name="bottleneck")
+    # Per-session access and fan-out links are uncapacitated (effectively),
+    # keeping the shared link as the only binding constraint.
+    big = max(capacity * max(num_sessions, 1) * 10.0, 1.0)
+    sessions = []
+    for i in range(num_sessions):
+        src = f"src{i}"
+        graph.add_link(src, "head", capacity=big, name=f"access{i}")
+        receiver_nodes = []
+        for k in range(receivers_per_session):
+            leaf = f"rcv{i}_{k}"
+            graph.add_link("tail", leaf, capacity=big, name=f"fanout{i}_{k}")
+            receiver_nodes.append(leaf)
+        sessions.append(Session(i, src, receiver_nodes, session_type, max_rate=max_rate))
+    return Network(graph, sessions)
+
+
+def shared_bottleneck_with_redundancy(
+    num_sessions: int,
+    num_redundant: int,
+    redundancy: float,
+    capacity: float = 1.0,
+) -> Network:
+    """The Figure 6 workload: ``n`` sessions on one link, ``m`` with redundancy ``v``.
+
+    Returns a :func:`single_bottleneck_network` with the first
+    ``num_redundant`` sessions carrying a constant-redundancy link-rate
+    function of factor ``redundancy`` on every link.  The max-min fair rate of
+    every receiver is ``capacity / ((n - m) + m * v)``.
+    """
+    if not 0 <= num_redundant <= num_sessions:
+        raise NetworkModelError(
+            f"num_redundant must be between 0 and num_sessions, got {num_redundant}"
+        )
+    if redundancy < 1.0:
+        raise NetworkModelError(f"redundancy must be >= 1, got {redundancy}")
+    network = single_bottleneck_network(num_sessions, capacity=capacity)
+
+    def make_function(factor: float):
+        def link_rate(rates: Sequence[float]) -> float:
+            return factor * max(rates) if rates else 0.0
+
+        return link_rate
+
+    functions = {i: make_function(redundancy) for i in range(num_redundant)}
+    return network.with_link_rate_functions(functions)
+
+
+def star_network(
+    num_receivers: int,
+    shared_capacity: float,
+    fanout_capacity: float,
+    session_type: SessionType = SessionType.MULTI_RATE,
+    max_rate: float = math.inf,
+) -> Network:
+    """A single multicast session on a star: one shared link, then fan-out links.
+
+    The sender sits behind the shared link; each receiver hangs off its own
+    fan-out link.  This is the abstract topology of Figure 7 used by the
+    congestion-control experiments (there the capacities are replaced by loss
+    processes; here they are plain capacities for fairness analysis).
+    """
+    if num_receivers < 1:
+        raise NetworkModelError("need at least one receiver")
+    graph = NetworkGraph()
+    graph.add_link("sender", "hub", capacity=shared_capacity, name="shared")
+    receiver_nodes = []
+    for k in range(num_receivers):
+        leaf = f"leaf{k}"
+        graph.add_link("hub", leaf, capacity=fanout_capacity, name=f"fanout{k}")
+        receiver_nodes.append(leaf)
+    sessions = [Session(0, "sender", receiver_nodes, session_type, max_rate=max_rate)]
+    return Network(graph, sessions)
+
+
+def modified_star_network(
+    num_receivers: int,
+    shared_capacity: float = math.inf,
+    fanout_capacities: Optional[Sequence[float]] = None,
+    session_type: SessionType = SessionType.MULTI_RATE,
+) -> Network:
+    """The modified-star topology of Figure 7 with per-receiver fan-out capacities.
+
+    Identical to :func:`star_network` except each fan-out link may have its
+    own capacity, allowing heterogeneous receivers.  Infinite capacities are
+    replaced by a large finite value because links require finite positive
+    capacity for fairness computations to remain meaningful; the packet-level
+    simulator models these links by loss probability instead.
+    """
+    if num_receivers < 1:
+        raise NetworkModelError("need at least one receiver")
+    if fanout_capacities is None:
+        fanout_capacities = [math.inf] * num_receivers
+    if len(fanout_capacities) != num_receivers:
+        raise NetworkModelError(
+            "fanout_capacities must have one entry per receiver "
+            f"({len(fanout_capacities)} != {num_receivers})"
+        )
+
+    def finite(value: float) -> float:
+        return value if math.isfinite(value) else 1e12
+
+    graph = NetworkGraph()
+    graph.add_link("sender", "hub", capacity=finite(shared_capacity), name="shared")
+    receiver_nodes = []
+    for k, cap in enumerate(fanout_capacities):
+        leaf = f"leaf{k}"
+        graph.add_link("hub", leaf, capacity=finite(cap), name=f"fanout{k}")
+        receiver_nodes.append(leaf)
+    sessions = [Session(0, "sender", receiver_nodes, session_type)]
+    return Network(graph, sessions)
+
+
+# ----------------------------------------------------------------------
+# Randomised workloads
+# ----------------------------------------------------------------------
+
+def random_tree_network(
+    num_links: int,
+    num_sessions: int,
+    rng: Optional[random.Random] = None,
+    capacity_range: Tuple[float, float] = (1.0, 10.0),
+    max_receivers_per_session: int = 4,
+    multi_rate_fraction: float = 1.0,
+    max_rate: float = math.inf,
+) -> Network:
+    """A random tree topology with randomly placed multicast sessions.
+
+    A random tree with ``num_links + 1`` nodes is grown by attaching each new
+    node to a uniformly chosen existing node.  Each session's sender and
+    receivers are placed on distinct uniformly chosen nodes; each session is
+    multi-rate with probability ``multi_rate_fraction``.
+
+    Parameters are chosen to produce networks small enough for exhaustive
+    property checking yet varied enough to exercise branching multicast
+    trees, shared bottlenecks, and unicast sessions.
+    """
+    rng = rng or random.Random()
+    if num_links < 1:
+        raise NetworkModelError("need at least one link")
+    if num_sessions < 1:
+        raise NetworkModelError("need at least one session")
+    lo, hi = capacity_range
+    if lo <= 0 or hi < lo:
+        raise NetworkModelError(f"invalid capacity range {capacity_range}")
+
+    graph = NetworkGraph()
+    nodes = ["n0"]
+    graph.add_node("n0")
+    for j in range(1, num_links + 1):
+        parent = rng.choice(nodes)
+        node = f"n{j}"
+        graph.add_link(parent, node, capacity=rng.uniform(lo, hi))
+        nodes.append(node)
+
+    sessions = []
+    for i in range(num_sessions):
+        members_needed = 1 + rng.randint(1, max(1, max_receivers_per_session))
+        members_needed = min(members_needed, len(nodes))
+        member_nodes = rng.sample(nodes, members_needed)
+        sender, receivers = member_nodes[0], member_nodes[1:]
+        if not receivers:
+            receivers = [n for n in nodes if n != sender][:1]
+        session_type = (
+            SessionType.MULTI_RATE
+            if rng.random() < multi_rate_fraction
+            else SessionType.SINGLE_RATE
+        )
+        sessions.append(Session(i, sender, receivers, session_type, max_rate=max_rate))
+    return Network(graph, sessions)
+
+
+def random_multicast_network(
+    seed: int,
+    num_links: int = 12,
+    num_sessions: int = 4,
+    multi_rate_fraction: float = 1.0,
+    max_receivers_per_session: int = 4,
+    capacity_range: Tuple[float, float] = (1.0, 10.0),
+    max_rate: float = math.inf,
+) -> Network:
+    """Seeded convenience wrapper around :func:`random_tree_network`.
+
+    Using an integer seed (rather than a shared :class:`random.Random`) keeps
+    hypothesis-driven tests and benchmark workloads reproducible.
+    """
+    rng = random.Random(seed)
+    return random_tree_network(
+        num_links=num_links,
+        num_sessions=num_sessions,
+        rng=rng,
+        capacity_range=capacity_range,
+        max_receivers_per_session=max_receivers_per_session,
+        multi_rate_fraction=multi_rate_fraction,
+        max_rate=max_rate,
+    )

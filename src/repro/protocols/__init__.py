@@ -1,0 +1,62 @@
+"""Section-4 layered congestion-control protocols and their analysis models.
+
+Three receiver-driven protocols differing only in join coordination:
+
+* :class:`~repro.protocols.uncoordinated.UncoordinatedProtocol` — random
+  per-packet join decisions;
+* :class:`~repro.protocols.deterministic.DeterministicProtocol` — join after
+  a fixed count of loss-free packets;
+* :class:`~repro.protocols.coordinated.CoordinatedProtocol` — joins only at
+  sender-stamped, nested sync points.
+
+:class:`~repro.protocols.active.ActiveNodeProtocol` implements the Section-5
+extension in which the branch-point router coordinates the whole group, and
+:mod:`~repro.protocols.markov` provides the two-receiver Markov analysis
+model of Figure 7(a).
+"""
+
+from .active import ActiveNodeProtocol
+from .base import LayeredProtocol, join_threshold_packets
+from .coordinated import CoordinatedProtocol
+from .deterministic import DeterministicProtocol
+from .markov import MarkovAnalysisResult, TwoReceiverMarkovModel, redundancy_vs_loss_split
+from .uncoordinated import UncoordinatedProtocol
+
+#: Factory mapping used by experiments and benchmarks.  The first three are
+#: the paper's Section-4 protocols; "active-node" is the Section-5 extension.
+PROTOCOL_FACTORIES = {
+    "uncoordinated": UncoordinatedProtocol,
+    "deterministic": DeterministicProtocol,
+    "coordinated": CoordinatedProtocol,
+    "active-node": ActiveNodeProtocol,
+}
+
+
+def make_protocol(name: str) -> LayeredProtocol:
+    """Instantiate a protocol by name.
+
+    Valid names are ``uncoordinated``, ``deterministic``, ``coordinated``
+    (the paper's Section-4 protocols), and ``active-node`` (the Section-5
+    in-network coordination extension).
+    """
+    key = name.lower()
+    if key not in PROTOCOL_FACTORIES:
+        raise KeyError(
+            f"unknown protocol {name!r}; choose from {sorted(PROTOCOL_FACTORIES)}"
+        )
+    return PROTOCOL_FACTORIES[key]()
+
+
+__all__ = [
+    "ActiveNodeProtocol",
+    "LayeredProtocol",
+    "join_threshold_packets",
+    "CoordinatedProtocol",
+    "DeterministicProtocol",
+    "UncoordinatedProtocol",
+    "MarkovAnalysisResult",
+    "TwoReceiverMarkovModel",
+    "redundancy_vs_loss_split",
+    "PROTOCOL_FACTORIES",
+    "make_protocol",
+]

@@ -1,0 +1,127 @@
+"""Active-node coordination — the Section 5 "future work" protocol.
+
+The paper closes by suggesting that "placing the decision to add and drop
+layers at the active nodes, rather than at receivers, should increase the
+coordination of the joins and leaves of layers by downstream receivers,
+thereby reducing redundancy.  Such an approach would make a redundancy of
+one feasible for a layered multi-rate session."
+
+:class:`ActiveNodeProtocol` models that idea on the modified-star topology:
+the branch-point router (the "active node" at the hub) manages a *single*
+group subscription on the shared link on behalf of all downstream receivers:
+
+* the group drops a layer when the active node observes congestion on the
+  shared link — identified as a congestion event seen by (nearly) every
+  subscribed receiver at once, controlled by ``group_loss_fraction``;
+* isolated fan-out losses affect only the unlucky receiver's goodput; the
+  active node does not react to them (in a deployment it could repair them
+  locally), so they no longer desynchronise the group;
+* the group joins one layer at the sender's nested sync points once enough
+  packets have been forwarded since the group's last join/leave event, using
+  the same ``2^(2(i-1))``-packet calibration as the receiver-driven
+  protocols.
+
+Because every receiver always holds the same subscription, the shared link
+carries exactly what the fastest receiver consumes and the measured
+redundancy approaches ``1 / (1 - loss)`` — i.e. essentially one, which is the
+feasibility claim this extension exists to check (see the active-node
+ablation experiment and benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
+    from ..simulator.packets import Packet
+from .base import LayeredProtocol
+
+__all__ = ["ActiveNodeProtocol"]
+
+
+class ActiveNodeProtocol(LayeredProtocol):
+    """Group-wide joins and leaves decided at the branch-point router."""
+
+    name = "active-node"
+
+    def __init__(
+        self,
+        sync_threshold_fraction: float = 0.5,
+        group_loss_fraction: float = 0.75,
+    ) -> None:
+        super().__init__()
+        if not 0.0 <= sync_threshold_fraction <= 1.0:
+            raise ProtocolError(
+                "sync_threshold_fraction must lie in [0, 1], got "
+                f"{sync_threshold_fraction}"
+            )
+        if not 0.0 < group_loss_fraction <= 1.0:
+            raise ProtocolError(
+                f"group_loss_fraction must lie in (0, 1], got {group_loss_fraction}"
+            )
+        self.sync_threshold_fraction = float(sync_threshold_fraction)
+        self.group_loss_fraction = float(group_loss_fraction)
+
+    def _reset_state(self) -> None:
+        # Packets forwarded by the active node since the group's last
+        # join/leave event.
+        self._packets_since_group_event = 0
+
+    # ------------------------------------------------------------------
+    # leave side: only shared-link congestion moves the group
+    # ------------------------------------------------------------------
+    def congestion_leaves(
+        self,
+        congested: np.ndarray,
+        levels: np.ndarray,
+        packet: "Packet",
+    ) -> np.ndarray:
+        subscribed = levels >= packet.layer
+        subscribed_count = int(subscribed.sum())
+        if subscribed_count == 0:
+            return np.zeros_like(congested)
+        affected = int((congested & subscribed).sum())
+        if affected >= self.group_loss_fraction * subscribed_count:
+            # Congestion on the shared link: the whole group backs off.
+            self._packets_since_group_event = 0
+            return np.ones_like(congested)
+        # Isolated fan-out loss: the active node absorbs it.
+        return np.zeros_like(congested)
+
+    # ------------------------------------------------------------------
+    # join side: group joins at the sender's sync points
+    # ------------------------------------------------------------------
+    def on_packet_received(
+        self,
+        received: np.ndarray,
+        levels: np.ndarray,
+        packet: "Packet",
+    ) -> np.ndarray:
+        self._require_ready()
+        if not received.any():
+            return np.zeros_like(received)
+        self._packets_since_group_event += 1
+        if not packet.sync_levels:
+            return np.zeros_like(received)
+        group_level = int(levels.max())
+        if group_level not in packet.sync_levels:
+            return np.zeros_like(received)
+        gate = self.sync_threshold_fraction * float(
+            2.0 ** (2 * (group_level - 1))
+        )
+        if self._packets_since_group_event < gate:
+            return np.zeros_like(received)
+        # The whole group joins together (stragglers catch up too).
+        return np.ones_like(received)
+
+    def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        self._packets_since_group_event = 0
+
+    @property
+    def packets_since_group_event(self) -> int:
+        """Packets forwarded since the group's last join/leave event."""
+        return self._packets_since_group_event

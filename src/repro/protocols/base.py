@@ -1,0 +1,152 @@
+"""Common machinery for the Section-4 layered congestion-control protocols.
+
+All three protocols share the same reaction to congestion and the same
+parameterisation, taken from the paper (which in turn follows Vicisano,
+Crowcroft & Rizzo's RLC):
+
+* a receiver joined up to layer ``i`` receives the aggregate rate
+  ``2^(i-1)`` (the exponential layer scheme);
+* on a congestion event (a lost or congestion-marked packet) the receiver
+  leaves its highest layer, unless it is only joined to layer 1;
+* the expected number of packets received between a join/leave event and the
+  next join from level ``i`` to ``i + 1`` is ``2^(2(i-1))``.
+
+The protocols differ only in *when* the join actually happens — randomly per
+packet (Uncoordinated), after a fixed packet count (Deterministic), or at
+sender-stamped sync points (Coordinated).  Protocol objects operate on
+vectorised per-receiver state (numpy arrays) so the packet-level simulator
+can update an entire session per packet.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..layering.layers import LayerScheme
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
+    from ..simulator.packets import Packet
+
+__all__ = ["LayeredProtocol", "join_threshold_packets"]
+
+
+def join_threshold_packets(level: int) -> float:
+    """Expected packets between a join/leave event and the next join: ``2^(2(i-1))``."""
+    if level < 1:
+        raise ProtocolError(f"subscription level must be >= 1, got {level}")
+    return float(2 ** (2 * (level - 1)))
+
+
+class LayeredProtocol(abc.ABC):
+    """A receiver-driven layered congestion-control protocol.
+
+    Lifecycle: the simulation engine calls :meth:`reset` once per run, then
+    for every packet it delivers the reception outcome through
+    :meth:`on_congestion` (receivers that observed a loss) and
+    :meth:`on_packet_received` (receivers that got the packet), the latter
+    returning the boolean mask of receivers that decide to join an
+    additional layer.  The engine applies the leave/join level changes itself
+    and reports completed joins back through :meth:`on_join`.
+    """
+
+    #: Human-readable protocol name (used in experiment tables).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.num_receivers = 0
+        self.scheme: Optional[LayerScheme] = None
+        self._rng: Optional[np.random.Generator] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(
+        self,
+        num_receivers: int,
+        scheme: LayerScheme,
+        rng: np.random.Generator,
+    ) -> None:
+        """Prepare per-receiver state for a fresh simulation run."""
+        if num_receivers < 1:
+            raise ProtocolError(f"need at least one receiver, got {num_receivers}")
+        self.num_receivers = num_receivers
+        self.scheme = scheme
+        self._rng = rng
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        """Hook for subclasses to (re)initialise their per-receiver arrays."""
+
+    def _require_ready(self) -> np.random.Generator:
+        if self._rng is None or self.scheme is None:
+            raise ProtocolError(
+                f"protocol {self.name!r} used before reset(); call reset() first"
+            )
+        return self._rng
+
+    # ------------------------------------------------------------------
+    # per-packet hooks
+    # ------------------------------------------------------------------
+    def on_congestion(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        """Receivers in the mask observed a congestion event on this packet.
+
+        The engine lowers their subscription level; subclasses reset any
+        join-progress state here.
+        """
+
+    def congestion_leaves(
+        self,
+        congested: np.ndarray,
+        levels: np.ndarray,
+        packet: "Packet",
+    ) -> np.ndarray:
+        """Which receivers actually drop a layer after this congestion event.
+
+        The receiver-driven protocols of the paper leave exactly when they
+        observe congestion, so the default returns ``congested`` unchanged.
+        Coordination placed *inside* the network (the active-node extension of
+        Section 5) can override this to make group-wide leave decisions.
+        """
+        return congested
+
+    @abc.abstractmethod
+    def on_packet_received(
+        self,
+        received: np.ndarray,
+        levels: np.ndarray,
+        packet: Packet,
+    ) -> np.ndarray:
+        """Receivers in ``received`` got the packet; return the join mask.
+
+        ``levels`` holds the *current* subscription level of every receiver
+        (before any join resulting from this packet).  The returned boolean
+        array marks receivers that should join one additional layer now; the
+        engine clamps joins at the top layer.
+        """
+
+    def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        """Receivers in the mask completed a join (their level already raised)."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def join_probability_per_packet(self, levels: np.ndarray) -> np.ndarray:
+        """Per-received-packet join probability giving the paper's expectation.
+
+        Joining after a geometrically distributed number of packets with
+        success probability ``2^(-2(i-1))`` makes the expected packet count
+        between events exactly ``2^(2(i-1))``.
+        """
+        return 2.0 ** (-2.0 * (levels.astype(float) - 1.0))
+
+    def join_threshold(self, levels: np.ndarray) -> np.ndarray:
+        """Deterministic packet-count threshold ``2^(2(i-1))`` per receiver."""
+        return 2.0 ** (2.0 * (levels.astype(float) - 1.0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

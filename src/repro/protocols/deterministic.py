@@ -1,0 +1,55 @@
+"""The Deterministic protocol: join after a fixed count of loss-free packets.
+
+"In the Deterministic protocol, there is also no inherent coordination; a
+receiver joins an additional layer after receiving a fixed number of packets
+without loss since its last join or leave event."  The fixed count is the
+paper's ``2^(2(i-1))`` for a receiver at level ``i``.  Receivers with
+identical loss histories behave identically, but receivers whose losses
+differ even slightly desynchronise and stay desynchronised, so — like the
+Uncoordinated protocol — redundancy grows with independent loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
+    from ..simulator.packets import Packet
+from .base import LayeredProtocol
+
+__all__ = ["DeterministicProtocol"]
+
+
+class DeterministicProtocol(LayeredProtocol):
+    """Counter-based joins; leaves (and counter resets) on congestion."""
+
+    name = "deterministic"
+
+    def _reset_state(self) -> None:
+        self._received_since_event = np.zeros(self.num_receivers, dtype=np.int64)
+
+    def on_congestion(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        self._received_since_event[receivers] = 0
+
+    def on_packet_received(
+        self,
+        received: np.ndarray,
+        levels: np.ndarray,
+        packet: Packet,
+    ) -> np.ndarray:
+        self._require_ready()
+        if not received.any():
+            return np.zeros_like(received)
+        self._received_since_event[received] += 1
+        thresholds = self.join_threshold(levels)
+        return received & (self._received_since_event >= thresholds)
+
+    def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        self._received_since_event[receivers] = 0
+
+    @property
+    def received_since_event(self) -> np.ndarray:
+        """Per-receiver count of packets received since the last join/leave."""
+        return self._received_since_event.copy()

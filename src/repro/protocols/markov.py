@@ -1,0 +1,322 @@
+"""Discrete-time Markov analysis of the two-receiver star (Figure 7(a)).
+
+The paper's first set of Section-4 experiments uses Markov models of the
+protocols on a two-receiver modified star to study how shared loss (rate
+``p`` on the link abutting the sender) and independent loss (rates ``p1``,
+``p2`` on the fan-out links) affect redundancy, and reports one headline
+finding: *redundancy is highest when receivers experience the same
+end-to-end loss rates*.
+
+This module provides that analysis model.  The chain state is the pair of
+subscription levels ``(i1, i2)``; one step corresponds to one sender time
+unit.  Within a unit a receiver at level ``i`` is subscribed to
+``n_i = 2^(i-1)`` packets, so
+
+* the probability it observes at least one congestion event is
+  ``1 - [(1-p)(1-p_k)]^{n_i}``, and the events of the two receivers are
+  correlated because packets on the common layers share the shared-link
+  loss outcome;
+* conditioned on a loss-free unit, the receiver joins one layer with a
+  protocol-dependent probability chosen so the expected packets between
+  events is the paper's ``2^(2(i-1))``; for the Coordinated protocol the
+  join opportunities of the two receivers are common (nested sync points),
+  for the other protocols they are independent.
+
+The model collapses a unit's possibly-multiple losses into a single leave
+and treats joins as at most one per unit; this keeps the state space at
+``M^2`` while preserving the qualitative behaviour the paper reports (the
+loss-correlation effect), which is what the tests and the loss-correlation
+ablation verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "MarkovAnalysisResult",
+    "TwoReceiverMarkovModel",
+    "redundancy_vs_loss_split",
+]
+
+_PROTOCOLS = ("uncoordinated", "deterministic", "coordinated")
+
+
+@dataclass
+class MarkovAnalysisResult:
+    """Stationary-state metrics of the two-receiver Markov model."""
+
+    protocol: str
+    shared_loss_rate: float
+    independent_loss_rates: Tuple[float, float]
+    stationary: np.ndarray
+    receiver_rates: Tuple[float, float]
+    shared_link_rate: float
+    mean_levels: Tuple[float, float]
+
+    @property
+    def redundancy(self) -> float:
+        """Stationary redundancy of the session on the shared link."""
+        efficient = max(self.receiver_rates)
+        if efficient <= 0:
+            return 1.0
+        return self.shared_link_rate / efficient
+
+
+class TwoReceiverMarkovModel:
+    """Joint Markov chain over the two receivers' subscription levels."""
+
+    def __init__(
+        self,
+        protocol: str,
+        shared_loss_rate: float,
+        loss_rate_one: float,
+        loss_rate_two: float,
+        num_layers: int = 8,
+    ) -> None:
+        protocol = protocol.lower()
+        if protocol not in _PROTOCOLS:
+            raise ProtocolError(
+                f"unknown protocol {protocol!r}; choose from {_PROTOCOLS}"
+            )
+        for name, value in [
+            ("shared_loss_rate", shared_loss_rate),
+            ("loss_rate_one", loss_rate_one),
+            ("loss_rate_two", loss_rate_two),
+        ]:
+            if not 0.0 <= value < 1.0:
+                raise ProtocolError(f"{name} must lie in [0, 1), got {value}")
+        if num_layers < 1:
+            raise ProtocolError(f"num_layers must be >= 1, got {num_layers}")
+        self.protocol = protocol
+        self.shared_loss_rate = float(shared_loss_rate)
+        self.loss_rates = (float(loss_rate_one), float(loss_rate_two))
+        self.num_layers = int(num_layers)
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _packets_per_unit(level: int) -> int:
+        """Cumulative packets per time unit at subscription level ``level``."""
+        return 2 ** (level - 1)
+
+    def _joint_loss_distribution(self, level_one: int, level_two: int) -> Dict[Tuple[bool, bool], float]:
+        """Joint probability of (receiver 1 saw loss, receiver 2 saw loss) in a unit."""
+        p_shared = self.shared_loss_rate
+        p_one, p_two = self.loss_rates
+        n_one = self._packets_per_unit(level_one)
+        n_two = self._packets_per_unit(level_two)
+        n_common = self._packets_per_unit(min(level_one, level_two))
+
+        survive_one = (1.0 - p_shared) * (1.0 - p_one)
+        survive_two = (1.0 - p_shared) * (1.0 - p_two)
+        no_loss_one = survive_one ** n_one
+        no_loss_two = survive_two ** n_two
+        # Common packets share the shared-link outcome; exclusive packets are
+        # independent across receivers.
+        both_survive_common = (1.0 - p_shared) * (1.0 - p_one) * (1.0 - p_two)
+        no_loss_both = (
+            both_survive_common ** n_common
+            * survive_one ** (n_one - n_common)
+            * survive_two ** (n_two - n_common)
+        )
+        p_no_no = no_loss_both
+        p_no_yes = no_loss_one - no_loss_both
+        p_yes_no = no_loss_two - no_loss_both
+        p_yes_yes = 1.0 - no_loss_one - no_loss_two + no_loss_both
+        distribution = {
+            (False, False): max(p_no_no, 0.0),
+            (False, True): max(p_no_yes, 0.0),
+            (True, False): max(p_yes_no, 0.0),
+            (True, True): max(p_yes_yes, 0.0),
+        }
+        total = sum(distribution.values())
+        return {key: value / total for key, value in distribution.items()}
+
+    def _join_probability(self, level: int) -> float:
+        """Per-unit join probability for a loss-free receiver at ``level``.
+
+        All protocols target an expected ``2^(2(i-1))`` packets between
+        events; at ``2^(i-1)`` packets per unit that is one join opportunity
+        per ``2^(i-1)`` units on average.
+        """
+        if level >= self.num_layers:
+            return 0.0
+        if self.protocol == "uncoordinated":
+            per_packet = 2.0 ** (-2.0 * (level - 1))
+            return 1.0 - (1.0 - per_packet) ** self._packets_per_unit(level)
+        # Deterministic threshold and coordinated sync period both amount to
+        # one opportunity every 2^(i-1) units.
+        return min(2.0 ** (-(level - 1)), 1.0)
+
+    def _joint_join_distribution(
+        self, level_one: int, level_two: int
+    ) -> Dict[Tuple[bool, bool], float]:
+        """Joint probability of (receiver 1 joins, receiver 2 joins) given both loss-free."""
+        q_one = self._join_probability(level_one)
+        q_two = self._join_probability(level_two)
+        if self.protocol != "coordinated":
+            return {
+                (True, True): q_one * q_two,
+                (True, False): q_one * (1.0 - q_two),
+                (False, True): (1.0 - q_one) * q_two,
+                (False, False): (1.0 - q_one) * (1.0 - q_two),
+            }
+        # Coordinated: sync points are common and nested.  A sync point for
+        # the higher level is also one for the lower level, so the receiver
+        # at the higher level never joins alone.
+        high, low = (q_one, q_two) if q_one <= q_two else (q_two, q_one)
+        # high == probability of the rarer (higher-level) sync; low the more
+        # frequent (lower-level) sync; the rarer set of instants is a subset.
+        p_both = high
+        p_low_only = low - high
+        if q_one <= q_two:
+            # receiver 1 is the higher level (rarer sync).
+            return {
+                (True, True): p_both,
+                (False, True): max(p_low_only, 0.0),
+                (True, False): 0.0,
+                (False, False): max(1.0 - low, 0.0),
+            }
+        return {
+            (True, True): p_both,
+            (True, False): max(p_low_only, 0.0),
+            (False, True): 0.0,
+            (False, False): max(1.0 - low, 0.0),
+        }
+
+    # ------------------------------------------------------------------
+    # chain assembly and solution
+    # ------------------------------------------------------------------
+    def _state_index(self, level_one: int, level_two: int) -> int:
+        return (level_one - 1) * self.num_layers + (level_two - 1)
+
+    def transition_matrix(self) -> np.ndarray:
+        """The ``M^2 x M^2`` one-unit transition matrix."""
+        size = self.num_layers * self.num_layers
+        matrix = np.zeros((size, size))
+        for level_one in range(1, self.num_layers + 1):
+            for level_two in range(1, self.num_layers + 1):
+                source = self._state_index(level_one, level_two)
+                losses = self._joint_loss_distribution(level_one, level_two)
+                joins = self._joint_join_distribution(level_one, level_two)
+                for (loss_one, loss_two), p_loss in losses.items():
+                    if p_loss <= 0.0:
+                        continue
+                    if loss_one and loss_two:
+                        outcomes = {(True, True, False, False): 1.0}
+                    elif loss_one and not loss_two:
+                        q = self._join_probability(level_two)
+                        outcomes = {
+                            (True, False, False, True): q,
+                            (True, False, False, False): 1.0 - q,
+                        }
+                    elif loss_two and not loss_one:
+                        q = self._join_probability(level_one)
+                        outcomes = {
+                            (False, True, True, False): q,
+                            (False, True, False, False): 1.0 - q,
+                        }
+                    else:
+                        outcomes = {
+                            (False, False, j1, j2): p_join
+                            for (j1, j2), p_join in joins.items()
+                        }
+                    for (l1, l2, j1, j2), p_outcome in outcomes.items():
+                        if p_outcome <= 0.0:
+                            continue
+                        new_one = self._next_level(level_one, l1, j1)
+                        new_two = self._next_level(level_two, l2, j2)
+                        target = self._state_index(new_one, new_two)
+                        matrix[source, target] += p_loss * p_outcome
+        return matrix
+
+    def _next_level(self, level: int, lost: bool, joined: bool) -> int:
+        if lost:
+            return max(level - 1, 1)
+        if joined:
+            return min(level + 1, self.num_layers)
+        return level
+
+    def stationary_distribution(self, tolerance: float = 1e-12, max_iterations: int = 200_000) -> np.ndarray:
+        """Stationary distribution of the chain (power iteration)."""
+        matrix = self.transition_matrix()
+        size = matrix.shape[0]
+        distribution = np.full(size, 1.0 / size)
+        for _ in range(max_iterations):
+            updated = distribution @ matrix
+            updated /= updated.sum()
+            if np.abs(updated - distribution).max() < tolerance:
+                return updated
+            distribution = updated
+        return distribution
+
+    def analyze(self) -> MarkovAnalysisResult:
+        """Solve the chain and derive rates and redundancy."""
+        stationary_flat = self.stationary_distribution()
+        stationary = stationary_flat.reshape(self.num_layers, self.num_layers)
+        levels = np.arange(1, self.num_layers + 1, dtype=float)
+        cumulative = 2.0 ** (levels - 1.0)
+
+        marginal_one = stationary.sum(axis=1)
+        marginal_two = stationary.sum(axis=0)
+        # A receiver's delivered rate discounts its end-to-end loss.
+        delivery_one = (1.0 - self.shared_loss_rate) * (1.0 - self.loss_rates[0])
+        delivery_two = (1.0 - self.shared_loss_rate) * (1.0 - self.loss_rates[1])
+        rate_one = float((marginal_one * cumulative).sum() * delivery_one)
+        rate_two = float((marginal_two * cumulative).sum() * delivery_two)
+
+        max_level_rate = 0.0
+        for index_one in range(self.num_layers):
+            for index_two in range(self.num_layers):
+                weight = stationary[index_one, index_two]
+                max_level_rate += weight * cumulative[max(index_one, index_two)]
+
+        return MarkovAnalysisResult(
+            protocol=self.protocol,
+            shared_loss_rate=self.shared_loss_rate,
+            independent_loss_rates=self.loss_rates,
+            stationary=stationary,
+            receiver_rates=(rate_one, rate_two),
+            shared_link_rate=float(max_level_rate),
+            mean_levels=(
+                float((marginal_one * levels).sum()),
+                float((marginal_two * levels).sum()),
+            ),
+        )
+
+
+def redundancy_vs_loss_split(
+    protocol: str,
+    total_independent_loss: float,
+    splits: Sequence[float],
+    shared_loss_rate: float = 0.0001,
+    num_layers: int = 8,
+) -> List[Tuple[float, float]]:
+    """Redundancy as the fixed independent loss budget is split across receivers.
+
+    ``splits`` are fractions in [0, 1]; a split ``s`` gives receiver 1 a loss
+    rate of ``s * total`` and receiver 2 the remaining ``(1 - s) * total``.
+    The paper's finding is that redundancy peaks at the even split
+    (``s = 0.5``), i.e. when the receivers' end-to-end loss rates coincide.
+    Returns ``(split, redundancy)`` pairs.
+    """
+    results = []
+    for split in splits:
+        if not 0.0 <= split <= 1.0:
+            raise ProtocolError(f"split must lie in [0, 1], got {split}")
+        model = TwoReceiverMarkovModel(
+            protocol=protocol,
+            shared_loss_rate=shared_loss_rate,
+            loss_rate_one=split * total_independent_loss,
+            loss_rate_two=(1.0 - split) * total_independent_loss,
+            num_layers=num_layers,
+        )
+        results.append((split, model.analyze().redundancy))
+    return results

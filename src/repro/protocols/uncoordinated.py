@@ -1,0 +1,42 @@
+"""The Uncoordinated protocol: random per-packet join decisions.
+
+"In the Uncoordinated protocol, there is no inherent coordination: upon
+receiving a packet, a receiver randomly decides whether to join an
+additional layer."  The per-packet join probability is ``2^(-2(i-1))`` for a
+receiver at level ``i``, so the expected number of packets received between
+a join/leave event and the next join matches the paper's ``2^(2(i-1))``
+parameterisation.  Because each receiver draws independently, receivers that
+see identical loss patterns still drift apart in their layer subscriptions,
+which is what drives this protocol's higher redundancy in Figure 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
+    from ..simulator.packets import Packet
+from .base import LayeredProtocol
+
+__all__ = ["UncoordinatedProtocol"]
+
+
+class UncoordinatedProtocol(LayeredProtocol):
+    """Random, memoryless joins; leaves on every congestion event."""
+
+    name = "uncoordinated"
+
+    def on_packet_received(
+        self,
+        received: np.ndarray,
+        levels: np.ndarray,
+        packet: Packet,
+    ) -> np.ndarray:
+        rng = self._require_ready()
+        if not received.any():
+            return np.zeros_like(received)
+        probabilities = self.join_probability_per_packet(levels)
+        draws = rng.random(self.num_receivers)
+        return received & (draws < probabilities)

@@ -1,0 +1,45 @@
+"""Packet-level layered-multicast simulator (the Section-4 substrate).
+
+* :mod:`~repro.simulator.loss` — Bernoulli and Gilbert–Elliott loss
+  processes;
+* :mod:`~repro.simulator.packets` — the sender's periodic packet schedule
+  with sender-coordinated sync marks;
+* :mod:`~repro.simulator.engine` — the vectorised per-packet simulation of a
+  session on a modified star, measuring shared-link redundancy;
+* :mod:`~repro.simulator.star` — Figure 7 experiment configurations;
+* :mod:`~repro.simulator.metrics` — replication and summary statistics.
+"""
+
+from .engine import LayeredSessionSimulator, SessionSimulationResult, simulate_layered_session
+from .loss import BernoulliLoss, GilbertElliottLoss, LossProcess, NoLoss
+from .metrics import RedundancyMeasurement, measure_redundancy, replicate
+from .packets import Packet, PacketSchedule
+from .star import (
+    StarExperimentConfig,
+    build_simulator,
+    simulate_star,
+    star_redundancy,
+    two_receiver_star,
+    uniform_star,
+)
+
+__all__ = [
+    "LayeredSessionSimulator",
+    "SessionSimulationResult",
+    "simulate_layered_session",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "LossProcess",
+    "NoLoss",
+    "RedundancyMeasurement",
+    "measure_redundancy",
+    "replicate",
+    "Packet",
+    "PacketSchedule",
+    "StarExperimentConfig",
+    "build_simulator",
+    "simulate_star",
+    "star_redundancy",
+    "two_receiver_star",
+    "uniform_star",
+]

@@ -1,0 +1,334 @@
+"""Packet-level simulation of one layered multicast session on a star.
+
+This is the workhorse behind the Figure 8 experiments.  One sender
+transmits the exponential layer scheme over a shared link; each receiver
+hangs off its own fan-out link (the modified-star topology of Figure 7).
+Losses on the shared link are observed by every subscribed receiver
+(correlated loss); losses on fan-out links are independent per receiver.
+Receivers run one of the Section-4 congestion-control protocols, leaving a
+layer on every observed congestion event and joining according to the
+protocol's coordination rule.
+
+Measured quantities (after an optional warm-up period):
+
+* the number of packets the shared link carries — a packet of layer ``l``
+  crosses the shared link iff some receiver is subscribed to ``l`` when it
+  is sent (layers are nested, so the link carries layers ``1..max level``);
+* per-receiver received packet counts (their long-term average rates);
+* the redundancy of the session on the shared link:
+  shared-link rate divided by the largest receiver rate (Definition 3).
+
+Two Section-5 "future work" effects are also modelled:
+
+* **protocol-controlled leaves** — protocols may override which receivers
+  actually drop a layer on a congestion event
+  (:meth:`repro.protocols.base.LayeredProtocol.congestion_leaves`), which is
+  how the active-node coordination extension is expressed;
+* **leave latency** — when ``leave_latency > 0`` a receiver's leave takes
+  that many time units to propagate, during which the shared link keeps
+  carrying the layers the receiver was subscribed to even though its own
+  receiving rate drops immediately (the paper's hypothesis is that this
+  increases redundancy).  A receiver that leaves several layers in quick
+  succession keeps advertising its highest recent subscription until the
+  latency after its last leave expires — a slightly conservative
+  approximation that over- rather than under-states carriage.
+
+The simulator is vectorised over receivers, so a session with hundreds of
+receivers runs at roughly the cost of the per-packet Python loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..layering.layers import ExponentialLayerScheme, LayerScheme
+from ..protocols.base import LayeredProtocol
+from .loss import BernoulliLoss, LossProcess, NoLoss
+from .packets import PacketSchedule
+
+__all__ = ["SessionSimulationResult", "LayeredSessionSimulator", "simulate_layered_session"]
+
+IndependentLoss = Union[LossProcess, Sequence[LossProcess]]
+
+
+@dataclass
+class SessionSimulationResult:
+    """Outcome of one simulated run of a layered session.
+
+    Rates are reported in packets per sender time unit; the exponential
+    scheme sends at aggregate rate ``2^(M-1)`` at full subscription.
+    """
+
+    protocol: str
+    num_receivers: int
+    num_layers: int
+    duration_units: int
+    warmup_units: int
+    measured_units: int
+    shared_link_packets: int
+    receiver_packets: np.ndarray
+    total_sender_packets: int
+    mean_subscription_level: float
+    mean_max_subscription_level: float
+    shared_loss_rate: float
+    independent_loss_rates: np.ndarray
+    leave_latency: float = 0.0
+
+    @property
+    def shared_link_rate(self) -> float:
+        """Average rate carried by the shared link (packets per time unit)."""
+        return self.shared_link_packets / self.measured_units
+
+    @property
+    def receiver_rates(self) -> np.ndarray:
+        """Average receiving rate of every receiver (packets per time unit)."""
+        return self.receiver_packets / self.measured_units
+
+    @property
+    def max_receiver_rate(self) -> float:
+        """The efficient shared-link rate: the fastest receiver's average rate."""
+        return float(self.receiver_rates.max())
+
+    @property
+    def mean_receiver_rate(self) -> float:
+        return float(self.receiver_rates.mean())
+
+    @property
+    def redundancy(self) -> float:
+        """Redundancy of the session on the shared link (Definition 3)."""
+        efficient = self.max_receiver_rate
+        if efficient <= 0:
+            return 1.0
+        return self.shared_link_rate / efficient
+
+    def summary(self) -> str:
+        return (
+            f"{self.protocol}: R={self.num_receivers} layers={self.num_layers} "
+            f"shared-loss={self.shared_loss_rate:g} "
+            f"mean-ind-loss={float(self.independent_loss_rates.mean()):g} "
+            f"redundancy={self.redundancy:.3f} "
+            f"link-rate={self.shared_link_rate:.2f} "
+            f"max-receiver-rate={self.max_receiver_rate:.2f}"
+        )
+
+
+class LayeredSessionSimulator:
+    """Configurable simulator for one layered session on a modified star.
+
+    Parameters
+    ----------
+    protocol:
+        The congestion-control protocol instance (reset per run).
+    num_receivers:
+        Number of receivers in the session.
+    shared_loss:
+        Loss process of the shared link abutting the sender.
+    independent_loss:
+        Either one loss process applied independently per receiver (suitable
+        for memoryless processes such as :class:`BernoulliLoss`) or a
+        sequence with one (stateful) process per receiver.
+    scheme:
+        Layer scheme; defaults to the paper's 8-layer exponential scheme.
+    duration_units / warmup_units:
+        Sender time units to simulate and to exclude from measurement while
+        the receivers climb from layer 1 towards their operating point.
+    leave_latency:
+        Time units a leave takes to propagate into the network.  While a
+        leave is pending, the shared link keeps carrying the receiver's
+        previously subscribed layers.  Zero (the default) models the
+        idealised instantaneous leaves of Section 4.
+    """
+
+    def __init__(
+        self,
+        protocol: LayeredProtocol,
+        num_receivers: int,
+        shared_loss: LossProcess,
+        independent_loss: IndependentLoss,
+        scheme: Optional[LayerScheme] = None,
+        duration_units: int = 800,
+        warmup_units: Optional[int] = None,
+        leave_latency: float = 0.0,
+    ) -> None:
+        if num_receivers < 1:
+            raise SimulationError(f"need at least one receiver, got {num_receivers}")
+        if duration_units < 2:
+            raise SimulationError(f"duration_units must be >= 2, got {duration_units}")
+        if leave_latency < 0:
+            raise SimulationError(f"leave_latency must be non-negative, got {leave_latency}")
+        self.protocol = protocol
+        self.num_receivers = num_receivers
+        self.scheme = scheme if scheme is not None else ExponentialLayerScheme(8)
+        self.shared_loss = shared_loss
+        self.independent_loss = independent_loss
+        self.duration_units = duration_units
+        if warmup_units is None:
+            warmup_units = duration_units // 4
+        if not 0 <= warmup_units < duration_units:
+            raise SimulationError(
+                f"warmup_units must lie in [0, duration_units), got {warmup_units}"
+            )
+        self.warmup_units = warmup_units
+        self.leave_latency = float(leave_latency)
+        self.schedule = PacketSchedule(self.scheme)
+        self._per_receiver_loss = self._resolve_independent_loss(independent_loss)
+
+    def _resolve_independent_loss(self, independent_loss: IndependentLoss) -> List[LossProcess]:
+        if isinstance(independent_loss, LossProcess):
+            return [independent_loss]
+        processes = list(independent_loss)
+        if len(processes) != self.num_receivers:
+            raise SimulationError(
+                "independent_loss must be a single process or one per receiver "
+                f"({len(processes)} != {self.num_receivers})"
+            )
+        return processes
+
+    def _independent_loss_rates(self) -> np.ndarray:
+        if len(self._per_receiver_loss) == 1:
+            return np.full(self.num_receivers, self._per_receiver_loss[0].average_loss_rate)
+        return np.array([p.average_loss_rate for p in self._per_receiver_loss])
+
+    def _sample_independent_losses(self, rng: np.random.Generator) -> np.ndarray:
+        if len(self._per_receiver_loss) == 1:
+            return self._per_receiver_loss[0].sample_array(rng, self.num_receivers)
+        return np.array([p.sample(rng) for p in self._per_receiver_loss], dtype=bool)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def run(self, seed: Optional[int] = None) -> SessionSimulationResult:
+        """Simulate one run and return its measurements."""
+        rng = np.random.default_rng(seed)
+        num_layers = self.scheme.num_layers
+        levels = np.ones(self.num_receivers, dtype=np.int64)
+        self.protocol.reset(self.num_receivers, self.scheme, rng)
+
+        track_advertised = self.leave_latency > 0.0
+        advertised = np.ones(self.num_receivers, dtype=np.int64)
+        advert_expiry = np.zeros(self.num_receivers, dtype=float)
+
+        shared_link_packets = 0
+        receiver_packets = np.zeros(self.num_receivers, dtype=np.int64)
+        level_sum = 0.0
+        max_level_sum = 0.0
+        measured_units = self.duration_units - self.warmup_units
+        total_sender_packets = self.schedule.total_packets(self.duration_units)
+        max_level = 1
+        carriage_level = 1
+
+        for unit in range(self.duration_units):
+            measuring = unit >= self.warmup_units
+            if measuring:
+                level_sum += float(levels.mean())
+                max_level_sum += float(max_level)
+            for packet in self.schedule.unit_packets(unit):
+                if track_advertised:
+                    pending = (advertised > levels) & (advert_expiry <= packet.time)
+                    if pending.any():
+                        advertised[pending] = levels[pending]
+                    carriage_level = int(max(max_level, advertised.max()))
+                else:
+                    carriage_level = max_level
+
+                if packet.layer > carriage_level:
+                    # Neither a live subscription nor a pending leave wants
+                    # this layer: the shared link does not carry the packet.
+                    continue
+                if measuring:
+                    shared_link_packets += 1
+
+                subscribed = levels >= packet.layer
+                if not subscribed.any():
+                    # Carried only because of pending leaves; no receiver can
+                    # observe it, so no protocol state changes.
+                    continue
+
+                if self.shared_loss.sample(rng):
+                    # Correlated congestion: every subscribed receiver
+                    # observes the loss.
+                    congested = subscribed
+                    received = None
+                else:
+                    independent = self._sample_independent_losses(rng)
+                    congested = subscribed & independent
+                    received = subscribed & ~independent
+
+                if congested.any():
+                    self.protocol.on_congestion(congested, levels)
+                    leavers = self.protocol.congestion_leaves(congested, levels, packet)
+                    leavers = leavers & (levels > 1)
+                    if leavers.any():
+                        if track_advertised:
+                            advertised[leavers] = np.maximum(
+                                advertised[leavers], levels[leavers]
+                            )
+                            advert_expiry[leavers] = packet.time + self.leave_latency
+                        np.subtract(levels, 1, out=levels, where=leavers)
+                        max_level = int(levels.max())
+
+                if received is not None and received.any():
+                    if measuring:
+                        receiver_packets[received] += 1
+                    joins = self.protocol.on_packet_received(received, levels, packet)
+                    joins = joins & (levels < num_layers)
+                    if joins.any():
+                        np.add(levels, 1, out=levels, where=joins)
+                        self.protocol.on_join(joins, levels)
+                        if track_advertised:
+                            advertised[joins] = np.maximum(advertised[joins], levels[joins])
+                        level_max = int(levels.max())
+                        if level_max > max_level:
+                            max_level = level_max
+
+        return SessionSimulationResult(
+            protocol=self.protocol.name,
+            num_receivers=self.num_receivers,
+            num_layers=num_layers,
+            duration_units=self.duration_units,
+            warmup_units=self.warmup_units,
+            measured_units=measured_units,
+            shared_link_packets=shared_link_packets,
+            receiver_packets=receiver_packets,
+            total_sender_packets=total_sender_packets,
+            mean_subscription_level=level_sum / measured_units,
+            mean_max_subscription_level=max_level_sum / measured_units,
+            shared_loss_rate=self.shared_loss.average_loss_rate,
+            independent_loss_rates=self._independent_loss_rates(),
+            leave_latency=self.leave_latency,
+        )
+
+
+def simulate_layered_session(
+    protocol: LayeredProtocol,
+    num_receivers: int,
+    shared_loss_rate: float,
+    independent_loss_rate: float,
+    num_layers: int = 8,
+    duration_units: int = 800,
+    warmup_units: Optional[int] = None,
+    leave_latency: float = 0.0,
+    seed: Optional[int] = None,
+) -> SessionSimulationResult:
+    """Convenience wrapper: Bernoulli losses, exponential layers, one run.
+
+    This matches the Figure 8 setting: one shared Bernoulli loss rate and
+    one independent Bernoulli loss rate applied to every fan-out link.
+    """
+    simulator = LayeredSessionSimulator(
+        protocol=protocol,
+        num_receivers=num_receivers,
+        shared_loss=BernoulliLoss(shared_loss_rate) if shared_loss_rate > 0 else NoLoss(),
+        independent_loss=BernoulliLoss(independent_loss_rate)
+        if independent_loss_rate > 0
+        else NoLoss(),
+        scheme=ExponentialLayerScheme(num_layers),
+        duration_units=duration_units,
+        warmup_units=warmup_units,
+        leave_latency=leave_latency,
+    )
+    return simulator.run(seed=seed)

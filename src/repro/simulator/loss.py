@@ -1,0 +1,168 @@
+"""Packet-loss processes used by the layered congestion-control simulator.
+
+Section 4 models packet loss (equivalently, congestion marking) as a
+Bernoulli process, arguing that on links carrying many flows there is little
+correlation between an individual flow's rate and the link loss rate.  The
+simulator therefore uses :class:`BernoulliLoss` for both the shared link and
+the per-receiver fan-out links of the modified-star topologies.
+
+A two-state :class:`GilbertElliottLoss` process is provided as an extension
+for studying bursty loss (the paper cites the temporal-dependence
+measurements of Yajnik et al. as motivation for the Bernoulli choice); it is
+exercised by the loss-correlation ablation but not needed for Figure 8.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["LossProcess", "BernoulliLoss", "GilbertElliottLoss", "NoLoss"]
+
+
+class LossProcess:
+    """Interface: decide, per packet, whether it is lost.
+
+    Implementations may be stateful (e.g. Gilbert–Elliott), so a separate
+    instance must be used per link.  ``sample`` draws a single outcome;
+    ``sample_array`` draws ``n`` independent outcomes at once (used for the
+    per-receiver fan-out links which are mutually independent but share a
+    random generator).
+    """
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        raise NotImplementedError
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Default: ``n`` independent draws of :meth:`sample`."""
+        return np.array([self.sample(rng) for _ in range(n)], dtype=bool)
+
+    @property
+    def average_loss_rate(self) -> float:
+        """Long-run fraction of packets lost (used for reporting)."""
+        raise NotImplementedError
+
+    def copy(self) -> "LossProcess":
+        """A fresh, state-independent copy (per-link instances)."""
+        raise NotImplementedError
+
+
+class NoLoss(LossProcess):
+    """A lossless link."""
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        return False
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.zeros(n, dtype=bool)
+
+    @property
+    def average_loss_rate(self) -> float:
+        return 0.0
+
+    def copy(self) -> "NoLoss":
+        return NoLoss()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "NoLoss()"
+
+
+class BernoulliLoss(LossProcess):
+    """Independent per-packet loss with fixed probability ``p``."""
+
+    def __init__(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise SimulationError(
+                f"loss probability must lie in [0, 1], got {probability}"
+            )
+        self.probability = float(probability)
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        if self.probability == 0.0:
+            return False
+        return bool(rng.random() < self.probability)
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.probability == 0.0:
+            return np.zeros(n, dtype=bool)
+        return rng.random(n) < self.probability
+
+    @property
+    def average_loss_rate(self) -> float:
+        return self.probability
+
+    def copy(self) -> "BernoulliLoss":
+        return BernoulliLoss(self.probability)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BernoulliLoss({self.probability})"
+
+
+class GilbertElliottLoss(LossProcess):
+    """Two-state bursty loss process (good/bad states with per-state loss rates).
+
+    Parameters
+    ----------
+    p_good_to_bad, p_bad_to_good:
+        Per-packet transition probabilities between the good and bad states.
+    loss_good, loss_bad:
+        Loss probability while in each state (classically 0 and 1).
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float,
+        p_bad_to_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ) -> None:
+        for name, value in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must lie in [0, 1], got {value}")
+        if p_bad_to_good == 0.0 and p_good_to_bad > 0.0:
+            raise SimulationError("the bad state must be escapable (p_bad_to_good > 0)")
+        self.p_good_to_bad = float(p_good_to_bad)
+        self.p_bad_to_good = float(p_bad_to_good)
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self._in_bad_state = False
+
+    def sample(self, rng: np.random.Generator) -> bool:
+        # Transition first, then draw loss from the (new) state.
+        if self._in_bad_state:
+            if rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss_probability = self.loss_bad if self._in_bad_state else self.loss_good
+        return bool(rng.random() < loss_probability)
+
+    @property
+    def average_loss_rate(self) -> float:
+        denominator = self.p_good_to_bad + self.p_bad_to_good
+        if denominator == 0.0:
+            stationary_bad = 0.0
+        else:
+            stationary_bad = self.p_good_to_bad / denominator
+        return stationary_bad * self.loss_bad + (1.0 - stationary_bad) * self.loss_good
+
+    def copy(self) -> "GilbertElliottLoss":
+        return GilbertElliottLoss(
+            self.p_good_to_bad, self.p_bad_to_good, self.loss_good, self.loss_bad
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GilbertElliottLoss(g2b={self.p_good_to_bad}, b2g={self.p_bad_to_good}, "
+            f"loss_good={self.loss_good}, loss_bad={self.loss_bad})"
+        )

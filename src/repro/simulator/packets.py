@@ -1,0 +1,150 @@
+"""Sender packet schedules for layered multicast.
+
+The Section 4 protocols use the exponential layer scheme: the aggregate rate
+of layers ``1..i`` is ``2^(i-1)`` packets per unit time, so layer 1 carries
+one packet per time unit and layer ``i >= 2`` carries ``2^(i-2)``.  The
+sender's transmission is therefore periodic with a one-time-unit pattern;
+:class:`PacketSchedule` pre-computes that pattern once and replays it with a
+time offset, which keeps the per-packet simulation loop cheap.
+
+Packets carry the *sync levels* used by the Coordinated protocol: the layer-1
+packet at the start of time unit ``u`` is marked as a join opportunity for
+every level ``i`` with ``u mod 2^(i-1) == 0``.  Because multiples of
+``2^(i-1)`` are also multiples of ``2^(j-1)`` for ``j < i``, a sync point for
+level ``i`` is automatically a sync point for all lower levels — the nesting
+property the paper requires of sender-coordinated joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..layering.layers import LayerScheme
+
+__all__ = ["Packet", "PacketSchedule"]
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One packet of the sender's layered transmission.
+
+    Attributes
+    ----------
+    time:
+        Transmission time (in sender time units, fractional within a unit).
+    layer:
+        The layer (1-based) the packet belongs to.
+    sync_levels:
+        Subscription levels for which this packet is a sender-coordinated
+        join opportunity (empty for all but the unit-initial layer-1 packet).
+    sequence:
+        Global sequence number (0-based) in transmission order.
+    """
+
+    time: float
+    layer: int
+    sync_levels: Tuple[int, ...]
+    sequence: int
+
+
+class PacketSchedule:
+    """Periodic packet schedule for a layer scheme with integer per-unit rates.
+
+    Parameters
+    ----------
+    scheme:
+        The layer scheme; every layer rate must be a positive integer number
+        of packets per time unit (true for the paper's exponential scheme
+        with base rate 1).
+    num_sync_levels:
+        How many levels receive sync marks (defaults to all levels below the
+        top, since a receiver at the top level cannot join further).
+    """
+
+    def __init__(self, scheme: LayerScheme, num_sync_levels: int | None = None) -> None:
+        self.scheme = scheme
+        rates: List[int] = []
+        for layer in range(1, scheme.num_layers + 1):
+            rate = scheme.layer_rate(layer)
+            if abs(rate - round(rate)) > 1e-9 or round(rate) < 1:
+                raise SimulationError(
+                    "PacketSchedule requires integer per-unit layer rates; layer "
+                    f"{layer} has rate {rate}"
+                )
+            rates.append(int(round(rate)))
+        self._integer_rates = rates
+        if num_sync_levels is None:
+            num_sync_levels = max(scheme.num_layers - 1, 1)
+        self.num_sync_levels = num_sync_levels
+        self._pattern = self._build_unit_pattern()
+
+    def _build_unit_pattern(self) -> List[Tuple[float, int]]:
+        """(offset, layer) pairs for one time unit, sorted by offset.
+
+        Layer ``l``'s packets are evenly spaced within the unit; layer 1's
+        single packet sits at offset 0 so that it can carry the unit's sync
+        marks and is seen before any same-unit congestion.
+        """
+        entries: List[Tuple[float, int]] = []
+        for layer, rate in enumerate(self._integer_rates, start=1):
+            for k in range(rate):
+                if layer == 1:
+                    offset = 0.0
+                else:
+                    offset = (k + 0.5) / rate
+                entries.append((offset, layer))
+        entries.sort(key=lambda item: (item[0], item[1]))
+        return entries
+
+    @property
+    def packets_per_unit(self) -> int:
+        """Total packets transmitted per time unit at full subscription."""
+        return sum(self._integer_rates)
+
+    def sync_levels_for_unit(self, unit: int) -> Tuple[int, ...]:
+        """Sync levels carried by the unit-initial layer-1 packet of ``unit``.
+
+        Level ``i`` receivers may join to ``i + 1`` at units that are
+        multiples of ``2^(i-1)``; unit 0 is excluded so that receivers do not
+        all jump at the very first packet.
+        """
+        if unit <= 0:
+            return ()
+        levels = []
+        for level in range(1, self.num_sync_levels + 1):
+            period = 2 ** (level - 1)
+            if unit % period == 0:
+                levels.append(level)
+        return tuple(levels)
+
+    def unit_packets(self, unit: int) -> List[Packet]:
+        """All packets of one time unit, in transmission order."""
+        if unit < 0:
+            raise SimulationError(f"time unit must be non-negative, got {unit}")
+        sync = self.sync_levels_for_unit(unit)
+        base_sequence = unit * self.packets_per_unit
+        packets = []
+        for index, (offset, layer) in enumerate(self._pattern):
+            packet_sync = sync if (layer == 1 and offset == 0.0) else ()
+            packets.append(
+                Packet(
+                    time=unit + offset,
+                    layer=layer,
+                    sync_levels=packet_sync,
+                    sequence=base_sequence + index,
+                )
+            )
+        return packets
+
+    def iter_packets(self, num_units: int) -> Iterator[Packet]:
+        """Iterate over all packets of ``num_units`` consecutive time units."""
+        if num_units < 1:
+            raise SimulationError(f"num_units must be positive, got {num_units}")
+        for unit in range(num_units):
+            yield from self.unit_packets(unit)
+
+    def total_packets(self, num_units: int) -> int:
+        """Number of packets the sender transmits in ``num_units`` units."""
+        return num_units * self.packets_per_unit

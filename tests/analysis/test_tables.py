@@ -1,0 +1,45 @@
+"""Unit tests for the plain-text table formatting helpers."""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header_rule(self):
+        text = format_table(["name", "value"], [["alpha", 1.0], ["b", 12.345678]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        # All lines are padded to the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_precision_control(self):
+        text = format_table(["x"], [[1.23456789]], precision=3)
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_non_float_cells_unchanged(self):
+        text = format_table(["a", "b"], [["label", 7]])
+        assert "label" in text and "7" in text
+
+    def test_empty_rows(self):
+        text = format_table(["only", "header"], [])
+        assert "only" in text
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatSeries:
+    def test_one_column_per_series(self):
+        text = format_series(
+            "x", [1, 2, 3], {"linear": [1.0, 2.0, 3.0], "square": [1.0, 4.0, 9.0]}
+        )
+        lines = text.splitlines()
+        assert "linear" in lines[0] and "square" in lines[0]
+        assert len(lines) == 5
+        assert "9" in lines[-1]
+
+    def test_series_order_preserved(self):
+        text = format_series("x", [0], {"zebra": [1.0], "alpha": [2.0]})
+        header = text.splitlines()[0]
+        assert header.index("zebra") < header.index("alpha")

@@ -1,0 +1,75 @@
+"""Shared fixtures: the paper's example networks and small synthetic networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import (
+    NetworkGraph,
+    Network,
+    Session,
+    SessionType,
+    figure1_network,
+    figure2_network,
+    figure3a_network,
+    figure3b_network,
+    figure4_network,
+    random_multicast_network,
+    single_bottleneck_network,
+)
+
+
+@pytest.fixture
+def figure1() -> Network:
+    return figure1_network()
+
+
+@pytest.fixture
+def figure2_single() -> Network:
+    return figure2_network(single_rate=True)
+
+
+@pytest.fixture
+def figure2_multi() -> Network:
+    return figure2_network(single_rate=False)
+
+
+@pytest.fixture
+def figure3a() -> Network:
+    return figure3a_network()
+
+
+@pytest.fixture
+def figure3b() -> Network:
+    return figure3b_network()
+
+
+@pytest.fixture
+def figure4() -> Network:
+    return figure4_network()
+
+
+@pytest.fixture
+def two_flow_line() -> Network:
+    """Two unicast sessions sharing a single 10-capacity link plus a private link."""
+    graph = NetworkGraph()
+    graph.add_link("a", "b", capacity=10.0, name="shared")
+    graph.add_link("b", "c", capacity=3.0, name="private")
+    sessions = [
+        Session(0, "a", ["b"], SessionType.MULTI_RATE),
+        Session(1, "a", ["c"], SessionType.MULTI_RATE),
+    ]
+    return Network(graph, sessions)
+
+
+@pytest.fixture
+def bottleneck_network() -> Network:
+    return single_bottleneck_network(num_sessions=4, capacity=8.0)
+
+
+@pytest.fixture(params=[0, 1, 2, 3])
+def small_random_network(request) -> Network:
+    """A deterministic family of small random multicast networks."""
+    return random_multicast_network(
+        seed=request.param, num_links=10, num_sessions=4, max_receivers_per_session=3
+    )

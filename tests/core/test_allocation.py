@@ -1,0 +1,147 @@
+"""Unit tests for the Allocation container and its link-rate accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import Allocation, constant_redundancy, max_min_fair_allocation
+from repro.errors import AllocationError
+from repro.network import figure1_network
+
+
+@pytest.fixture
+def figure1_allocation(figure1):
+    return Allocation(
+        figure1,
+        {(0, 0): 1.0, (1, 0): 1.0, (1, 1): 2.0, (2, 0): 1.0, (2, 1): 2.0},
+    )
+
+
+class TestConstruction:
+    def test_requires_complete_coverage(self, figure1):
+        with pytest.raises(AllocationError):
+            Allocation(figure1, {(0, 0): 1.0})
+
+    def test_rejects_unknown_receivers(self, figure1):
+        rates = {rid: 1.0 for rid in figure1.all_receiver_ids()}
+        rates[(9, 9)] = 1.0
+        with pytest.raises(AllocationError):
+            Allocation(figure1, rates)
+
+    @pytest.mark.parametrize("bad", [-1.0, math.inf, math.nan])
+    def test_rejects_invalid_rates(self, figure1, bad):
+        rates = {rid: 1.0 for rid in figure1.all_receiver_ids()}
+        rates[(0, 0)] = bad
+        with pytest.raises(AllocationError):
+            Allocation(figure1, rates)
+
+    def test_zero_and_uniform_builders(self, figure1):
+        assert set(Allocation.zero(figure1).values()) == {0.0}
+        assert set(Allocation.uniform(figure1, 2.5).values()) == {2.5}
+
+    def test_from_session_rates(self, figure1):
+        allocation = Allocation.from_session_rates(figure1, {0: 1.0, 2: 3.0})
+        assert allocation.rate((0, 0)) == 1.0
+        assert allocation.rate((1, 0)) == 0.0  # session 1 missing -> zero
+        assert allocation.rate((2, 1)) == 3.0
+
+
+class TestReceiverPerspective:
+    def test_mapping_interface(self, figure1_allocation):
+        assert len(figure1_allocation) == 5
+        assert list(figure1_allocation)[0] == (0, 0)
+        assert figure1_allocation[(1, 1)] == 2.0
+
+    def test_rate_unknown_receiver(self, figure1_allocation):
+        with pytest.raises(AllocationError):
+            figure1_allocation.rate((7, 7))
+
+    def test_ordered_vector(self, figure1_allocation):
+        assert figure1_allocation.ordered_vector() == (1.0, 1.0, 1.0, 2.0, 2.0)
+
+    def test_min_max_total(self, figure1_allocation):
+        assert figure1_allocation.min_rate() == 1.0
+        assert figure1_allocation.max_rate() == 2.0
+        assert figure1_allocation.total_receiver_throughput() == 7.0
+
+    def test_session_receiver_rates(self, figure1_allocation):
+        assert figure1_allocation.session_receiver_rates(1) == {(1, 0): 1.0, (1, 1): 2.0}
+
+    def test_session_rate_requires_uniformity(self, figure1_allocation):
+        with pytest.raises(AllocationError):
+            figure1_allocation.session_rate(1)
+        assert figure1_allocation.session_rate(0) == 1.0
+
+
+class TestLinkPerspective:
+    def test_session_link_rates_match_paper(self, figure1_allocation):
+        # Expected (u1, u2, u3) per link from Figure 1.
+        expected = {
+            0: (1.0, 2.0, 0.0),
+            1: (0.0, 0.0, 2.0),
+            2: (0.0, 2.0, 2.0),
+            3: (1.0, 1.0, 1.0),
+        }
+        for link_id, rates in expected.items():
+            measured = figure1_allocation.session_link_rates(link_id)
+            assert tuple(measured[i] for i in range(3)) == rates
+
+    def test_link_rate_and_utilization(self, figure1_allocation):
+        assert figure1_allocation.link_rate(3) == pytest.approx(3.0)
+        assert figure1_allocation.link_utilization(3) == pytest.approx(1.0)
+        assert figure1_allocation.link_utilization(1) == pytest.approx(2.0 / 7.0)
+
+    def test_fully_utilized_links(self, figure1_allocation):
+        assert figure1_allocation.fully_utilized_links() == frozenset({2, 3})
+
+    def test_link_rates_covers_all_links(self, figure1_allocation):
+        rates = figure1_allocation.link_rates()
+        assert set(rates) == {0, 1, 2, 3}
+
+    def test_custom_link_rate_function(self, figure1):
+        allocation = Allocation(
+            figure1,
+            {(0, 0): 1.0, (1, 0): 1.0, (1, 1): 2.0, (2, 0): 1.0, (2, 1): 2.0},
+            link_rate_functions={1: constant_redundancy(2.0)},
+        )
+        # Session 2 (id 1) now uses twice its efficient rate everywhere.
+        assert allocation.session_link_rate(1, 0) == pytest.approx(4.0)
+        assert allocation.efficient_session_link_rate(1, 0) == pytest.approx(2.0)
+        assert allocation.link_redundancy(1, 0) == pytest.approx(2.0)
+
+    def test_network_attached_functions_used(self, figure1):
+        network = figure1.with_link_rate_functions({0: constant_redundancy(3.0)})
+        allocation = Allocation.uniform(network, 1.0)
+        assert allocation.session_link_rate(0, 3) == pytest.approx(3.0)
+
+    def test_redundancy_of_unused_link_is_one(self, figure1_allocation):
+        # Session 1 (id 0) does not use link l2 (id 1).
+        assert figure1_allocation.link_redundancy(0, 1) == 1.0
+
+
+class TestDerivation:
+    def test_with_rate(self, figure1_allocation):
+        updated = figure1_allocation.with_rate((0, 0), 5.0)
+        assert updated.rate((0, 0)) == 5.0
+        assert figure1_allocation.rate((0, 0)) == 1.0
+        with pytest.raises(AllocationError):
+            figure1_allocation.with_rate((9, 9), 1.0)
+
+    def test_scaled(self, figure1_allocation):
+        halved = figure1_allocation.scaled(0.5)
+        assert halved.ordered_vector() == (0.5, 0.5, 0.5, 1.0, 1.0)
+        with pytest.raises(AllocationError):
+            figure1_allocation.scaled(-1.0)
+
+    def test_with_link_rate_functions(self, figure1_allocation):
+        derived = figure1_allocation.with_link_rate_functions({0: constant_redundancy(2.0)})
+        assert derived.session_link_rate(0, 3) == pytest.approx(2.0)
+        assert figure1_allocation.session_link_rate(0, 3) == pytest.approx(1.0)
+
+
+class TestAgainstMaxMin:
+    def test_max_min_allocation_equals_manual(self, figure1, figure1_allocation):
+        computed = max_min_fair_allocation(figure1)
+        assert computed.as_dict() == pytest.approx(figure1_allocation.as_dict())

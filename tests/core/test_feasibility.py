@@ -1,0 +1,79 @@
+"""Unit tests for allocation feasibility checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Allocation,
+    assert_feasible,
+    check_feasibility,
+    is_feasible,
+    max_min_fair_allocation,
+)
+from repro.errors import InfeasibleAllocationError
+from repro.network import NetworkGraph, Network, Session, SessionType, figure1_network
+
+
+class TestFeasibility:
+    def test_zero_allocation_is_feasible(self, figure1):
+        assert is_feasible(Allocation.zero(figure1))
+
+    def test_max_min_allocation_is_feasible(self, figure1, figure2_single, figure3a):
+        for network in (figure1, figure2_single, figure3a):
+            assert is_feasible(max_min_fair_allocation(network))
+
+    def test_link_capacity_violation_detected(self, figure1):
+        allocation = Allocation.uniform(figure1, 10.0)
+        report = check_feasibility(allocation)
+        assert not report.feasible
+        assert any(v.kind == "link-capacity" for v in report.violations)
+        assert "exceeding capacity" in report.summary()
+
+    def test_max_rate_violation_detected(self):
+        graph = NetworkGraph()
+        graph.add_link("a", "b", capacity=100.0)
+        network = Network(graph, [Session(0, "a", ["b"], max_rate=2.0)])
+        allocation = Allocation(network, {(0, 0): 3.0})
+        report = check_feasibility(allocation)
+        assert not report.feasible
+        assert report.violations[0].kind == "max-rate"
+        assert report.violations[0].amount == pytest.approx(1.0)
+
+    def test_single_rate_violation_detected(self, figure2_single):
+        rates = {(0, 0): 1.0, (0, 1): 2.0, (0, 2): 1.0, (1, 0): 1.0}
+        report = check_feasibility(Allocation(figure2_single, rates))
+        assert not report.feasible
+        assert any(v.kind == "single-rate" for v in report.violations)
+
+    def test_single_receiver_single_rate_session_never_violates(self):
+        graph = NetworkGraph()
+        graph.add_link("a", "b", capacity=5.0)
+        network = Network(graph, [Session(0, "a", ["b"], SessionType.SINGLE_RATE)])
+        assert is_feasible(Allocation(network, {(0, 0): 4.0}))
+
+    def test_multiple_violations_all_reported(self, figure2_single):
+        rates = {(0, 0): 50.0, (0, 1): 2.0, (0, 2): 1.0, (1, 0): 200.0}
+        report = check_feasibility(Allocation(figure2_single, rates))
+        kinds = {v.kind for v in report.violations}
+        assert "link-capacity" in kinds
+        assert "single-rate" in kinds
+        assert "max-rate" in kinds
+
+    def test_assert_feasible_raises_with_summary(self, figure1):
+        with pytest.raises(InfeasibleAllocationError) as excinfo:
+            assert_feasible(Allocation.uniform(figure1, 100.0))
+        assert "link-capacity" in str(excinfo.value)
+
+    def test_assert_feasible_passes_silently(self, figure1):
+        assert_feasible(Allocation.uniform(figure1, 0.5))
+
+    def test_report_bool_and_summary(self, figure1):
+        report = check_feasibility(Allocation.zero(figure1))
+        assert bool(report)
+        assert report.summary() == "feasible"
+
+    def test_tolerance_respected(self, figure1):
+        allocation = max_min_fair_allocation(figure1)
+        nudged = allocation.with_rate((0, 0), allocation.rate((0, 0)) + 1e-12)
+        assert is_feasible(nudged)

@@ -1,0 +1,172 @@
+"""Unit tests for the Appendix-A max-min fair water-filling construction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    Allocation,
+    MaxMinTrace,
+    check_all_properties,
+    constant_redundancy,
+    is_feasible,
+    max_min_fair_allocation,
+)
+from repro.network import (
+    NetworkGraph,
+    Network,
+    Session,
+    SessionType,
+    figure1_network,
+    figure2_network,
+    single_bottleneck_network,
+)
+from repro.network.topologies import (
+    FIGURE1_EXPECTED_RATES,
+    FIGURE2_EXPECTED_MULTI_RATE,
+    FIGURE2_EXPECTED_SINGLE_RATE,
+    FIGURE3A_EXPECTED,
+    FIGURE3B_EXPECTED,
+)
+
+
+class TestPaperExamples:
+    def test_figure1_rates(self, figure1):
+        allocation = max_min_fair_allocation(figure1)
+        for rid, expected in FIGURE1_EXPECTED_RATES.items():
+            assert allocation.rate(rid) == pytest.approx(expected)
+
+    def test_figure2_single_rate(self, figure2_single):
+        allocation = max_min_fair_allocation(figure2_single)
+        for rid, expected in FIGURE2_EXPECTED_SINGLE_RATE.items():
+            assert allocation.rate(rid) == pytest.approx(expected)
+
+    def test_figure2_multi_rate(self, figure2_multi):
+        allocation = max_min_fair_allocation(figure2_multi)
+        for rid, expected in FIGURE2_EXPECTED_MULTI_RATE.items():
+            assert allocation.rate(rid) == pytest.approx(expected)
+
+    def test_figure3a_before_and_after(self, figure3a):
+        before = max_min_fair_allocation(figure3a)
+        after = max_min_fair_allocation(figure3a.without_receiver((2, 1)))
+        for rid, expected in FIGURE3A_EXPECTED["before"].items():
+            assert before.rate(rid) == pytest.approx(expected)
+        for rid, expected in FIGURE3A_EXPECTED["after"].items():
+            assert after.rate(rid) == pytest.approx(expected)
+
+    def test_figure3b_before_and_after(self, figure3b):
+        before = max_min_fair_allocation(figure3b)
+        after = max_min_fair_allocation(figure3b.without_receiver((2, 1)))
+        for rid, expected in FIGURE3B_EXPECTED["before"].items():
+            assert before.rate(rid) == pytest.approx(expected)
+        for rid, expected in FIGURE3B_EXPECTED["after"].items():
+            assert after.rate(rid) == pytest.approx(expected)
+
+
+class TestBasicBehaviour:
+    def test_equal_share_on_single_bottleneck(self):
+        network = single_bottleneck_network(num_sessions=4, capacity=8.0)
+        allocation = max_min_fair_allocation(network)
+        assert allocation.ordered_vector() == pytest.approx((2.0, 2.0, 2.0, 2.0))
+        assert allocation.is_link_fully_utilized(0)
+
+    def test_respects_max_desired_rate(self):
+        network = single_bottleneck_network(num_sessions=2, capacity=10.0, max_rate=1.5)
+        allocation = max_min_fair_allocation(network)
+        assert allocation.ordered_vector() == pytest.approx((1.5, 1.5))
+        # The bottleneck is left under-utilised because rho binds first.
+        assert not allocation.is_link_fully_utilized(0)
+
+    def test_mixed_rho_values(self):
+        graph = NetworkGraph()
+        graph.add_link("a", "b", capacity=10.0)
+        sessions = [
+            Session(0, "a", ["b"], max_rate=2.0),
+            Session(1, "a", ["b"], max_rate=math.inf),
+        ]
+        allocation = max_min_fair_allocation(Network(graph, sessions))
+        assert allocation.rate((0, 0)) == pytest.approx(2.0)
+        assert allocation.rate((1, 0)) == pytest.approx(8.0)
+
+    def test_multi_rate_receivers_can_differ_within_session(self):
+        graph = NetworkGraph()
+        graph.add_link("src", "hub", capacity=10.0)
+        graph.add_link("hub", "fast", capacity=6.0)
+        graph.add_link("hub", "slow", capacity=1.0)
+        network = Network(graph, [Session(0, "src", ["fast", "slow"], SessionType.MULTI_RATE)])
+        allocation = max_min_fair_allocation(network)
+        assert allocation.rate((0, 1)) == pytest.approx(1.0)
+        assert allocation.rate((0, 0)) == pytest.approx(6.0)
+
+    def test_single_rate_receivers_tied_to_slowest(self):
+        graph = NetworkGraph()
+        graph.add_link("src", "hub", capacity=10.0)
+        graph.add_link("hub", "fast", capacity=6.0)
+        graph.add_link("hub", "slow", capacity=1.0)
+        network = Network(graph, [Session(0, "src", ["fast", "slow"], SessionType.SINGLE_RATE)])
+        allocation = max_min_fair_allocation(network)
+        assert allocation.rate((0, 0)) == pytest.approx(1.0)
+        assert allocation.rate((0, 1)) == pytest.approx(1.0)
+
+    def test_result_is_feasible(self, small_random_network):
+        allocation = max_min_fair_allocation(small_random_network)
+        assert is_feasible(allocation)
+
+    def test_multi_rate_allocation_satisfies_theorem1(self, small_random_network):
+        network = small_random_network.with_all_multi_rate()
+        allocation = max_min_fair_allocation(network)
+        reports = check_all_properties(allocation)
+        assert all(report.holds for report in reports.values()), "\n".join(
+            report.summary() for report in reports.values() if not report.holds
+        )
+
+    def test_trace_records_progress(self, figure1):
+        trace = MaxMinTrace()
+        max_min_fair_allocation(figure1, trace=trace)
+        assert trace.num_iterations >= 2
+        levels = [step.level for step in trace.steps]
+        assert levels == sorted(levels)
+        frozen = [rid for step in trace.steps for rid in step.frozen_receivers]
+        assert sorted(frozen) == figure1.all_receiver_ids()
+
+
+class TestWithRedundancyFunctions:
+    def test_constant_redundancy_reduces_rates(self):
+        efficient = single_bottleneck_network(num_sessions=2, capacity=6.0)
+        baseline = max_min_fair_allocation(efficient)
+        redundant = max_min_fair_allocation(
+            efficient, link_rate_functions={0: constant_redundancy(2.0)}
+        )
+        assert baseline.ordered_vector() == pytest.approx((3.0, 3.0))
+        assert redundant.ordered_vector() == pytest.approx((2.0, 2.0))
+
+    def test_figure6_closed_form_matches(self):
+        # n=10 sessions, m=2 with redundancy 4 on a unit-capacity link.
+        network = single_bottleneck_network(num_sessions=10, capacity=1.0)
+        functions = {0: constant_redundancy(4.0), 1: constant_redundancy(4.0)}
+        allocation = max_min_fair_allocation(network, link_rate_functions=functions)
+        expected = 1.0 / (8 + 2 * 4)
+        assert allocation.min_rate() == pytest.approx(expected)
+        assert allocation.max_rate() == pytest.approx(expected)
+
+    def test_non_linear_redundancy_function_uses_bisection(self):
+        network = single_bottleneck_network(num_sessions=2, capacity=4.0)
+
+        def quadratic(rates):
+            top = max(rates) if rates else 0.0
+            return top + top * top  # super-linear but monotone
+
+        allocation = max_min_fair_allocation(network, link_rate_functions={0: quadratic})
+        rate_zero = allocation.rate((0, 0))
+        rate_one = allocation.rate((1, 0))
+        # Feasibility on the bottleneck: (r0 + r0^2) + r1 == 4, water-filled equally.
+        assert rate_zero == pytest.approx(rate_one, rel=1e-6)
+        assert rate_zero + rate_zero**2 + rate_one == pytest.approx(4.0, rel=1e-6)
+
+    def test_network_attached_functions_are_used(self):
+        network = single_bottleneck_network(num_sessions=2, capacity=6.0)
+        redundant = network.with_link_rate_functions({0: constant_redundancy(2.0)})
+        allocation = max_min_fair_allocation(redundant)
+        assert allocation.ordered_vector() == pytest.approx((2.0, 2.0))

@@ -1,0 +1,242 @@
+"""Property-based tests of the paper's theorems and lemmas on random networks.
+
+These tests exercise the water-filling construction against the formal
+statements of Section 2 using randomised tree networks:
+
+* Lemma 1: every feasible allocation is min-unfavorable to the max-min fair
+  allocation (tested against randomly scaled-down feasible alternatives);
+* Theorem 1: the all-multi-rate max-min fair allocation satisfies all four
+  fairness properties;
+* Theorem 2: in mixed networks the properties hold restricted to multi-rate
+  sessions, and per-session-link fairness holds for every session;
+* Lemma 3 / Corollary 1: enlarging the set of multi-rate sessions makes the
+  max-min fair allocation at least as max-min fair;
+* determinism/uniqueness: recomputation yields the same allocation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Allocation,
+    check_all_properties,
+    fully_utilized_receiver_fairness,
+    is_feasible,
+    max_min_fair_allocation,
+    min_unfavorable,
+    per_receiver_link_fairness,
+    per_session_link_fairness,
+    same_path_receiver_fairness,
+)
+from repro.network import SessionType, random_multicast_network
+
+network_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def build_network(seed: int, multi_rate_fraction: float = 1.0):
+    return random_multicast_network(
+        seed=seed,
+        num_links=10,
+        num_sessions=4,
+        max_receivers_per_session=3,
+        multi_rate_fraction=multi_rate_fraction,
+    )
+
+
+class TestLemma1FeasibleAllocationsAreMinUnfavorable:
+    @given(network_seeds, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_scaled_down_allocations_are_min_unfavorable(self, seed, data):
+        network = build_network(seed)
+        fair = max_min_fair_allocation(network)
+        # Scale each receiver's fair rate down by an independent factor; the
+        # result stays feasible because link-rate functions are monotone.
+        factors = {
+            rid: data.draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+            for rid in network.all_receiver_ids()
+        }
+        alternative = Allocation(
+            network, {rid: fair.rate(rid) * factors[rid] for rid in factors}
+        )
+        assert is_feasible(alternative)
+        assert min_unfavorable(alternative.ordered_vector(), fair.ordered_vector())
+
+    @given(network_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_single_rate_baseline_is_min_unfavorable_to_multi_rate(self, seed):
+        network = build_network(seed)
+        single = max_min_fair_allocation(network.with_all_single_rate())
+        multi = max_min_fair_allocation(network.with_all_multi_rate())
+        assert min_unfavorable(single.ordered_vector(), multi.ordered_vector())
+
+
+class TestTheorem1AllMultiRate:
+    @given(network_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_all_four_properties_hold(self, seed):
+        network = build_network(seed).with_all_multi_rate()
+        allocation = max_min_fair_allocation(network)
+        reports = check_all_properties(allocation)
+        failing = [r.summary() for r in reports.values() if not r.holds]
+        assert not failing, "\n".join(failing)
+
+    @given(network_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_allocation_is_feasible_and_fully_uses_a_bottleneck(self, seed):
+        network = build_network(seed).with_all_multi_rate()
+        allocation = max_min_fair_allocation(network)
+        assert is_feasible(allocation)
+        # Every receiver is bounded by rho (infinite here) or a full link, so
+        # at least one link must be fully utilised.
+        assert allocation.fully_utilized_links()
+
+
+class TestTheorem2MixedNetworks:
+    @given(network_seeds, st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_properties_hold_for_multi_rate_sessions(self, seed, fraction):
+        network = build_network(seed, multi_rate_fraction=fraction)
+        allocation = max_min_fair_allocation(network)
+        multi_sessions = sorted(network.multi_rate_session_ids())
+        multi_receivers = [
+            rid
+            for session_id in multi_sessions
+            for rid in network.session(session_id).receiver_ids
+        ]
+        # (a) fully-utilized-receiver-fairness for multi-rate receivers.
+        assert fully_utilized_receiver_fairness(allocation, receivers=multi_receivers).holds
+        # (b) per-receiver-link-fairness for multi-rate sessions.
+        assert per_receiver_link_fairness(allocation, sessions=multi_sessions).holds
+        # (c) per-session-link-fairness for every session.
+        assert per_session_link_fairness(allocation).holds
+        # (d) same-path-receiver-fairness between multi-rate receivers.
+        assert same_path_receiver_fairness(allocation, receivers=multi_receivers).holds
+
+    @given(network_seeds, st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_theorem2e_multi_rate_at_least_single_rate_on_same_path(self, seed, fraction):
+        network = build_network(seed, multi_rate_fraction=fraction)
+        allocation = max_min_fair_allocation(network)
+        multi = network.multi_rate_session_ids()
+        single = network.single_rate_session_ids()
+        for rid_m in network.all_receiver_ids():
+            if rid_m[0] not in multi:
+                continue
+            rho = network.session(rid_m[0]).max_rate
+            for rid_s in network.all_receiver_ids():
+                if rid_s[0] not in single:
+                    continue
+                if not network.routing.same_data_path(rid_m, rid_s):
+                    continue
+                rate_m = allocation.rate(rid_m)
+                rate_s = allocation.rate(rid_s)
+                assert rate_m >= rate_s - 1e-9 or rate_m >= rho - 1e-9
+
+
+class TestLemma3Monotonicity:
+    @given(network_seeds, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_enlarging_multi_rate_set_is_monotone(self, seed, data):
+        network = build_network(seed)
+        num_sessions = network.num_sessions
+        smaller = data.draw(st.sets(st.integers(0, num_sessions - 1)))
+        extra = data.draw(st.sets(st.integers(0, num_sessions - 1)))
+        larger = smaller | extra
+
+        def types_for(multi_set):
+            return {
+                i: (SessionType.MULTI_RATE if i in multi_set else SessionType.SINGLE_RATE)
+                for i in range(num_sessions)
+            }
+
+        allocation_small = max_min_fair_allocation(network.with_session_types(types_for(smaller)))
+        allocation_large = max_min_fair_allocation(network.with_session_types(types_for(larger)))
+        assert min_unfavorable(
+            allocation_small.ordered_vector(), allocation_large.ordered_vector()
+        )
+
+    @given(network_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_corollary1_all_multi_rate_is_maximal(self, seed):
+        network = build_network(seed)
+        all_multi = max_min_fair_allocation(network.with_all_multi_rate())
+        for boundary in range(network.num_sessions + 1):
+            types = {
+                i: (SessionType.MULTI_RATE if i < boundary else SessionType.SINGLE_RATE)
+                for i in range(network.num_sessions)
+            }
+            partial = max_min_fair_allocation(network.with_session_types(types))
+            assert min_unfavorable(partial.ordered_vector(), all_multi.ordered_vector())
+
+
+class TestLemma4RedundancyOrdering:
+    """Lemma 4: sessions with higher redundancy yield a less max-min fair allocation."""
+
+    @given(network_seeds, st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_redundancy_is_min_unfavorable_to_efficient(self, seed, factor):
+        from repro.core import constant_redundancy
+
+        network = build_network(seed)
+        efficient = max_min_fair_allocation(network)
+        functions = {
+            session.session_id: constant_redundancy(factor) for session in network.sessions
+        }
+        redundant = max_min_fair_allocation(network, link_rate_functions=functions)
+        assert is_feasible(redundant)
+        assert min_unfavorable(redundant.ordered_vector(), efficient.ordered_vector())
+
+    @given(network_seeds, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_pointwise_larger_redundancy_is_min_unfavorable(self, seed, data):
+        from repro.core import constant_redundancy
+
+        network = build_network(seed)
+        low_factors = {
+            session.session_id: data.draw(st.floats(min_value=1.0, max_value=2.0))
+            for session in network.sessions
+        }
+        extra = {
+            session.session_id: data.draw(st.floats(min_value=0.0, max_value=2.0))
+            for session in network.sessions
+        }
+        low = max_min_fair_allocation(
+            network,
+            link_rate_functions={i: constant_redundancy(f) for i, f in low_factors.items()},
+        )
+        high = max_min_fair_allocation(
+            network,
+            link_rate_functions={
+                i: constant_redundancy(low_factors[i] + extra[i]) for i in low_factors
+            },
+        )
+        assert min_unfavorable(high.ordered_vector(), low.ordered_vector())
+
+
+class TestLemma9SingleSessionConversion:
+    """Section 2.5: making one session multi-rate never hurts its own receivers."""
+
+    @given(network_seeds, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_own_receivers_never_lose_from_becoming_multi_rate(self, seed, data):
+        network = build_network(seed, multi_rate_fraction=0.5)
+        target = data.draw(st.integers(0, network.num_sessions - 1))
+        as_single = network.with_session_types({target: SessionType.SINGLE_RATE})
+        as_multi = network.with_session_types({target: SessionType.MULTI_RATE})
+        allocation_single = max_min_fair_allocation(as_single)
+        allocation_multi = max_min_fair_allocation(as_multi)
+        for rid in network.session(target).receiver_ids:
+            assert allocation_multi.rate(rid) >= allocation_single.rate(rid) - 1e-9
+
+
+class TestDeterminism:
+    @given(network_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_recomputation_is_identical(self, seed):
+        network = build_network(seed, multi_rate_fraction=0.5)
+        first = max_min_fair_allocation(network)
+        second = max_min_fair_allocation(network)
+        assert first.as_dict() == second.as_dict()

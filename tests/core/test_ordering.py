@@ -1,0 +1,131 @@
+"""Unit and property-based tests for the min-unfavorability ordering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    compare_allocations,
+    compare_ordered_vectors,
+    count_at_or_below,
+    is_ordered,
+    lemma2_threshold,
+    max_min_fair_allocation,
+    min_unfavorable,
+    ordered_vector,
+    single_rate_max_min_fair,
+    strictly_min_unfavorable,
+)
+from repro.errors import AllocationError
+
+rate_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestOrderedVectors:
+    def test_ordered_vector_sorts(self):
+        assert ordered_vector([3.0, 1.0, 2.0]) == (1.0, 2.0, 3.0)
+
+    def test_is_ordered(self):
+        assert is_ordered([1.0, 1.0, 2.0])
+        assert not is_ordered([2.0, 1.0])
+
+    def test_count_at_or_below(self):
+        assert count_at_or_below([1.0, 2.0, 3.0], 2.0) == 2
+        assert count_at_or_below([1.0, 2.0, 3.0], 0.5) == 0
+
+
+class TestComparison:
+    def test_equal_vectors(self):
+        assert compare_ordered_vectors([1.0, 2.0], [2.0, 1.0]) == 0
+        assert min_unfavorable([1.0, 2.0], [1.0, 2.0])
+        assert not strictly_min_unfavorable([1.0, 2.0], [1.0, 2.0])
+
+    def test_lexicographic_on_sorted_vectors(self):
+        assert compare_ordered_vectors([1.0, 5.0], [2.0, 3.0]) == -1
+        assert compare_ordered_vectors([2.0, 3.0], [1.0, 5.0]) == 1
+
+    def test_paper_example_single_vs_multi_rate(self):
+        # Figure 2: single-rate (2,2,2,3) is min-unfavorable to multi-rate
+        # (2, 2.5, 2.5, 3).
+        assert strictly_min_unfavorable([2, 2, 2, 3], [2.5, 2, 3, 2.5])
+
+    def test_requires_equal_length(self):
+        with pytest.raises(AllocationError):
+            compare_ordered_vectors([1.0], [1.0, 2.0])
+
+    def test_tolerance_treats_near_equal_as_equal(self):
+        assert compare_ordered_vectors([1.0, 2.0], [1.0 + 1e-12, 2.0 - 1e-12]) == 0
+
+    def test_compare_allocations(self, figure2_single):
+        single = single_rate_max_min_fair(figure2_single)
+        multi = max_min_fair_allocation(figure2_single.with_all_multi_rate())
+        assert compare_allocations(single, multi) == -1
+        assert compare_allocations(multi, single) == 1
+        assert compare_allocations(single, single) == 0
+
+
+class TestLemma2:
+    def test_witness_for_strict_ordering(self):
+        x = [1.0, 1.0, 4.0]
+        y = [1.0, 2.0, 3.0]
+        threshold = lemma2_threshold(x, y)
+        assert threshold == 1.0
+        assert count_at_or_below(x, threshold) > count_at_or_below(y, threshold)
+
+    def test_no_witness_when_not_strict(self):
+        assert lemma2_threshold([1.0, 2.0], [1.0, 2.0]) is None
+        assert lemma2_threshold([2.0, 2.0], [1.0, 2.0]) is None
+
+
+class TestOrderingAxioms:
+    @given(rate_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, values):
+        assert min_unfavorable(values, values)
+
+    @given(rate_vectors, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_total(self, values, data):
+        other = data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                min_size=len(values),
+                max_size=len(values),
+            )
+        )
+        assert min_unfavorable(values, other) or min_unfavorable(other, values)
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_transitive(self, size, data):
+        element = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        fixed = st.lists(element, min_size=size, max_size=size)
+        a = data.draw(fixed)
+        b = data.draw(fixed)
+        c = data.draw(fixed)
+        if min_unfavorable(a, b) and min_unfavorable(b, c):
+            assert min_unfavorable(a, c)
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_lemma2_equivalence(self, size, data):
+        element = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+        fixed = st.lists(element, min_size=size, max_size=size)
+        x = data.draw(fixed)
+        y = data.draw(fixed)
+        threshold = lemma2_threshold(x, y)
+        if strictly_min_unfavorable(x, y):
+            # Forward direction: a witness exists and satisfies both clauses.
+            assert threshold is not None
+            assert count_at_or_below(x, threshold) > count_at_or_below(y, threshold)
+            below = [z for z in ordered_vector(x) + ordered_vector(y) if z < threshold]
+            for z in below:
+                assert count_at_or_below(x, z) >= count_at_or_below(y, z)
+        else:
+            assert threshold is None

@@ -1,0 +1,152 @@
+"""Unit tests for the four fairness-property checkers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Allocation,
+    check_all_properties,
+    constant_redundancy,
+    fully_utilized_receiver_fairness,
+    max_min_fair_allocation,
+    per_receiver_link_fairness,
+    per_session_link_fairness,
+    same_path_receiver_fairness,
+)
+from repro.network import figure4_network
+
+
+class TestTheorem1OnFigure1:
+    def test_all_properties_hold(self, figure1):
+        allocation = max_min_fair_allocation(figure1)
+        reports = check_all_properties(allocation)
+        assert all(report.holds for report in reports.values())
+
+    def test_reports_expose_names(self, figure1):
+        allocation = max_min_fair_allocation(figure1)
+        reports = check_all_properties(allocation)
+        assert set(reports) == {
+            "fully-utilized-receiver-fairness",
+            "same-path-receiver-fairness",
+            "per-receiver-link-fairness",
+            "per-session-link-fairness",
+        }
+        for report in reports.values():
+            assert "holds" in report.summary()
+
+
+class TestSection23OnFigure2:
+    """The single-rate max-min allocation fails three of the four properties."""
+
+    @pytest.fixture
+    def allocation(self, figure2_single):
+        return max_min_fair_allocation(figure2_single)
+
+    def test_same_path_fails_between_r11_and_r21(self, allocation):
+        report = same_path_receiver_fairness(allocation)
+        assert not report.holds
+        violating_pairs = {frozenset(v.subject) for v in report.violations}
+        assert frozenset({(0, 0), (1, 0)}) in violating_pairs
+
+    def test_fully_utilized_fails_for_r13(self, allocation):
+        report = fully_utilized_receiver_fairness(allocation)
+        assert not report.holds
+        assert (0, 2) in {violation.subject for violation in report.violations}
+
+    def test_per_receiver_link_fails_for_s1(self, allocation):
+        report = per_receiver_link_fairness(allocation)
+        assert not report.holds
+        violating_receivers = {violation.subject for violation in report.violations}
+        # The paper names the data-paths of r1,1 and r1,3 as the failures.
+        assert (0, 0) in violating_receivers
+        assert (0, 2) in violating_receivers
+
+    def test_per_session_link_holds(self, allocation):
+        assert per_session_link_fairness(allocation).holds
+
+    def test_failure_summary_mentions_receiver(self, allocation):
+        report = fully_utilized_receiver_fairness(allocation)
+        assert "r1,3" in report.summary()
+
+
+class TestTheorem1OnFigure2MultiRate:
+    def test_all_properties_hold_when_s1_is_multi_rate(self, figure2_multi):
+        allocation = max_min_fair_allocation(figure2_multi)
+        reports = check_all_properties(allocation)
+        assert all(report.holds for report in reports.values())
+
+
+class TestRedundancyBreaksSessionPerspective:
+    """Figure 4: redundancy 2 on the shared link breaks properties 3 and 4 for S2."""
+
+    @pytest.fixture
+    def allocation(self):
+        network = figure4_network().with_link_rate_functions(
+            {0: constant_redundancy(2.0, min_receivers=2)}
+        )
+        return max_min_fair_allocation(network)
+
+    def test_receiver_perspective_still_holds(self, allocation):
+        assert fully_utilized_receiver_fairness(allocation).holds
+        assert same_path_receiver_fairness(allocation).holds
+
+    def test_session_perspective_fails_for_s2(self, allocation):
+        session_report = per_session_link_fairness(allocation)
+        assert not session_report.holds
+        assert {violation.subject for violation in session_report.violations} == {1}
+        receiver_report = per_receiver_link_fairness(allocation)
+        assert not receiver_report.holds
+        assert {violation.subject for violation in receiver_report.violations} == {(1, 0)}
+
+
+class TestMaxRateEscapeClause:
+    def test_receiver_at_rho_is_exempt(self, figure1):
+        # Cap session 1's rho below its fair share: its receiver no longer has
+        # a saturated link but is exempted by the rho clause.
+        network = figure1.with_session_types({})  # copy
+        capped = network.sessions[0].with_max_rate(0.5)
+        sessions = [capped if s.session_id == 0 else s for s in network.sessions]
+        from repro.network import Network
+
+        capped_network = Network(network.graph, sessions)
+        allocation = max_min_fair_allocation(capped_network)
+        assert allocation.rate((0, 0)) == pytest.approx(0.5)
+        assert fully_utilized_receiver_fairness(allocation).holds
+        assert per_receiver_link_fairness(allocation).holds
+
+    def test_same_path_allows_rho_capped_difference(self, figure2_multi):
+        # Cap S2 (same path as r1,1) to a small rho; rates then differ but the
+        # property still holds because the lower receiver is rho-capped.
+        from repro.network import Network
+
+        sessions = [
+            s if s.session_id == 0 else s.with_max_rate(1.0)
+            for s in figure2_multi.sessions
+        ]
+        network = Network(figure2_multi.graph, sessions)
+        allocation = max_min_fair_allocation(network)
+        assert allocation.rate((1, 0)) == pytest.approx(1.0)
+        assert allocation.rate((0, 0)) > 1.0
+        assert same_path_receiver_fairness(allocation).holds
+
+
+class TestRestrictedChecks:
+    def test_subset_of_receivers(self, figure2_single):
+        allocation = max_min_fair_allocation(figure2_single)
+        # Restricting to the unicast receiver alone: it is fully-utilized fair.
+        report = fully_utilized_receiver_fairness(allocation, receivers=[(1, 0)])
+        assert report.holds
+
+    def test_subset_of_sessions(self, figure2_single):
+        allocation = max_min_fair_allocation(figure2_single)
+        report = per_receiver_link_fairness(allocation, sessions=[1])
+        assert report.holds
+
+    def test_manual_unfair_allocation_detected(self, figure1):
+        # Give one same-path receiver a strictly larger rate with spare capacity.
+        allocation = Allocation(
+            figure1, {(0, 0): 0.5, (1, 0): 1.0, (1, 1): 1.0, (2, 0): 0.5, (2, 1): 1.0}
+        )
+        assert not same_path_receiver_fairness(allocation).holds
+        assert not fully_utilized_receiver_fairness(allocation).holds

@@ -1,0 +1,79 @@
+"""Unit tests for the single-rate (Tzeng–Siu style) baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    max_min_fair_allocation,
+    single_rate_max_min_fair,
+    single_rate_session_rates,
+)
+from repro.network import (
+    NetworkGraph,
+    Network,
+    Session,
+    SessionType,
+    figure2_network,
+    random_multicast_network,
+    single_bottleneck_network,
+)
+
+
+class TestSingleRateSessionRates:
+    def test_figure2_session_rates(self):
+        rates = single_rate_session_rates(figure2_network(single_rate=True))
+        assert rates[0] == pytest.approx(2.0)
+        assert rates[1] == pytest.approx(3.0)
+
+    def test_session_rate_limited_by_whole_tree(self):
+        # A single-rate session pays for its slowest branch on every link.
+        graph = NetworkGraph()
+        graph.add_link("src", "hub", capacity=10.0)
+        graph.add_link("hub", "fast", capacity=6.0)
+        graph.add_link("hub", "slow", capacity=1.0)
+        network = Network(graph, [Session(0, "src", ["fast", "slow"], SessionType.SINGLE_RATE)])
+        rates = single_rate_session_rates(network)
+        assert rates[0] == pytest.approx(1.0)
+
+    def test_respects_max_rate(self):
+        network = single_bottleneck_network(
+            num_sessions=2, capacity=10.0, session_type=SessionType.SINGLE_RATE, max_rate=2.0
+        )
+        rates = single_rate_session_rates(network)
+        assert rates == {0: pytest.approx(2.0), 1: pytest.approx(2.0)}
+
+    def test_equal_split_on_bottleneck(self):
+        network = single_bottleneck_network(
+            num_sessions=5, capacity=5.0, session_type=SessionType.SINGLE_RATE
+        )
+        rates = single_rate_session_rates(network)
+        assert all(rate == pytest.approx(1.0) for rate in rates.values())
+
+
+class TestSingleRateAllocation:
+    def test_figure2_receiver_rates(self, figure2_single):
+        allocation = single_rate_max_min_fair(figure2_single)
+        assert allocation.rate((0, 0)) == pytest.approx(2.0)
+        assert allocation.rate((0, 1)) == pytest.approx(2.0)
+        assert allocation.rate((0, 2)) == pytest.approx(2.0)
+        assert allocation.rate((1, 0)) == pytest.approx(3.0)
+
+    def test_matches_general_construction_when_all_single_rate(self, figure2_single):
+        baseline = single_rate_max_min_fair(figure2_single)
+        general = max_min_fair_allocation(figure2_single.with_all_single_rate())
+        assert baseline.as_dict() == pytest.approx(general.as_dict())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_general_construction_on_random_networks(self, seed):
+        network = random_multicast_network(
+            seed=seed, num_links=12, num_sessions=4, max_receivers_per_session=3
+        ).with_all_single_rate()
+        baseline = single_rate_max_min_fair(network)
+        general = max_min_fair_allocation(network)
+        assert baseline.as_dict() == pytest.approx(general.as_dict(), rel=1e-6, abs=1e-9)
+
+    def test_ignores_declared_multi_rate_types(self, figure2_multi):
+        # single_rate_max_min_fair always applies the single-rate constraint.
+        allocation = single_rate_max_min_fair(figure2_multi)
+        assert allocation.rate((0, 2)) == pytest.approx(2.0)

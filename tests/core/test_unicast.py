@@ -1,0 +1,73 @@
+"""Unit tests for the unicast max-min baseline and cross-validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import max_min_fair_allocation, unicast_max_min_fair
+from repro.errors import NetworkModelError
+from repro.network import NetworkGraph, Network, Session, random_multicast_network
+
+
+def classic_example_network() -> Network:
+    """The textbook example: three flows over two links.
+
+    Flow 0 crosses both links, flow 1 only the first, flow 2 only the second.
+    Capacities 10 and 5: the max-min fair rates are (2.5, 7.5, 2.5).
+    """
+    graph = NetworkGraph()
+    graph.add_link("a", "b", capacity=10.0)
+    graph.add_link("b", "c", capacity=5.0)
+    sessions = [
+        Session(0, "a", ["c"]),
+        Session(1, "a", ["b"]),
+        Session(2, "b", ["c"]),
+    ]
+    return Network(graph, sessions)
+
+
+class TestUnicastMaxMin:
+    def test_classic_example(self):
+        allocation = unicast_max_min_fair(classic_example_network())
+        assert allocation.rate((0, 0)) == pytest.approx(2.5)
+        assert allocation.rate((1, 0)) == pytest.approx(7.5)
+        assert allocation.rate((2, 0)) == pytest.approx(2.5)
+
+    def test_single_flow_gets_bottleneck_capacity(self):
+        graph = NetworkGraph()
+        graph.add_link("a", "b", capacity=3.0)
+        graph.add_link("b", "c", capacity=7.0)
+        network = Network(graph, [Session(0, "a", ["c"])])
+        allocation = unicast_max_min_fair(network)
+        assert allocation.rate((0, 0)) == pytest.approx(3.0)
+
+    def test_respects_max_rate(self):
+        graph = NetworkGraph()
+        graph.add_link("a", "b", capacity=10.0)
+        network = Network(
+            graph,
+            [Session(0, "a", ["b"], max_rate=1.0), Session(1, "a", ["b"], max_rate=math.inf)],
+        )
+        allocation = unicast_max_min_fair(network)
+        assert allocation.rate((0, 0)) == pytest.approx(1.0)
+        assert allocation.rate((1, 0)) == pytest.approx(9.0)
+
+    def test_rejects_multicast_sessions(self, figure1):
+        with pytest.raises(NetworkModelError):
+            unicast_max_min_fair(figure1)
+
+    def test_matches_general_construction(self):
+        allocation_specialised = unicast_max_min_fair(classic_example_network())
+        allocation_general = max_min_fair_allocation(classic_example_network())
+        assert allocation_specialised.as_dict() == pytest.approx(allocation_general.as_dict())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_general_construction_on_random_unicast_networks(self, seed):
+        network = random_multicast_network(
+            seed=seed, num_links=10, num_sessions=5, max_receivers_per_session=1
+        )
+        specialised = unicast_max_min_fair(network)
+        general = max_min_fair_allocation(network)
+        assert specialised.as_dict() == pytest.approx(general.as_dict(), rel=1e-6, abs=1e-9)

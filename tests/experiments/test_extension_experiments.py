@@ -1,0 +1,92 @@
+"""Tests for the Section-5 extension experiments (active nodes, leave latency, burstiness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError, SimulationError
+from repro.experiments import (
+    gilbert_for_average_loss,
+    run_active_nodes,
+    run_burstiness,
+    run_leave_latency,
+)
+from repro.simulator import BernoulliLoss, GilbertElliottLoss
+
+
+class TestActiveNodeExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_active_nodes(
+            independent_loss_rates=(0.02, 0.08),
+            num_receivers=20,
+            duration_units=400,
+            repetitions=2,
+        )
+
+    def test_redundancy_of_one_is_feasible(self, result):
+        assert result.active_node_redundancy_near_one
+
+    def test_active_node_is_lowest(self, result):
+        assert result.active_node_is_lowest
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "active-node" in table and "mean receiver rate" in table
+
+    def test_receiver_rates_reported_for_all_protocols(self, result):
+        assert set(result.mean_receiver_rate) == set(result.redundancy)
+        assert all(len(v) == 2 for v in result.mean_receiver_rate.values())
+
+
+class TestLeaveLatencyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_leave_latency(
+            latencies=(0.0, 2.0, 4.0),
+            num_receivers=20,
+            duration_units=400,
+            repetitions=2,
+        )
+
+    def test_redundancy_increases(self, result):
+        assert result.redundancy_increases_with_latency
+        assert result.monotone_within_tolerance
+
+    def test_receiver_rate_unchanged_by_latency(self, result):
+        rates = result.mean_receiver_rate
+        assert max(rates) - min(rates) <= 0.05 * max(rates)
+
+    def test_table_renders(self, result):
+        assert "leave latency" in result.table()
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_leave_latency(latencies=(-1.0,), repetitions=1, duration_units=100)
+
+
+class TestBurstinessExperiment:
+    def test_gilbert_factory_matches_average_loss(self):
+        process = gilbert_for_average_loss(0.05, 4.0)
+        assert isinstance(process, GilbertElliottLoss)
+        assert process.average_loss_rate == pytest.approx(0.05)
+        assert isinstance(gilbert_for_average_loss(0.05, 1.0), BernoulliLoss)
+
+    def test_gilbert_factory_validation(self):
+        with pytest.raises(ExperimentError):
+            gilbert_for_average_loss(0.0, 2.0)
+        with pytest.raises(ExperimentError):
+            gilbert_for_average_loss(0.05, 0.5)
+        with pytest.raises(ExperimentError):
+            gilbert_for_average_loss(0.99, 2.0)
+
+    def test_ordering_preserved_under_burstiness(self):
+        result = run_burstiness(
+            burst_lengths=(1.0, 4.0),
+            num_receivers=20,
+            duration_units=400,
+            repetitions=2,
+        )
+        assert result.ordering_preserved
+        assert "burst length" in result.table()
+        assert result.max_shift_from_bernoulli("coordinated") < 1.5

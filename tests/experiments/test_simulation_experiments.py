@@ -1,0 +1,75 @@
+"""Smoke/shape tests for the simulation-backed experiments (Figure 8, loss correlation).
+
+These run the packet-level simulator at a reduced scale so the whole module
+stays within a few tens of seconds; the full-scale regeneration lives in the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_figure8_panel, run_loss_correlation
+from repro.experiments.figure8 import Figure8Panel
+
+
+@pytest.fixture(scope="module")
+def small_panel() -> Figure8Panel:
+    return run_figure8_panel(
+        shared_loss_rate=0.0001,
+        independent_loss_rates=(0.01, 0.08),
+        num_receivers=25,
+        duration_units=500,
+        repetitions=2,
+        base_seed=0,
+    )
+
+
+class TestFigure8Panel:
+    def test_panel_structure(self, small_panel):
+        assert small_panel.num_receivers == 25
+        assert len(small_panel.points) == 3 * 2
+        curves = small_panel.curves()
+        assert set(curves) == {"coordinated", "uncoordinated", "deterministic"}
+        assert all(len(values) == 2 for values in curves.values())
+
+    def test_redundancy_values_reasonable(self, small_panel):
+        for point in small_panel.points:
+            assert 1.0 <= point.redundancy < 5.0
+
+    def test_redundancy_grows_with_independent_loss(self, small_panel):
+        for protocol in ("coordinated", "uncoordinated"):
+            curve = small_panel.curve(protocol)
+            assert curve[-1] >= curve[0] - 0.15
+
+    def test_coordinated_not_worst(self, small_panel):
+        for index in range(2):
+            coordinated = small_panel.curve("coordinated")[index]
+            uncoordinated = small_panel.curve("uncoordinated")[index]
+            assert coordinated <= uncoordinated + 0.2
+
+    def test_table_renders(self, small_panel):
+        table = small_panel.table()
+        assert "independent link loss" in table
+        assert "coordinated" in table
+
+
+class TestLossCorrelation:
+    def test_correlated_loss_lowers_redundancy(self):
+        result = run_loss_correlation(
+            total_loss_rate=0.05,
+            correlated_fractions=(0.0, 1.0),
+            num_receivers=20,
+            duration_units=400,
+            repetitions=2,
+        )
+        assert result.all_protocols_benefit_from_correlation
+        assert "fraction of loss" in result.table()
+
+    def test_validation(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            run_loss_correlation(total_loss_rate=0.0)
+        with pytest.raises(ExperimentError):
+            run_loss_correlation(correlated_fractions=(2.0,), repetitions=1, duration_units=100)

@@ -1,0 +1,116 @@
+"""Unit tests for fixed-layer allocations and the non-existence example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LayeringError
+from repro.layering import (
+    UniformLayerScheme,
+    enumerate_network_allocations,
+    enumerate_single_link_allocations,
+    find_max_min_fair_allocation,
+    is_max_min_fair_among,
+    section3_nonexistence_example,
+)
+from repro.network import figure1_network, single_bottleneck_network
+
+
+class TestSingleLinkEnumeration:
+    def test_paper_example_feasible_set(self):
+        feasible, _ = section3_nonexistence_example(capacity=1.0)
+        expected = sorted(
+            [
+                (0.0, 0.0),
+                (0.0, 0.5),
+                (0.0, 1.0),
+                (1 / 3, 0.0),
+                (1 / 3, 0.5),
+                (2 / 3, 0.0),
+                (1.0, 0.0),
+            ]
+        )
+        assert [tuple(round(v, 9) for v in a) for a in feasible] == [
+            tuple(round(v, 9) for v in a) for a in expected
+        ]
+
+    def test_paper_example_has_no_max_min_fair_allocation(self):
+        _, max_min = section3_nonexistence_example(capacity=1.0)
+        assert max_min is None
+
+    def test_nonexistence_scales_with_capacity(self):
+        feasible, max_min = section3_nonexistence_example(capacity=6.0)
+        assert (2.0, 3.0) in feasible
+        assert max_min is None
+
+    def test_compatible_layering_has_max_min_fair_allocation(self):
+        # Two sessions with identical half-capacity layers: (c/2, c/2) is
+        # feasible and max-min fair.
+        schemes = [UniformLayerScheme(2, 0.5), UniformLayerScheme(2, 0.5)]
+        feasible = enumerate_single_link_allocations(schemes, 1.0)
+        assert find_max_min_fair_allocation(feasible) == (0.5, 0.5)
+
+    def test_capacity_validation(self):
+        with pytest.raises(LayeringError):
+            enumerate_single_link_allocations([UniformLayerScheme(1, 1.0)], 0.0)
+
+
+class TestDefinitionCheck:
+    def test_is_max_min_fair_among_simple_cases(self):
+        feasible = [(1.0, 1.0), (2.0, 0.5), (0.0, 2.0)]
+        assert is_max_min_fair_among((1.0, 1.0), feasible)
+        assert not is_max_min_fair_among((0.0, 2.0), feasible)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(LayeringError):
+            is_max_min_fair_among((1.0,), [(1.0, 2.0)])
+
+    def test_find_returns_first_fair_allocation(self):
+        feasible = [(0.0, 2.0), (1.0, 1.0)]
+        assert find_max_min_fair_allocation(feasible) == (1.0, 1.0)
+
+    def test_find_returns_none_when_absent(self):
+        feasible = [(1.0, 0.0), (0.0, 1.5)]
+        assert find_max_min_fair_allocation(feasible) is None
+
+
+class TestNetworkEnumeration:
+    def test_bottleneck_network_enumeration(self):
+        network = single_bottleneck_network(num_sessions=2, capacity=1.0)
+        schemes = {0: UniformLayerScheme(2, 0.5), 1: UniformLayerScheme(2, 0.5)}
+        allocations = enumerate_network_allocations(network, schemes)
+        vectors = {tuple(a.rate_vector()) for a in allocations}
+        assert (0.5, 0.5) in vectors
+        assert (1.0, 1.0) not in vectors  # would exceed the shared capacity
+        fair = find_max_min_fair_allocation([a.rate_vector() for a in allocations])
+        assert fair == (0.5, 0.5)
+
+    def test_figure1_network_enumeration_respects_nesting(self):
+        network = figure1_network()
+        schemes = {i: UniformLayerScheme(2, 1.0) for i in range(3)}
+        allocations = enumerate_network_allocations(network, schemes)
+        assert allocations, "expected at least one feasible subscription"
+        # The multi-rate max-min fair rates (1,1,2,1,2) are reachable with
+        # these layers, so they must appear among the feasible allocations.
+        target = {(0, 0): 1.0, (1, 0): 1.0, (1, 1): 2.0, (2, 0): 1.0, (2, 1): 2.0}
+        assert any(dict(a.rates) == target for a in allocations)
+
+    def test_missing_scheme_rejected(self):
+        network = single_bottleneck_network(num_sessions=2, capacity=1.0)
+        with pytest.raises(LayeringError):
+            enumerate_network_allocations(network, {0: UniformLayerScheme(1, 0.5)})
+
+    def test_rate_lookup_helpers(self):
+        network = single_bottleneck_network(num_sessions=1, capacity=1.0)
+        schemes = {0: UniformLayerScheme(1, 1.0)}
+        allocations = enumerate_network_allocations(network, schemes)
+        full = max(allocations, key=lambda a: a.rate_of((0, 0)))
+        assert full.rate_of((0, 0)) == pytest.approx(1.0)
+        with pytest.raises(LayeringError):
+            full.rate_of((5, 5))
+
+    def test_max_rate_respected(self):
+        network = single_bottleneck_network(num_sessions=1, capacity=4.0, max_rate=1.0)
+        schemes = {0: UniformLayerScheme(3, 1.0)}
+        allocations = enumerate_network_allocations(network, schemes)
+        assert max(a.rate_of((0, 0)) for a in allocations) == pytest.approx(1.0)

@@ -1,0 +1,156 @@
+"""Unit tests for layer schemes and cumulative-rate arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayeringError
+from repro.layering import (
+    CustomLayerScheme,
+    ExponentialLayerScheme,
+    LayerScheme,
+    UniformLayerScheme,
+    layers_for_receiver_rates,
+)
+
+
+class TestLayerScheme:
+    def test_basic_accessors(self):
+        scheme = LayerScheme([1.0, 2.0, 4.0])
+        assert scheme.num_layers == 3
+        assert len(scheme) == 3
+        assert scheme.layer_rates == (1.0, 2.0, 4.0)
+        assert scheme.layer_rate(2) == 2.0
+        assert scheme.max_rate == 7.0
+
+    def test_cumulative_rates(self):
+        scheme = LayerScheme([1.0, 2.0, 4.0])
+        assert scheme.cumulative_rates() == (0.0, 1.0, 3.0, 7.0)
+        assert scheme.cumulative_rate(0) == 0.0
+        assert scheme.cumulative_rate(3) == 7.0
+
+    def test_level_for_rate(self):
+        scheme = LayerScheme([1.0, 2.0, 4.0])
+        assert scheme.level_for_rate(0.0) == 0
+        assert scheme.level_for_rate(1.0) == 1
+        assert scheme.level_for_rate(2.9) == 1
+        assert scheme.level_for_rate(3.0) == 2
+        assert scheme.level_for_rate(100.0) == 3
+
+    def test_quantization_error(self):
+        scheme = LayerScheme([1.0, 2.0])
+        assert scheme.quantization_error(2.5) == pytest.approx(1.5)
+        assert scheme.quantization_error(3.0) == pytest.approx(0.0)
+
+    def test_scaled(self):
+        scheme = LayerScheme([1.0, 2.0]).scaled(3.0)
+        assert scheme.layer_rates == (3.0, 6.0)
+        with pytest.raises(LayeringError):
+            LayerScheme([1.0]).scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(LayeringError):
+            LayerScheme([])
+        with pytest.raises(LayeringError):
+            LayerScheme([1.0, 0.0])
+        with pytest.raises(LayeringError):
+            LayerScheme([1.0]).layer_rate(2)
+        with pytest.raises(LayeringError):
+            LayerScheme([1.0]).cumulative_rate(5)
+        with pytest.raises(LayeringError):
+            LayerScheme([1.0]).level_for_rate(-1.0)
+
+
+class TestExponentialLayerScheme:
+    def test_paper_cumulative_rates(self):
+        scheme = ExponentialLayerScheme(8)
+        # Aggregate rate of layers 1..i is 2^(i-1).
+        for level in range(1, 9):
+            assert scheme.cumulative_rate(level) == pytest.approx(2.0 ** (level - 1))
+            assert scheme.cumulative_rate_for_level(level) == pytest.approx(2.0 ** (level - 1))
+        assert scheme.cumulative_rate_for_level(0) == 0.0
+
+    def test_layer_rates(self):
+        scheme = ExponentialLayerScheme(5)
+        assert scheme.layer_rates == (1.0, 1.0, 2.0, 4.0, 8.0)
+
+    def test_base_rate_scaling(self):
+        scheme = ExponentialLayerScheme(4, base_rate=3.0)
+        assert scheme.cumulative_rate(4) == pytest.approx(3.0 * 8.0)
+
+    def test_validation(self):
+        with pytest.raises(LayeringError):
+            ExponentialLayerScheme(0)
+        with pytest.raises(LayeringError):
+            ExponentialLayerScheme(3, base_rate=0.0)
+
+
+class TestUniformLayerScheme:
+    def test_equal_increments(self):
+        scheme = UniformLayerScheme(4, 0.25)
+        assert scheme.cumulative_rates() == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(LayeringError):
+            UniformLayerScheme(0, 1.0)
+
+
+class TestLayersForReceiverRates:
+    def test_cumulative_rates_hit_every_receiver_rate(self):
+        scheme = layers_for_receiver_rates([2.0, 1.0, 4.0, 2.0])
+        assert scheme.cumulative_rates() == (0.0, 1.0, 2.0, 4.0)
+
+    def test_zero_rates_ignored(self):
+        scheme = layers_for_receiver_rates([0.0, 3.0])
+        assert scheme.cumulative_rates() == (0.0, 3.0)
+
+    def test_requires_positive_rate(self):
+        with pytest.raises(LayeringError):
+            layers_for_receiver_rates([0.0])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_rate_reachable_by_static_subscription(self, rates):
+        scheme = layers_for_receiver_rates(rates)
+        for rate in rates:
+            level = scheme.level_for_rate(rate)
+            assert scheme.cumulative_rate(level) == pytest.approx(rate, rel=1e-9)
+
+
+class TestCumulativeInvariants:
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_rates_strictly_increase(self, rates):
+        scheme = CustomLayerScheme(rates)
+        cumulative = scheme.cumulative_rates()
+        assert all(b > a for a, b in zip(cumulative, cumulative[1:]))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_level_for_rate_is_affordable_and_maximal(self, rates, target):
+        scheme = CustomLayerScheme(rates)
+        level = scheme.level_for_rate(target)
+        assert scheme.cumulative_rate(level) <= target + 1e-9
+        if level < scheme.num_layers:
+            assert scheme.cumulative_rate(level + 1) > target - 1e-9

@@ -1,0 +1,122 @@
+"""Unit tests for the quantum join/leave model."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import LayeringError
+from repro.layering import (
+    QuantumModel,
+    fractional_prefix_schedule,
+    prefix_packet_count,
+)
+
+
+class TestPrefixPacketCount:
+    def test_integer_targets(self):
+        assert prefix_packet_count(3.0, 1.0) == 3
+        assert prefix_packet_count(2.0, 2.0) == 4
+
+    def test_non_integer_targets_floor(self):
+        assert prefix_packet_count(2.7, 1.0) == 2
+
+    def test_validation(self):
+        with pytest.raises(LayeringError):
+            prefix_packet_count(-1.0, 1.0)
+        with pytest.raises(LayeringError):
+            prefix_packet_count(1.0, 0.0)
+
+
+class TestFractionalPrefixSchedule:
+    def test_average_converges_to_target(self):
+        counts = fractional_prefix_schedule(rate=2.5, quantum=1.0, num_quanta=100)
+        assert sum(counts) / len(counts) == pytest.approx(2.5, abs=0.01)
+        # Per-quantum counts only ever use floor or ceil of the target.
+        assert set(counts) <= {2, 3}
+
+    def test_integer_rate_is_constant(self):
+        counts = fractional_prefix_schedule(rate=3.0, quantum=1.0, num_quanta=10)
+        assert counts == [3] * 10
+
+    def test_validation(self):
+        with pytest.raises(LayeringError):
+            fractional_prefix_schedule(1.0, 1.0, 0)
+
+
+class TestQuantumModel:
+    def test_construction_requires_integer_packets(self):
+        QuantumModel(transmission_rate=10.0, quantum=1.0)
+        with pytest.raises(LayeringError):
+            QuantumModel(transmission_rate=2.5, quantum=1.0)
+        with pytest.raises(LayeringError):
+            QuantumModel(transmission_rate=0.0)
+        with pytest.raises(LayeringError):
+            QuantumModel(transmission_rate=1.0, quantum=-1.0)
+
+    def test_prefix_schedule_is_nested_and_efficient(self):
+        model = QuantumModel(transmission_rate=10.0)
+        schedules = model.prefix_schedule({"a": 3.0, "b": 7.0, "c": 5.0})
+        packet_sets = {s.receiver: s.packets for s in schedules}
+        assert packet_sets["a"] <= packet_sets["b"]
+        assert packet_sets["c"] <= packet_sets["b"]
+        assert model.link_packets(schedules) == 7
+        assert model.redundancy(schedules) == pytest.approx(1.0)
+
+    def test_receiver_rate_cannot_exceed_layer_rate(self):
+        model = QuantumModel(transmission_rate=4.0)
+        with pytest.raises(LayeringError):
+            model.prefix_schedule({"a": 5.0})
+        with pytest.raises(LayeringError):
+            model.random_schedule({"a": -1.0})
+
+    def test_random_schedule_counts_match_rates(self):
+        model = QuantumModel(transmission_rate=20.0)
+        schedules = model.random_schedule({"a": 5.0, "b": 0.0}, random.Random(1))
+        by_receiver = {s.receiver: s for s in schedules}
+        assert by_receiver["a"].packet_count == 5
+        assert by_receiver["b"].packet_count == 0
+
+    def test_random_schedule_union_at_least_max(self):
+        model = QuantumModel(transmission_rate=50.0)
+        rates = {f"r{i}": 10.0 for i in range(5)}
+        schedules = model.random_schedule(rates, random.Random(3))
+        assert model.link_packets(schedules) >= 10
+        assert model.redundancy(schedules) >= 1.0
+
+    def test_empty_schedules(self):
+        model = QuantumModel(transmission_rate=5.0)
+        assert model.link_packets([]) == 0
+        assert model.efficient_link_rate([]) == 0.0
+        assert model.redundancy([]) == 1.0
+
+    def test_zero_rate_receivers_have_redundancy_one(self):
+        model = QuantumModel(transmission_rate=5.0)
+        schedules = model.prefix_schedule({"a": 0.0, "b": 0.0})
+        assert model.redundancy(schedules) == 1.0
+
+
+class TestMonteCarloMatchesAppendixB:
+    def test_simulated_link_rate_matches_expectation(self):
+        from repro.layering import expected_link_rate
+
+        model = QuantumModel(transmission_rate=50.0)
+        rates = {f"r{i}": 5.0 for i in range(10)}
+        simulated = model.simulate_random_join_link_rate(rates, num_quanta=400, rng=random.Random(7))
+        analytical = expected_link_rate(list(rates.values()), 50.0)
+        assert simulated == pytest.approx(analytical, rel=0.05)
+
+    def test_simulated_redundancy_matches_expectation(self):
+        from repro.layering import single_layer_redundancy
+
+        model = QuantumModel(transmission_rate=40.0)
+        rates = {f"r{i}": 4.0 for i in range(8)}
+        simulated = model.simulate_random_join_redundancy(rates, num_quanta=400, rng=random.Random(9))
+        analytical = single_layer_redundancy(list(rates.values()), 40.0)
+        assert simulated == pytest.approx(analytical, rel=0.05)
+
+    def test_validation(self):
+        model = QuantumModel(transmission_rate=5.0)
+        with pytest.raises(LayeringError):
+            model.simulate_random_join_link_rate({"a": 1.0}, num_quanta=0)

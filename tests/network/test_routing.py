@@ -1,0 +1,114 @@
+"""Unit tests for routing tables and data-path bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.network import (
+    ExplicitRouting,
+    NetworkGraph,
+    Network,
+    Session,
+    SessionType,
+    ShortestPathRouting,
+)
+
+
+@pytest.fixture
+def tree_graph() -> NetworkGraph:
+    graph = NetworkGraph()
+    graph.add_link("root", "mid", capacity=10.0)    # 0
+    graph.add_link("mid", "leaf_a", capacity=10.0)  # 1
+    graph.add_link("mid", "leaf_b", capacity=10.0)  # 2
+    return graph
+
+
+@pytest.fixture
+def tree_sessions() -> list:
+    return [
+        Session(0, "root", ["leaf_a", "leaf_b"], SessionType.MULTI_RATE),
+        Session(1, "mid", ["leaf_a"], SessionType.MULTI_RATE),
+    ]
+
+
+class TestShortestPathRouting:
+    def test_data_paths(self, tree_graph, tree_sessions):
+        table = ShortestPathRouting().build(tree_graph, tree_sessions)
+        assert table.data_path((0, 0)) == (0, 1)
+        assert table.data_path((0, 1)) == (0, 2)
+        assert table.data_path((1, 0)) == (1,)
+
+    def test_session_data_path_is_union(self, tree_graph, tree_sessions):
+        table = ShortestPathRouting().build(tree_graph, tree_sessions)
+        assert table.session_data_path(0) == frozenset({0, 1, 2})
+        assert table.session_data_path(1) == frozenset({1})
+
+    def test_receiver_sets_per_link(self, tree_graph, tree_sessions):
+        table = ShortestPathRouting().build(tree_graph, tree_sessions)
+        assert table.receivers_of_session_on_link(0, 0) == frozenset({(0, 0), (0, 1)})
+        assert table.receivers_of_session_on_link(0, 1) == frozenset({(0, 0)})
+        assert table.receivers_on_link(1) == frozenset({(0, 0), (1, 0)})
+        assert table.sessions_on_link(1) == frozenset({0, 1})
+        assert table.receivers_on_link(2) == frozenset({(0, 1)})
+
+    def test_links_used(self, tree_graph, tree_sessions):
+        table = ShortestPathRouting().build(tree_graph, tree_sessions)
+        assert table.links_used() == frozenset({0, 1, 2})
+
+    def test_same_data_path(self, tree_graph):
+        sessions = [
+            Session(0, "root", ["leaf_a"]),
+            Session(1, "root", ["leaf_a"]),
+            Session(2, "root", ["leaf_b"]),
+        ]
+        table = ShortestPathRouting().build(tree_graph, sessions)
+        assert table.same_data_path((0, 0), (1, 0))
+        assert not table.same_data_path((0, 0), (2, 0))
+
+    def test_contains_and_len(self, tree_graph, tree_sessions):
+        table = ShortestPathRouting().build(tree_graph, tree_sessions)
+        assert (0, 0) in table
+        assert (9, 9) not in table
+        assert len(table) == 3
+
+    def test_unknown_receiver_raises(self, tree_graph, tree_sessions):
+        table = ShortestPathRouting().build(tree_graph, tree_sessions)
+        with pytest.raises(RoutingError):
+            table.data_path((5, 0))
+
+
+class TestExplicitRouting:
+    def test_explicit_path_used(self, tree_graph):
+        # Route the receiver at leaf_a the long way via an added extra link.
+        graph = tree_graph
+        graph.add_link("root", "leaf_a", capacity=10.0)  # link 3 (direct)
+        sessions = [Session(0, "root", ["leaf_a"])]
+        routing = ExplicitRouting({(0, 0): [0, 1]})
+        table = routing.build(graph, sessions)
+        assert table.data_path((0, 0)) == (0, 1)
+
+    def test_fallback_to_shortest_path(self, tree_graph, tree_sessions):
+        routing = ExplicitRouting({})
+        table = routing.build(tree_graph, tree_sessions)
+        assert table.data_path((1, 0)) == (1,)
+
+    def test_fallback_disabled(self, tree_graph, tree_sessions):
+        routing = ExplicitRouting({}, allow_fallback=False)
+        with pytest.raises(RoutingError):
+            routing.build(tree_graph, tree_sessions)
+
+    def test_rejects_non_contiguous_path(self, tree_graph):
+        sessions = [Session(0, "root", ["leaf_a"])]
+        with pytest.raises(RoutingError):
+            ExplicitRouting({(0, 0): [2]}).build(tree_graph, sessions)
+
+    def test_rejects_path_ending_elsewhere(self, tree_graph):
+        sessions = [Session(0, "root", ["leaf_a"])]
+        with pytest.raises(RoutingError):
+            ExplicitRouting({(0, 0): [0, 2]}).build(tree_graph, sessions)
+
+    def test_rejects_repeated_link(self, tree_graph):
+        sessions = [Session(0, "root", ["mid"])]
+        with pytest.raises(RoutingError):
+            ExplicitRouting({(0, 0): [0, 1, 1, 0, 0]}).build(tree_graph, sessions)

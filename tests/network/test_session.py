@@ -1,0 +1,121 @@
+"""Unit tests for sessions, senders, and receivers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.network import Receiver, Sender, Session, SessionType
+
+
+class TestSessionType:
+    def test_short_codes(self):
+        assert SessionType.SINGLE_RATE.short == "S"
+        assert SessionType.MULTI_RATE.short == "M"
+
+    @pytest.mark.parametrize(
+        "code,expected",
+        [
+            ("S", SessionType.SINGLE_RATE),
+            ("m", SessionType.MULTI_RATE),
+            ("single-rate", SessionType.SINGLE_RATE),
+            ("MULTI_RATE", SessionType.MULTI_RATE),
+        ],
+    )
+    def test_from_code(self, code, expected):
+        assert SessionType.from_code(code) is expected
+
+    def test_from_code_rejects_unknown(self):
+        with pytest.raises(NetworkModelError):
+            SessionType.from_code("bogus")
+
+
+class TestMembers:
+    def test_sender_name_matches_paper_notation(self):
+        assert Sender(session_id=0, node="a").name == "X1"
+        assert Sender(session_id=2, node="a").name == "X3"
+
+    def test_receiver_name_and_id(self):
+        receiver = Receiver(session_id=1, index=1, node="b")
+        assert receiver.name == "r2,2"
+        assert receiver.receiver_id == (1, 1)
+
+
+class TestSession:
+    def test_basic_construction(self):
+        session = Session(0, "src", ["a", "b"], SessionType.MULTI_RATE, max_rate=5.0)
+        assert session.name == "S1"
+        assert session.num_receivers == 2
+        assert session.sender.node == "src"
+        assert [r.node for r in session.receivers] == ["a", "b"]
+        assert session.receiver_ids == [(0, 0), (0, 1)]
+        assert session.max_rate == 5.0
+
+    def test_default_type_is_multi_rate_with_infinite_rho(self):
+        session = Session(0, "src", ["a"])
+        assert session.is_multi_rate and not session.is_single_rate
+        assert math.isinf(session.max_rate)
+
+    def test_type_from_string(self):
+        session = Session(0, "src", ["a"], session_type="S")
+        assert session.is_single_rate
+
+    def test_unicast_detection(self):
+        assert Session(0, "src", ["a"]).is_unicast
+        assert not Session(0, "src", ["a", "b"]).is_unicast
+
+    def test_receiver_lookup(self):
+        session = Session(1, "src", ["a", "b"])
+        assert session.receiver(1).name == "r2,2"
+        with pytest.raises(NetworkModelError):
+            session.receiver(5)
+
+    def test_iteration_and_len(self):
+        session = Session(0, "src", ["a", "b", "c"])
+        assert len(session) == 3
+        assert [r.index for r in session] == [0, 1, 2]
+
+    def test_requires_at_least_one_receiver(self):
+        with pytest.raises(NetworkModelError):
+            Session(0, "src", [])
+
+    def test_rejects_duplicate_member_nodes(self):
+        with pytest.raises(NetworkModelError):
+            Session(0, "src", ["a", "a"])
+        with pytest.raises(NetworkModelError):
+            Session(0, "src", ["src"])
+
+    def test_rejects_invalid_max_rate(self):
+        with pytest.raises(NetworkModelError):
+            Session(0, "src", ["a"], max_rate=0.0)
+
+    def test_rejects_negative_session_id(self):
+        with pytest.raises(NetworkModelError):
+            Session(-1, "src", ["a"])
+
+    def test_with_type_preserves_members(self):
+        original = Session(0, "src", ["a", "b"], SessionType.SINGLE_RATE, max_rate=7.0)
+        converted = original.with_type(SessionType.MULTI_RATE)
+        assert converted.is_multi_rate
+        assert converted.max_rate == 7.0
+        assert [r.node for r in converted.receivers] == ["a", "b"]
+        assert original.is_single_rate  # original unchanged
+
+    def test_with_max_rate(self):
+        session = Session(0, "src", ["a"]).with_max_rate(2.5)
+        assert session.max_rate == 2.5
+
+    def test_without_receiver_reindexes(self):
+        session = Session(0, "src", ["a", "b", "c"])
+        pruned = session.without_receiver(1)
+        assert [r.node for r in pruned.receivers] == ["a", "c"]
+        assert pruned.receiver_ids == [(0, 0), (0, 1)]
+
+    def test_without_receiver_rejects_last_or_unknown(self):
+        session = Session(0, "src", ["a"])
+        with pytest.raises(NetworkModelError):
+            session.without_receiver(0)
+        with pytest.raises(NetworkModelError):
+            Session(0, "src", ["a", "b"]).without_receiver(5)

@@ -1,0 +1,157 @@
+"""Unit tests for the topology builders (paper examples and synthetic workloads)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.network import (
+    SessionType,
+    figure1_network,
+    figure2_network,
+    figure3a_network,
+    figure3b_network,
+    figure4_network,
+    modified_star_network,
+    random_multicast_network,
+    random_tree_network,
+    shared_bottleneck_with_redundancy,
+    single_bottleneck_network,
+    star_network,
+)
+
+
+class TestPaperExampleTopologies:
+    def test_figure1_structure(self):
+        network = figure1_network()
+        assert network.num_links == 4
+        assert network.num_sessions == 3
+        assert network.num_receivers == 5
+        assert [network.graph.link(j).capacity for j in range(4)] == [5.0, 7.0, 4.0, 3.0]
+        assert all(session.is_multi_rate for session in network.sessions)
+
+    def test_figure1_same_path_receivers(self):
+        network = figure1_network()
+        # r1,1 and r2,1 traverse identical link sets (the paper's same-path pair).
+        assert network.routing.same_data_path((0, 0), (1, 0))
+
+    def test_figure2_types(self):
+        single = figure2_network(single_rate=True)
+        multi = figure2_network(single_rate=False)
+        assert single.session(0).is_single_rate
+        assert multi.session(0).is_multi_rate
+        assert single.session(1).num_receivers == 1
+        assert single.session(0).max_rate == 100.0
+
+    def test_figure2_shared_data_path_pair(self):
+        network = figure2_network()
+        assert network.routing.same_data_path((0, 0), (1, 0))
+
+    def test_figure3_structures(self):
+        for builder in (figure3a_network, figure3b_network):
+            network = builder()
+            assert network.num_sessions == 3
+            assert network.session(0).num_receivers == 1
+            assert network.session(1).num_receivers == 1
+            assert network.session(2).num_receivers == 2
+            assert all(session.is_multi_rate for session in network.sessions)
+
+    def test_figure4_structure(self):
+        network = figure4_network()
+        assert network.session(0).is_multi_rate
+        assert network.graph.link(3).capacity == 6.0
+        # The shared link l4 carries all three S1 receivers.
+        assert len(network.receivers_of_session_on_link(0, 3)) == 3
+
+
+class TestSyntheticTopologies:
+    def test_single_bottleneck_shares_one_link(self):
+        network = single_bottleneck_network(num_sessions=5, capacity=2.0)
+        assert network.num_sessions == 5
+        bottleneck_receivers = network.receivers_on_link(0)
+        assert len(bottleneck_receivers) == 5
+        for session in network.sessions:
+            assert 0 in network.data_path((session.session_id, 0))
+
+    def test_single_bottleneck_multiple_receivers(self):
+        network = single_bottleneck_network(num_sessions=2, capacity=2.0, receivers_per_session=3)
+        assert network.num_receivers == 6
+        assert len(network.receivers_of_session_on_link(0, 0)) == 3
+
+    def test_single_bottleneck_validation(self):
+        with pytest.raises(NetworkModelError):
+            single_bottleneck_network(0)
+        with pytest.raises(NetworkModelError):
+            single_bottleneck_network(2, receivers_per_session=0)
+
+    def test_shared_bottleneck_with_redundancy(self):
+        network = shared_bottleneck_with_redundancy(
+            num_sessions=4, num_redundant=2, redundancy=3.0, capacity=1.0
+        )
+        functions = network.link_rate_functions
+        assert set(functions) == {0, 1}
+        assert functions[0]([2.0]) == pytest.approx(6.0)
+
+    def test_shared_bottleneck_validation(self):
+        with pytest.raises(NetworkModelError):
+            shared_bottleneck_with_redundancy(2, 3, 2.0)
+        with pytest.raises(NetworkModelError):
+            shared_bottleneck_with_redundancy(2, 1, 0.5)
+
+    def test_star_network(self):
+        network = star_network(4, shared_capacity=10.0, fanout_capacity=3.0)
+        assert network.num_receivers == 4
+        for k in range(4):
+            assert network.data_path((0, k)) == (0, k + 1)
+
+    def test_star_network_validation(self):
+        with pytest.raises(NetworkModelError):
+            star_network(0, 1.0, 1.0)
+
+    def test_modified_star_heterogeneous_capacities(self):
+        network = modified_star_network(3, fanout_capacities=[1.0, 2.0, math.inf])
+        capacities = [network.graph.link(j).capacity for j in range(1, 4)]
+        assert capacities[0] == 1.0 and capacities[1] == 2.0
+        assert capacities[2] > 1e9  # infinity replaced by a large finite value
+
+    def test_modified_star_validation(self):
+        with pytest.raises(NetworkModelError):
+            modified_star_network(2, fanout_capacities=[0.5])
+
+    def test_random_tree_is_reproducible(self):
+        first = random_multicast_network(seed=3)
+        second = random_multicast_network(seed=3)
+        assert first.num_links == second.num_links
+        assert [l.capacity for l in first.graph.links] == [
+            l.capacity for l in second.graph.links
+        ]
+        assert [s.sender.node for s in first.sessions] == [
+            s.sender.node for s in second.sessions
+        ]
+
+    def test_random_tree_respects_session_count_and_fraction(self):
+        network = random_tree_network(
+            num_links=8,
+            num_sessions=6,
+            rng=random.Random(1),
+            multi_rate_fraction=0.0,
+        )
+        assert network.num_sessions == 6
+        assert all(session.is_single_rate for session in network.sessions)
+
+    def test_random_tree_all_paths_exist(self):
+        network = random_multicast_network(seed=11, num_links=15, num_sessions=5)
+        for rid in network.all_receiver_ids():
+            path = network.data_path(rid)
+            assert len(path) >= 1
+
+    def test_random_tree_validation(self):
+        with pytest.raises(NetworkModelError):
+            random_tree_network(0, 1)
+        with pytest.raises(NetworkModelError):
+            random_tree_network(3, 0)
+        with pytest.raises(NetworkModelError):
+            random_tree_network(3, 1, capacity_range=(0.0, 1.0))

@@ -1,0 +1,132 @@
+"""Unit tests for the active-node coordination protocol (Section 5 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.layering import ExponentialLayerScheme
+from repro.protocols import ActiveNodeProtocol, make_protocol
+from repro.simulator import simulate_layered_session
+from repro.simulator.packets import Packet
+
+
+def make_packet(layer: int = 1, sync_levels=(), time: float = 0.0, sequence: int = 0) -> Packet:
+    return Packet(time=time, layer=layer, sync_levels=tuple(sync_levels), sequence=sequence)
+
+
+def ready(num_receivers=6, **kwargs) -> ActiveNodeProtocol:
+    protocol = ActiveNodeProtocol(**kwargs)
+    protocol.reset(num_receivers, ExponentialLayerScheme(8), np.random.default_rng(0))
+    return protocol
+
+
+class TestConstruction:
+    def test_factory_registration(self):
+        assert isinstance(make_protocol("active-node"), ActiveNodeProtocol)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ProtocolError):
+            ActiveNodeProtocol(sync_threshold_fraction=2.0)
+        with pytest.raises(ProtocolError):
+            ActiveNodeProtocol(group_loss_fraction=0.0)
+
+
+class TestGroupLeaves:
+    def test_isolated_fanout_loss_does_not_move_the_group(self):
+        protocol = ready()
+        levels = np.full(6, 3, dtype=np.int64)
+        congested = np.array([True, False, False, False, False, False])
+        leaves = protocol.congestion_leaves(congested, levels, make_packet(layer=2))
+        assert not leaves.any()
+
+    def test_shared_loss_moves_the_whole_group(self):
+        protocol = ready()
+        levels = np.full(6, 3, dtype=np.int64)
+        congested = np.ones(6, dtype=bool)
+        leaves = protocol.congestion_leaves(congested, levels, make_packet(layer=2))
+        assert leaves.all()
+
+    def test_group_loss_fraction_threshold(self):
+        protocol = ready(group_loss_fraction=0.5)
+        levels = np.full(6, 3, dtype=np.int64)
+        half = np.array([True, True, True, False, False, False])
+        assert protocol.congestion_leaves(half, levels, make_packet(layer=1)).all()
+        one = np.array([True, False, False, False, False, False])
+        assert not protocol.congestion_leaves(one, levels, make_packet(layer=1)).any()
+
+    def test_group_leave_resets_join_progress(self):
+        protocol = ready()
+        levels = np.full(6, 2, dtype=np.int64)
+        received = np.ones(6, dtype=bool)
+        for _ in range(10):
+            protocol.on_packet_received(received, levels, make_packet())
+        assert protocol.packets_since_group_event == 10
+        protocol.congestion_leaves(np.ones(6, dtype=bool), levels, make_packet(layer=1))
+        assert protocol.packets_since_group_event == 0
+
+    def test_unsubscribed_packet_never_triggers_leave(self):
+        protocol = ready()
+        levels = np.ones(6, dtype=np.int64)
+        congested = np.ones(6, dtype=bool)
+        leaves = protocol.congestion_leaves(congested, levels, make_packet(layer=5))
+        assert not leaves.any()
+
+
+class TestGroupJoins:
+    def test_group_joins_together_at_sync(self):
+        protocol = ready()
+        levels = np.full(6, 2, dtype=np.int64)
+        received = np.ones(6, dtype=bool)
+        # Gate at level 2 is 0.5 * 4 = 2 forwarded packets.
+        protocol.on_packet_received(received, levels, make_packet())
+        protocol.on_packet_received(received, levels, make_packet())
+        joins = protocol.on_packet_received(received, levels, make_packet(sync_levels=(2,)))
+        assert joins.all()
+
+    def test_sync_for_other_level_ignored(self):
+        protocol = ready()
+        levels = np.full(6, 3, dtype=np.int64)
+        received = np.ones(6, dtype=bool)
+        for _ in range(50):
+            protocol.on_packet_received(received, levels, make_packet())
+        joins = protocol.on_packet_received(received, levels, make_packet(sync_levels=(1, 2)))
+        assert not joins.any()
+
+    def test_gate_blocks_early_joins(self):
+        protocol = ready()
+        levels = np.full(6, 4, dtype=np.int64)
+        received = np.ones(6, dtype=bool)
+        joins = protocol.on_packet_received(received, levels, make_packet(sync_levels=(4,)))
+        assert not joins.any()
+
+    def test_requires_reset(self):
+        protocol = ActiveNodeProtocol()
+        with pytest.raises(ProtocolError):
+            protocol.on_packet_received(
+                np.ones(2, dtype=bool), np.ones(2, dtype=np.int64), make_packet()
+            )
+
+
+class TestEndToEndBehaviour:
+    def test_redundancy_close_to_one(self):
+        result = simulate_layered_session(
+            make_protocol("active-node"),
+            num_receivers=30,
+            shared_loss_rate=0.0001,
+            independent_loss_rate=0.05,
+            duration_units=600,
+            seed=1,
+        )
+        assert result.redundancy < 1.2
+
+    def test_group_backs_off_under_shared_congestion(self):
+        lossless = simulate_layered_session(
+            make_protocol("active-node"), 10, 0.0001, 0.02, duration_units=500, seed=2
+        )
+        congested = simulate_layered_session(
+            make_protocol("active-node"), 10, 0.05, 0.02, duration_units=500, seed=2
+        )
+        assert congested.mean_subscription_level < lossless.mean_subscription_level
+        assert congested.redundancy < 1.3

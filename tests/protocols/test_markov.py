@@ -1,0 +1,87 @@
+"""Unit tests for the two-receiver Markov analysis model (Figure 7(a))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocols import TwoReceiverMarkovModel, redundancy_vs_loss_split
+
+
+class TestModelConstruction:
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ProtocolError):
+            TwoReceiverMarkovModel("rlm", 0.01, 0.01, 0.01)
+
+    def test_rejects_invalid_loss_rates(self):
+        with pytest.raises(ProtocolError):
+            TwoReceiverMarkovModel("coordinated", 1.0, 0.01, 0.01)
+        with pytest.raises(ProtocolError):
+            TwoReceiverMarkovModel("coordinated", 0.01, -0.1, 0.01)
+
+    def test_rejects_invalid_layer_count(self):
+        with pytest.raises(ProtocolError):
+            TwoReceiverMarkovModel("coordinated", 0.01, 0.01, 0.01, num_layers=0)
+
+
+class TestTransitionMatrix:
+    @pytest.mark.parametrize("protocol", ["uncoordinated", "deterministic", "coordinated"])
+    def test_rows_sum_to_one(self, protocol):
+        model = TwoReceiverMarkovModel(protocol, 0.01, 0.02, 0.03, num_layers=5)
+        matrix = model.transition_matrix()
+        assert matrix.shape == (25, 25)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        assert (matrix >= -1e-12).all()
+
+    def test_stationary_distribution_is_invariant(self):
+        model = TwoReceiverMarkovModel("uncoordinated", 0.001, 0.02, 0.02, num_layers=4)
+        matrix = model.transition_matrix()
+        stationary = model.stationary_distribution()
+        assert stationary.sum() == pytest.approx(1.0)
+        assert np.allclose(stationary @ matrix, stationary, atol=1e-8)
+
+
+class TestAnalysis:
+    def test_no_loss_receivers_reach_top_layer(self):
+        model = TwoReceiverMarkovModel("deterministic", 0.0, 0.0, 0.0, num_layers=6)
+        result = model.analyze()
+        assert result.mean_levels[0] == pytest.approx(6.0, abs=1e-6)
+        assert result.redundancy == pytest.approx(1.0, abs=1e-6)
+
+    def test_redundancy_at_least_one(self):
+        model = TwoReceiverMarkovModel("uncoordinated", 0.001, 0.05, 0.01)
+        assert model.analyze().redundancy >= 1.0 - 1e-9
+
+    def test_symmetric_losses_give_symmetric_rates(self):
+        model = TwoReceiverMarkovModel("deterministic", 0.001, 0.03, 0.03)
+        result = model.analyze()
+        assert result.receiver_rates[0] == pytest.approx(result.receiver_rates[1], rel=1e-6)
+        assert result.mean_levels[0] == pytest.approx(result.mean_levels[1], rel=1e-6)
+
+    def test_lossier_receiver_gets_lower_rate(self):
+        model = TwoReceiverMarkovModel("uncoordinated", 0.001, 0.1, 0.005)
+        result = model.analyze()
+        assert result.receiver_rates[0] < result.receiver_rates[1]
+
+    def test_higher_independent_loss_means_lower_mean_level(self):
+        low = TwoReceiverMarkovModel("coordinated", 0.001, 0.01, 0.01).analyze()
+        high = TwoReceiverMarkovModel("coordinated", 0.001, 0.08, 0.08).analyze()
+        assert high.mean_levels[0] < low.mean_levels[0]
+
+    @pytest.mark.parametrize("protocol", ["uncoordinated", "deterministic", "coordinated"])
+    def test_equal_loss_split_maximises_redundancy(self, protocol):
+        points = redundancy_vs_loss_split(protocol, 0.05, [0.0, 0.25, 0.5, 0.75, 1.0])
+        splits = [split for split, _ in points]
+        values = [value for _, value in points]
+        assert splits[values.index(max(values))] == pytest.approx(0.5)
+
+    def test_coordinated_redundancy_not_higher_than_uncoordinated(self):
+        shared, total = 0.0001, 0.05
+        coordinated = TwoReceiverMarkovModel("coordinated", shared, total / 2, total / 2).analyze()
+        uncoordinated = TwoReceiverMarkovModel("uncoordinated", shared, total / 2, total / 2).analyze()
+        assert coordinated.redundancy <= uncoordinated.redundancy + 1e-9
+
+    def test_split_validation(self):
+        with pytest.raises(ProtocolError):
+            redundancy_vs_loss_split("coordinated", 0.05, [1.5])

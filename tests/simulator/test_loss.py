@@ -1,0 +1,91 @@
+"""Unit tests for the packet-loss processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+class TestNoLoss:
+    def test_never_loses(self):
+        rng = np.random.default_rng(0)
+        process = NoLoss()
+        assert not process.sample(rng)
+        assert not process.sample_array(rng, 100).any()
+        assert process.average_loss_rate == 0.0
+        assert isinstance(process.copy(), NoLoss)
+
+
+class TestBernoulliLoss:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BernoulliLoss(-0.1)
+        with pytest.raises(SimulationError):
+            BernoulliLoss(1.5)
+
+    def test_zero_probability_never_loses(self):
+        rng = np.random.default_rng(0)
+        process = BernoulliLoss(0.0)
+        assert not process.sample_array(rng, 1000).any()
+
+    def test_one_probability_always_loses(self):
+        rng = np.random.default_rng(0)
+        process = BernoulliLoss(1.0)
+        assert process.sample_array(rng, 100).all()
+        assert process.sample(rng)
+
+    def test_empirical_rate_matches_probability(self):
+        rng = np.random.default_rng(42)
+        process = BernoulliLoss(0.2)
+        samples = process.sample_array(rng, 50_000)
+        assert samples.mean() == pytest.approx(0.2, abs=0.01)
+        assert process.average_loss_rate == 0.2
+
+    def test_copy_is_independent_instance(self):
+        process = BernoulliLoss(0.3)
+        clone = process.copy()
+        assert clone is not process
+        assert clone.probability == 0.3
+
+
+class TestGilbertElliottLoss:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss(1.5, 0.5)
+        with pytest.raises(SimulationError):
+            GilbertElliottLoss(0.5, 0.0)  # bad state must be escapable
+
+    def test_degenerate_good_only(self):
+        rng = np.random.default_rng(1)
+        process = GilbertElliottLoss(0.0, 1.0, loss_good=0.0, loss_bad=1.0)
+        assert not any(process.sample(rng) for _ in range(200))
+        assert process.average_loss_rate == 0.0
+
+    def test_average_loss_rate_from_stationary_distribution(self):
+        process = GilbertElliottLoss(0.1, 0.3, loss_good=0.0, loss_bad=1.0)
+        assert process.average_loss_rate == pytest.approx(0.25)
+
+    def test_empirical_rate_matches_stationary(self):
+        rng = np.random.default_rng(3)
+        process = GilbertElliottLoss(0.05, 0.2, loss_good=0.0, loss_bad=1.0)
+        samples = [process.sample(rng) for _ in range(40_000)]
+        assert np.mean(samples) == pytest.approx(process.average_loss_rate, abs=0.02)
+
+    def test_losses_are_bursty(self):
+        # Consecutive losses should be more likely than under Bernoulli with
+        # the same average rate.
+        rng = np.random.default_rng(5)
+        process = GilbertElliottLoss(0.02, 0.2, loss_good=0.0, loss_bad=1.0)
+        samples = np.array([process.sample(rng) for _ in range(60_000)])
+        rate = samples.mean()
+        consecutive = (samples[1:] & samples[:-1]).mean()
+        assert consecutive > (rate * rate) * 2
+
+    def test_copy_resets_state(self):
+        process = GilbertElliottLoss(0.5, 0.5)
+        clone = process.copy()
+        assert clone is not process
+        assert clone.p_good_to_bad == 0.5

@@ -1,0 +1,97 @@
+"""Unit tests for the sender packet schedule and sync marks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.layering import ExponentialLayerScheme, UniformLayerScheme
+from repro.simulator import PacketSchedule
+
+
+class TestPacketSchedule:
+    def test_packets_per_unit_matches_scheme(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(8))
+        assert schedule.packets_per_unit == 128
+        assert schedule.total_packets(10) == 1280
+
+    def test_requires_integer_layer_rates(self):
+        with pytest.raises(SimulationError):
+            PacketSchedule(UniformLayerScheme(2, 0.5))
+
+    def test_unit_packet_layers_and_counts(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(4))
+        packets = schedule.unit_packets(0)
+        assert len(packets) == 8  # 1 + 1 + 2 + 4
+        per_layer = {}
+        for packet in packets:
+            per_layer[packet.layer] = per_layer.get(packet.layer, 0) + 1
+        assert per_layer == {1: 1, 2: 1, 3: 2, 4: 4}
+
+    def test_packets_sorted_by_time_within_unit(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(6))
+        packets = schedule.unit_packets(3)
+        times = [packet.time for packet in packets]
+        assert times == sorted(times)
+        assert all(3.0 <= t < 4.0 for t in times)
+
+    def test_sequence_numbers_are_global_and_dense(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(4))
+        sequences = [packet.sequence for packet in schedule.iter_packets(3)]
+        assert sequences == list(range(schedule.total_packets(3)))
+
+    def test_layer1_packet_leads_each_unit(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(5))
+        first = schedule.unit_packets(2)[0]
+        assert first.layer == 1
+        assert first.time == pytest.approx(2.0)
+
+    def test_negative_unit_rejected(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(3))
+        with pytest.raises(SimulationError):
+            schedule.unit_packets(-1)
+        with pytest.raises(SimulationError):
+            list(schedule.iter_packets(0))
+
+
+class TestSyncMarks:
+    def test_unit_zero_has_no_sync(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(8))
+        assert schedule.sync_levels_for_unit(0) == ()
+
+    def test_sync_periods_double_per_level(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(8))
+        assert schedule.sync_levels_for_unit(1) == (1,)
+        assert schedule.sync_levels_for_unit(2) == (1, 2)
+        assert schedule.sync_levels_for_unit(3) == (1,)
+        assert schedule.sync_levels_for_unit(4) == (1, 2, 3)
+        assert schedule.sync_levels_for_unit(64) == (1, 2, 3, 4, 5, 6, 7)
+
+    def test_sync_nesting_property(self):
+        # A sync point for level i is always a sync point for every j < i.
+        schedule = PacketSchedule(ExponentialLayerScheme(8))
+        for unit in range(1, 130):
+            levels = schedule.sync_levels_for_unit(unit)
+            for level in levels:
+                assert all(lower in levels for lower in range(1, level))
+
+    def test_only_unit_initial_layer1_packet_carries_sync(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(5))
+        packets = schedule.unit_packets(4)
+        marked = [packet for packet in packets if packet.sync_levels]
+        assert len(marked) == 1
+        assert marked[0].layer == 1
+        assert marked[0].sync_levels == (1, 2, 3)
+
+    def test_sync_frequency_matches_period(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(8))
+        horizon = 256
+        for level in range(1, 8):
+            count = sum(
+                1 for unit in range(1, horizon + 1) if level in schedule.sync_levels_for_unit(unit)
+            )
+            assert count == horizon // (2 ** (level - 1))
+
+    def test_custom_sync_level_limit(self):
+        schedule = PacketSchedule(ExponentialLayerScheme(8), num_sync_levels=2)
+        assert schedule.sync_levels_for_unit(8) == (1, 2)

@@ -1,0 +1,137 @@
+"""End-to-end integration tests across the library's layers.
+
+These tests exercise whole pipelines rather than single modules: network
+construction -> fair allocation -> property checking -> layering -> protocol
+simulation, mirroring how a downstream user would consume the library.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Allocation,
+    check_all_properties,
+    max_min_fair_allocation,
+    min_unfavorable,
+    single_rate_max_min_fair,
+)
+from repro.core import constant_redundancy, is_feasible
+from repro.layering import QuantumModel, layers_for_receiver_rates
+from repro.network import SessionType, figure1_network, random_multicast_network
+from repro.protocols import make_protocol
+from repro.simulator import simulate_star, uniform_star
+
+
+class TestFairnessPipeline:
+    """Topology -> allocation -> properties -> ordering, on random networks."""
+
+    @pytest.mark.parametrize("seed", [5, 17, 23, 101])
+    def test_multi_rate_beats_single_rate_end_to_end(self, seed):
+        network = random_multicast_network(seed=seed, num_links=14, num_sessions=5)
+        single = single_rate_max_min_fair(network.with_all_single_rate())
+        multi = max_min_fair_allocation(network.with_all_multi_rate())
+
+        assert is_feasible(single)
+        assert is_feasible(multi)
+        # Lemma 3 / Corollary 1.
+        assert min_unfavorable(single.ordered_vector(), multi.ordered_vector())
+        # Theorem 1 on the multi-rate allocation.
+        assert all(report.holds for report in check_all_properties(multi).values())
+        # The worst-off receiver never does worse under multi-rate sessions.
+        assert multi.min_rate() >= single.min_rate() - 1e-9
+
+    def test_redundancy_degrades_fairness_end_to_end(self):
+        from repro.core import strictly_min_unfavorable
+
+        network = figure1_network()
+        efficient = max_min_fair_allocation(network)
+        redundant = max_min_fair_allocation(
+            network, link_rate_functions={1: constant_redundancy(2.5, min_receivers=2)}
+        )
+        # Lemma 4: the redundant allocation is (strictly) min-unfavorable.
+        assert strictly_min_unfavorable(
+            redundant.ordered_vector(), efficient.ordered_vector()
+        )
+        assert min_unfavorable(redundant.ordered_vector(), efficient.ordered_vector())
+
+
+class TestLayeringPipeline:
+    """Fair rates -> idealised layer configuration -> quantum schedules."""
+
+    def test_fair_rates_realisable_with_per_receiver_layers(self):
+        network = figure1_network()
+        allocation = max_min_fair_allocation(network)
+        rates = list(allocation.ordered_vector())
+        scheme = layers_for_receiver_rates(rates)
+        # Every fair rate is a cumulative rate of the scheme.
+        for rate in rates:
+            level = scheme.level_for_rate(rate)
+            assert scheme.cumulative_rate(level) == pytest.approx(rate)
+
+    def test_quantum_prefix_schedules_are_efficient_for_fair_rates(self):
+        network = figure1_network()
+        allocation = max_min_fair_allocation(network)
+        # Session 2 (id 1) has receivers at 1.0 and 2.0; scale to packets.
+        rates = {rid: rate * 10 for rid, rate in allocation.session_receiver_rates(1).items()}
+        model = QuantumModel(transmission_rate=40.0)
+        schedules = model.prefix_schedule(rates)
+        assert model.redundancy(schedules) == pytest.approx(1.0)
+        # Uncoordinated joins on the same rates waste bandwidth.
+        import random
+
+        uncoordinated = model.simulate_random_join_redundancy(rates, 50, random.Random(0))
+        assert uncoordinated >= 1.0
+
+    def test_fixed_allocation_checked_against_water_filling(self):
+        # The enumerated fixed-layer optimum can never be "more max-min fair"
+        # than the unconstrained water-filling allocation.
+        from repro.layering import UniformLayerScheme, enumerate_network_allocations
+        from repro.network import single_bottleneck_network
+
+        network = single_bottleneck_network(num_sessions=2, capacity=1.0)
+        fluid = max_min_fair_allocation(network)
+        allocations = enumerate_network_allocations(
+            network, {0: UniformLayerScheme(3, 1 / 3), 1: UniformLayerScheme(2, 0.5)}
+        )
+        for fixed in allocations:
+            vector = tuple(sorted(fixed.rate_vector()))
+            assert min_unfavorable(vector, fluid.ordered_vector())
+
+
+class TestProtocolPipeline:
+    """Protocol simulation feeding the fairness machinery."""
+
+    def test_measured_redundancy_plugs_into_fair_rate_formula(self):
+        from repro.core import bottleneck_fair_rate
+
+        config = uniform_star(10, 0.0001, 0.05, duration_units=400)
+        result = simulate_star(make_protocol("coordinated"), config, seed=0)
+        measured = result.redundancy
+        # Feed the measured redundancy into the Figure 6 closed form.
+        fair_with = bottleneck_fair_rate(20, 1, measured, capacity=1.0)
+        fair_without = bottleneck_fair_rate(20, 1, 1.0, capacity=1.0)
+        assert fair_with <= fair_without
+        assert fair_with >= bottleneck_fair_rate(20, 1, 5.0, capacity=1.0)
+
+    def test_coordination_reduces_measured_redundancy(self):
+        config = uniform_star(30, 0.0001, 0.05, duration_units=600)
+        coordinated = simulate_star(make_protocol("coordinated"), config, seed=3)
+        uncoordinated = simulate_star(make_protocol("uncoordinated"), config, seed=3)
+        assert coordinated.redundancy < uncoordinated.redundancy + 0.1
+
+
+class TestPackageSurface:
+    def test_version_and_top_level_exports(self):
+        import repro
+
+        assert repro.__version__
+        allocation = repro.max_min_fair_allocation(figure1_network())
+        assert isinstance(allocation, Allocation)
+        assert isinstance(repro.SessionType.MULTI_RATE, SessionType)
+
+    def test_docstring_example(self):
+        network = figure1_network()
+        allocation = max_min_fair_allocation(network)
+        assert sorted(allocation.ordered_vector()) == [1.0, 1.0, 1.0, 2.0, 2.0]
+        assert all(report.holds for report in check_all_properties(allocation).values())
