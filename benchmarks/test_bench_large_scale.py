@@ -1,0 +1,64 @@
+"""Large-scale performance baseline for the vectorised core (PR 1).
+
+These cases are far beyond the toy scales of ``test_bench_core_scaling`` and
+exist to give future PRs a recorded perf baseline.  They are marked
+``slow`` (deselected by default, see ``pytest.ini``); regenerate the JSON
+baseline with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_large_scale.py \
+        -m slow --benchmark-json=BENCH_core.json
+
+The committed ``BENCH_core.json`` holds the numbers measured when this PR
+landed; compare against it before accepting changes to the hot paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import max_min_fair_allocation
+from repro.network import random_multicast_network
+from repro.protocols import make_protocol
+from repro.simulator import simulate_star, uniform_star
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize(
+    "num_sessions,num_links,max_receivers",
+    [(50, 200, 6), (100, 400, 8)],
+    ids=["50s-200l", "100s-400l"],
+)
+def test_bench_water_filling_large(benchmark, num_sessions, num_links, max_receivers):
+    """The ISSUE-1 acceptance case: ~500 receivers must finish in seconds."""
+    network = random_multicast_network(
+        seed=42,
+        num_links=num_links,
+        num_sessions=num_sessions,
+        max_receivers_per_session=max_receivers,
+    )
+    allocation = benchmark(max_min_fair_allocation, network)
+    assert allocation.min_rate() > 0
+    # Single-run wall-clock guard for the acceptance criterion (<10s).
+    assert benchmark.stats.stats.max < 10.0
+
+
+@pytest.mark.parametrize("method", ["vectorized", "reference"])
+def test_bench_water_filling_method_comparison(benchmark, method):
+    """Reference-vs-vectorised on one mid-sized network (speedup tracking)."""
+    network = random_multicast_network(
+        seed=42, num_links=80, num_sessions=20, max_receivers_per_session=5
+    )
+    allocation = benchmark(max_min_fair_allocation, network, method=method)
+    assert allocation.min_rate() > 0
+
+
+def test_bench_simulator_large_star(benchmark):
+    """Figure-8-scale packet simulation (100 receivers, batched sampling)."""
+    config = uniform_star(100, 0.0001, 0.05, duration_units=500)
+
+    def run():
+        return simulate_star(make_protocol("coordinated"), config, seed=0)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.redundancy >= 1.0

@@ -77,6 +77,9 @@ class Allocation(Mapping[ReceiverId, float]):
         if link_rate_functions:
             merged.update(link_rate_functions)
         self._link_rate_functions = merged
+        # Allocations are immutable, so total link rates can be memoised; the
+        # fairness-property checkers ask for the same links repeatedly.
+        self._link_rate_cache: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # constructors
@@ -195,10 +198,14 @@ class Allocation(Mapping[ReceiverId, float]):
         return efficient_link_rate([self._rates[rid] for rid in downstream])
 
     def link_rate(self, link_id: int) -> float:
-        """The total link rate ``u_j = sum_i u_{i,j}``."""
+        """The total link rate ``u_j = sum_i u_{i,j}`` (memoised)."""
+        cached = self._link_rate_cache.get(link_id)
+        if cached is not None:
+            return cached
         total = 0.0
         for session_id in self._network.sessions_on_link(link_id):
             total += self.session_link_rate(session_id, link_id)
+        self._link_rate_cache[link_id] = total
         return total
 
     def link_rates(self) -> Dict[int, float]:

@@ -18,6 +18,23 @@ for arbitrary monotone session link-rate functions ``v_i`` with
 The resulting allocation is the unique max-min fair allocation for the
 network (Lemma 5 / Corollary 5 of the technical report); tests verify
 max-min fairness directly against the definition on randomised networks.
+
+Two interchangeable engines implement the construction:
+
+* ``method="vectorized"`` (the default) — NumPy state machine over the
+  network's cached :class:`~repro.network.incidence.NetworkIncidence`
+  structures.  Link loads are maintained *incrementally*: every linear
+  ``(session, link)`` pair contributes ``factor * level`` through a per-link
+  slope while it has active receivers, and is folded into a constant
+  per-link frozen load exactly once, when its last downstream receiver
+  freezes.  Only links touched by newly-frozen receivers are updated.
+  Sessions whose link-rate function does not advertise a linear
+  ``redundancy_factor`` fall back to per-link bisection, exactly as in the
+  reference engine.
+* ``method="reference"`` — the original dict/set implementation, kept as an
+  executable specification.  Randomised equivalence tests assert that both
+  engines produce the same allocations and the same freeze order (see
+  ``tests/core/test_maxmin_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -26,13 +43,24 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..errors import FairnessComputationError
 from ..network.network import LinkRateFunction, Network
 from ..network.session import ReceiverId
 from .allocation import Allocation, DEFAULT_TOLERANCE
 from .redundancy import efficient_link_rate
 
-__all__ = ["max_min_fair_allocation", "MaxMinTrace", "MaxMinStep"]
+__all__ = ["max_min_fair_allocation", "MaxMinTrace", "MaxMinStep", "WATER_FILL_METHODS"]
+
+#: Valid values of the ``method`` argument of :func:`max_min_fair_allocation`.
+WATER_FILL_METHODS = ("vectorized", "reference")
+
+#: Below this problem size (receivers + links + pairs) the ``vectorized``
+#: method runs its scalar twin: NumPy's per-operation overhead exceeds the
+#: cost of plain-float loops on such small index sets.  Chosen empirically
+#: on the ``test_bench_water_filling_scaling`` workloads.
+_SCALAR_ENGINE_CUTOFF = 1200
 
 
 @dataclass(frozen=True)
@@ -61,6 +89,7 @@ def max_min_fair_allocation(
     link_rate_functions: Optional[Mapping[int, LinkRateFunction]] = None,
     tolerance: float = DEFAULT_TOLERANCE,
     trace: Optional[MaxMinTrace] = None,
+    method: str = "vectorized",
 ) -> Allocation:
     """Compute the max-min fair allocation of receiver rates for a network.
 
@@ -76,6 +105,9 @@ def max_min_fair_allocation(
         Numerical tolerance used for saturation and ``rho`` tests.
     trace:
         When supplied, the water-filling steps are appended to it.
+    method:
+        ``"vectorized"`` (default) for the NumPy engine or ``"reference"``
+        for the original dict/set implementation (see module docstring).
 
     Returns
     -------
@@ -83,14 +115,34 @@ def max_min_fair_allocation(
         The (unique) max-min fair allocation, evaluated under the same
         link-rate functions.
     """
+    if method not in WATER_FILL_METHODS:
+        raise ValueError(
+            f"unknown water-filling method {method!r}; expected one of {WATER_FILL_METHODS}"
+        )
     functions: Dict[int, LinkRateFunction] = dict(network.link_rate_functions)
     if link_rate_functions:
         functions.update(link_rate_functions)
 
-    state = _WaterFillState(network, functions, tolerance)
+    if method == "vectorized":
+        # NumPy per-operation dispatch overhead dominates on small problems,
+        # so the vectorised engine has a scalar twin over the same incidence
+        # structures; both use identical incremental-update logic.
+        incidence = network.incidence()
+        problem_size = (
+            incidence.num_receivers + incidence.num_links + incidence.num_pairs
+        )
+        if problem_size <= _SCALAR_ENGINE_CUTOFF:
+            state: "_WaterFillEngine" = _ScalarWaterFillState(
+                network, functions, tolerance
+            )
+        else:
+            state = _VectorizedWaterFillState(network, functions, tolerance)
+    else:
+        state = _WaterFillState(network, functions, tolerance)
+
     iteration_limit = 4 * (network.num_receivers + network.num_links) + 16
     iterations = 0
-    while state.active:
+    while state.has_active:
         iterations += 1
         if iterations > iteration_limit:
             raise FairnessComputationError(
@@ -114,11 +166,54 @@ def max_min_fair_allocation(
                 "water-filling stalled: no progress and no receiver frozen"
             )
 
-    return Allocation(network, state.rates, functions)
+    return Allocation(network, state.final_rates(), functions)
 
 
-class _WaterFillState:
-    """Mutable state of the Appendix-A water-filling construction.
+def _bisect_increment(rate_at, level: float, capacity: float, upper: float) -> float:
+    """Largest increment keeping ``rate_at(level + d) <= capacity`` for d in [0, upper].
+
+    Shared by all engines (reference, NumPy, scalar) so the bisection
+    semantics cannot drift between them; ``rate_at`` evaluates one link's
+    rate at a hypothetical active-receiver level.
+    """
+    if upper <= 0:
+        return 0.0
+    if rate_at(level + upper) <= capacity:
+        return upper
+    lo, hi = 0.0, upper
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        if rate_at(level + mid) <= capacity:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+class _WaterFillEngine:
+    """Protocol shared by the two water-filling state machines."""
+
+    level: float
+
+    @property
+    def has_active(self) -> bool:
+        raise NotImplementedError
+
+    def compute_increment(self) -> float:
+        raise NotImplementedError
+
+    def apply_increment(self, increment: float) -> None:
+        raise NotImplementedError
+
+    def freeze_receivers(self) -> Tuple[Set[ReceiverId], Set[int]]:
+        raise NotImplementedError
+
+    def final_rates(self) -> Dict[ReceiverId, float]:
+        raise NotImplementedError
+
+
+class _WaterFillState(_WaterFillEngine):
+    """Reference (dict/set) state of the Appendix-A water-filling construction.
 
     Invariant: all active receivers share the same current rate
     (``self.level``); frozen receivers keep the rate at which they were
@@ -147,6 +242,13 @@ class _WaterFillState:
             for session_id in network.sessions_on_link(link_id):
                 receivers = network.receivers_of_session_on_link(session_id, link_id)
                 self.downstream[(session_id, link_id)] = tuple(sorted(receivers))
+
+    @property
+    def has_active(self) -> bool:
+        return bool(self.active)
+
+    def final_rates(self) -> Dict[ReceiverId, float]:
+        return self.rates
 
     # ------------------------------------------------------------------
     # link-rate evaluation
@@ -238,18 +340,9 @@ class _WaterFillState:
 
     def _bisect_link(self, link_id: int, capacity: float, upper: float) -> float:
         """Largest increment keeping ``u_j <= c_j`` for a non-linear ``v_i``."""
-        if upper <= 0:
-            return 0.0
-        if self._link_rate_at(link_id, self.level + upper) <= capacity:
-            return upper
-        lo, hi = 0.0, upper
-        for _ in range(80):
-            mid = 0.5 * (lo + hi)
-            if self._link_rate_at(link_id, self.level + mid) <= capacity:
-                lo = mid
-            else:
-                hi = mid
-        return lo
+        return _bisect_increment(
+            lambda rate: self._link_rate_at(link_id, rate), self.level, capacity, upper
+        )
 
     # ------------------------------------------------------------------
     # state updates
@@ -303,3 +396,488 @@ class _WaterFillState:
 
         self.active -= frozen
         return frozen, saturated
+
+
+class _VectorizedWaterFillState(_WaterFillEngine):
+    """NumPy state of the water-filling construction (see module docstring).
+
+    The structural arrays come from the network's cached
+    :class:`~repro.network.incidence.NetworkIncidence`; only the per-call
+    state (activity masks, frozen rates, incremental link aggregates) lives
+    here.  Per iteration, the total load of link ``j`` at hypothetical level
+    ``x`` is::
+
+        u_j(x) = frozen_load_j + slope_j * x + sum of active non-linear pairs
+
+    where ``slope_j`` sums the ``redundancy_factor`` of the link's linear
+    pairs that still have active downstream receivers, and ``frozen_load_j``
+    accumulates each pair's final contribution the moment its last receiver
+    freezes.  For a linear pair with an active receiver the downstream
+    maximum is exactly the current level (frozen rates never exceed it), so
+    this reproduces the reference computation without touching the
+    downstream sets after initialisation.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        functions: Mapping[int, LinkRateFunction],
+        tolerance: float,
+    ) -> None:
+        self.network = network
+        self.functions = functions
+        self.tolerance = tolerance
+        self.level = 0.0
+
+        inc = network.incidence()
+        self.inc = inc
+        num_receivers = inc.num_receivers
+        num_links = inc.num_links
+        num_pairs = inc.num_pairs
+
+        self.active_mask = np.ones(num_receivers, dtype=bool)
+        self.num_active = num_receivers
+        self.rates = np.zeros(num_receivers, dtype=np.float64)
+
+        # Per-pair link-rate functions; linear ones advertise their slope.
+        self.pair_function: List[LinkRateFunction] = [
+            functions.get(int(sid), efficient_link_rate) for sid in inc.pair_session
+        ]
+        factors = np.full(num_pairs, np.nan, dtype=np.float64)
+        for pair, function in enumerate(self.pair_function):
+            factor = getattr(function, "redundancy_factor", None)
+            if factor is not None:
+                factors[pair] = float(factor)
+        self.pair_factor = factors
+        self.linear_mask = ~np.isnan(factors)
+        self.nonlinear_idx = np.nonzero(~self.linear_mask)[0]
+
+        self.pair_active_count = inc.base_pair_counts.copy()
+        self.link_pair_ptr = inc.link_pair_ptr
+
+        # Incremental aggregates (updated only for links touched by freezes).
+        self.link_slope = np.bincount(
+            inc.pair_link[self.linear_mask],
+            weights=factors[self.linear_mask],
+            minlength=num_links,
+        )
+        self.link_frozen_load = np.zeros(num_links, dtype=np.float64)
+
+        self.session_active_count = inc.session_receiver_count.copy()
+        self.has_nonlinear = bool(self.nonlinear_idx.size)
+        self.any_finite_rho = inc.any_finite_rho
+
+        # Per-receiver rho thresholds (freeze test vectorised over receivers).
+        rho = inc.session_max_rate[inc.receiver_session]
+        self.rcv_rho_finite = np.isfinite(rho)
+        with np.errstate(invalid="ignore"):
+            self.rcv_rho_threshold = rho - tolerance * np.maximum(1.0, rho)
+        self.rcv_single_rate = inc.session_single_rate[inc.receiver_session]
+
+        self.saturation_threshold = inc.capacities - tolerance * np.maximum(
+            1.0, inc.capacities
+        )
+        self._pair_scratch = np.zeros(num_pairs, dtype=bool)
+        # Link loads at the current level, reused between the freeze pass of
+        # one iteration and the increment computation of the next (the level
+        # does not change in between).
+        self._link_rates_cache: Optional[np.ndarray] = None
+
+    @property
+    def has_active(self) -> bool:
+        return self.num_active > 0
+
+    def final_rates(self) -> Dict[ReceiverId, float]:
+        return {
+            rid: float(rate) for rid, rate in zip(self.inc.receiver_ids, self.rates)
+        }
+
+    # ------------------------------------------------------------------
+    # link-rate evaluation
+    # ------------------------------------------------------------------
+    def _active_nonlinear_pairs(self) -> np.ndarray:
+        if not self.has_nonlinear:
+            return self.nonlinear_idx
+        return self.nonlinear_idx[self.pair_active_count[self.nonlinear_idx] > 0]
+
+    def _nonlinear_pair_rate(self, pair: int, active_rate: float) -> float:
+        members = self.inc.pair_members(pair)
+        values = np.where(self.active_mask[members], active_rate, self.rates[members])
+        return float(self.pair_function[pair](values))
+
+    def _link_rates_at(self, active_rate: float) -> np.ndarray:
+        """``u_j`` for every relevant link with active receivers at ``active_rate``."""
+        rates = self.link_frozen_load + self.link_slope * active_rate
+        if self.has_nonlinear:
+            for pair in self._active_nonlinear_pairs():
+                rates[self.inc.pair_link[pair]] += self._nonlinear_pair_rate(
+                    int(pair), active_rate
+                )
+        return rates
+
+    def _single_link_rate_at(self, link: int, active_rate: float) -> float:
+        """``u_j`` of one compact link at hypothetical ``active_rate`` (bisection)."""
+        total = self.link_frozen_load[link] + self.link_slope[link] * active_rate
+        for pair in range(self.link_pair_ptr[link], self.link_pair_ptr[link + 1]):
+            if not self.linear_mask[pair] and self.pair_active_count[pair] > 0:
+                total += self._nonlinear_pair_rate(pair, active_rate)
+        return float(total)
+
+    # ------------------------------------------------------------------
+    # increment computation
+    # ------------------------------------------------------------------
+    def compute_increment(self) -> float:
+        bound = self._rho_bound()
+        has_active_pair = self.pair_active_count > 0
+        link_active = np.zeros(self.inc.num_links, dtype=bool)
+        link_active[self.inc.pair_link[has_active_pair]] = True
+
+        if self._link_rates_cache is not None:
+            current = self._link_rates_cache
+        else:
+            current = self._link_rates_at(self.level)
+        headroom = self.inc.capacities - current
+        if bool(np.any(link_active & (headroom <= 0.0))):
+            return 0.0
+
+        if self.has_nonlinear:
+            nonlinear_active = self._active_nonlinear_pairs()
+        else:
+            nonlinear_active = self.nonlinear_idx
+        if nonlinear_active.size:
+            nonlinear_links = np.unique(self.inc.pair_link[nonlinear_active])
+            nonlinear_link_mask = np.zeros(self.inc.num_links, dtype=bool)
+            nonlinear_link_mask[nonlinear_links] = True
+            linear_links = link_active & ~nonlinear_link_mask & (self.link_slope > 0)
+        else:
+            nonlinear_links = nonlinear_active  # empty
+            linear_links = link_active & (self.link_slope > 0)
+
+        if linear_links.any():
+            bound = min(
+                bound,
+                float((headroom[linear_links] / self.link_slope[linear_links]).min()),
+            )
+        for link in nonlinear_links:
+            bound = min(
+                bound,
+                self._bisect_link(int(link), float(self.inc.capacities[link]), bound),
+            )
+        return max(bound, 0.0)
+
+    def _rho_bound(self) -> float:
+        if self.any_finite_rho:
+            active_sessions = self.session_active_count > 0
+            rhos = self.inc.session_max_rate[active_sessions]
+            finite = rhos[np.isfinite(rhos)]
+            if finite.size:
+                return float(finite.min()) - self.level
+        return max(self.inc.max_capacity - self.level, 0.0)
+
+    def _bisect_link(self, link: int, capacity: float, upper: float) -> float:
+        """Largest increment keeping ``u_j <= c_j`` for a non-linear ``v_i``."""
+        return _bisect_increment(
+            lambda rate: self._single_link_rate_at(link, rate), self.level, capacity, upper
+        )
+
+    # ------------------------------------------------------------------
+    # state updates
+    # ------------------------------------------------------------------
+    def apply_increment(self, increment: float) -> None:
+        # Active receivers' rates are implicitly the level; they are
+        # materialised into ``self.rates`` when the receiver freezes.
+        self.level += increment
+        self._link_rates_cache = None
+
+    def freeze_receivers(self) -> Tuple[Set[ReceiverId], Set[int]]:
+        inc = self.inc
+        current = self._link_rates_at(self.level)
+        saturated_mask = current >= self.saturation_threshold
+
+        if self.any_finite_rho:
+            at_rho = self.rcv_rho_finite & (self.level >= self.rcv_rho_threshold)
+        else:
+            at_rho = None
+        if saturated_mask.any():
+            on_saturated = inc.membership[:, saturated_mask].any(axis=1)
+            frozen_test = on_saturated if at_rho is None else (at_rho | on_saturated)
+            newly = self.active_mask & frozen_test
+        elif at_rho is not None:
+            newly = self.active_mask & at_rho
+        else:
+            newly = np.zeros(len(self.active_mask), dtype=bool)
+
+        if newly.any():
+            # A single-rate session freezes as a unit: one pass suffices
+            # because all receivers start active and the propagation is
+            # intra-session, so active single-rate sessions are always
+            # all-active.
+            session_hit = np.zeros(len(inc.session_max_rate), dtype=bool)
+            session_hit[inc.receiver_session[newly]] = True
+            newly = newly | (
+                self.active_mask
+                & self.rcv_single_rate
+                & session_hit[inc.receiver_session]
+            )
+
+        frozen_idx = np.nonzero(newly)[0]
+        if frozen_idx.size:
+            self.rates[frozen_idx] = self.level
+            self.active_mask[frozen_idx] = False
+            self.num_active -= int(frozen_idx.size)
+            np.subtract.at(
+                self.session_active_count, inc.receiver_session[frozen_idx], 1
+            )
+            # Update only the pairs (and hence links) the frozen receivers
+            # touch; everything else keeps its incremental aggregates.
+            touched = np.concatenate(
+                [inc.receiver_incident_pairs(int(i)) for i in frozen_idx]
+            )
+            if touched.size:
+                np.subtract.at(self.pair_active_count, touched, 1)
+                # Deduplicate via a reusable scratch mask (cheaper than the
+                # sort inside np.unique for these small index sets).
+                self._pair_scratch[touched] = True
+                candidates = np.nonzero(self._pair_scratch)[0]
+                self._pair_scratch[candidates] = False
+                drained = candidates[self.pair_active_count[candidates] == 0]
+                if drained.size:
+                    linear = drained[self.linear_mask[drained]]
+                    if linear.size:
+                        # The pair's downstream maximum is the current level:
+                        # its last receiver froze at exactly this level.
+                        np.subtract.at(
+                            self.link_slope, inc.pair_link[linear], self.pair_factor[linear]
+                        )
+                        np.add.at(
+                            self.link_frozen_load,
+                            inc.pair_link[linear],
+                            self.pair_factor[linear] * self.level,
+                        )
+                    for pair in drained[~self.linear_mask[drained]]:
+                        self.link_frozen_load[inc.pair_link[pair]] += (
+                            self._nonlinear_pair_rate(int(pair), self.level)
+                        )
+
+        # A drained pair's contribution at the current level is unchanged by
+        # the slope -> frozen-load hand-off (factor * level either way), so
+        # the link loads remain valid for the next increment computation.
+        self._link_rates_cache = current
+
+        frozen_ids = {inc.receiver_ids[int(i)] for i in frozen_idx}
+        saturated_ids = {
+            inc.relevant_links[int(c)] for c in np.nonzero(saturated_mask)[0]
+        }
+        return frozen_ids, saturated_ids
+
+
+class _ScalarWaterFillState(_WaterFillEngine):
+    """Scalar twin of :class:`_VectorizedWaterFillState` for small networks.
+
+    Identical algorithm and incremental link aggregates, but plain Python
+    floats/lists over the incidence's cached :class:`ScalarIncidenceView`.
+    Selected automatically by ``method="vectorized"`` below
+    ``_SCALAR_ENGINE_CUTOFF`` (see module docstring).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        functions: Mapping[int, LinkRateFunction],
+        tolerance: float,
+    ) -> None:
+        self.network = network
+        self.tolerance = tolerance
+        self.level = 0.0
+
+        inc = network.incidence()
+        self.inc = inc
+        view = inc.scalar_view()
+        self.view = view
+        num_receivers = inc.num_receivers
+        num_links = inc.num_links
+        num_pairs = inc.num_pairs
+
+        self.active = [True] * num_receivers
+        self.num_active = num_receivers
+        self.rates = [0.0] * num_receivers
+
+        self.pair_function: List[LinkRateFunction] = [
+            functions.get(sid, efficient_link_rate) for sid in view.pair_session
+        ]
+        self.pair_factor: List[Optional[float]] = []
+        for function in self.pair_function:
+            factor = getattr(function, "redundancy_factor", None)
+            self.pair_factor.append(None if factor is None else float(factor))
+
+        self.pair_active_count = [len(members) for members in view.pair_members]
+        self.link_slope = [0.0] * num_links
+        self.link_frozen_load = [0.0] * num_links
+        self.link_active_pairs = [0] * num_links
+        self.link_nonlinear_active = [0] * num_links
+        self.has_nonlinear = False
+        for pair in range(num_pairs):
+            link = view.pair_link[pair]
+            self.link_active_pairs[link] += 1
+            factor = self.pair_factor[pair]
+            if factor is None:
+                self.link_nonlinear_active[link] += 1
+                self.has_nonlinear = True
+            else:
+                self.link_slope[link] += factor
+
+        self.session_active_count = inc.session_receiver_count.tolist()
+        self.any_finite_rho = inc.any_finite_rho
+        self.session_rho_threshold: List[Optional[float]] = []
+        for rho in view.session_max_rate:
+            if math.isfinite(rho):
+                self.session_rho_threshold.append(rho - tolerance * max(1.0, rho))
+            else:
+                self.session_rho_threshold.append(None)
+        self.saturation_threshold = [
+            capacity - tolerance * max(1.0, capacity) for capacity in view.capacities
+        ]
+
+    @property
+    def has_active(self) -> bool:
+        return self.num_active > 0
+
+    def final_rates(self) -> Dict[ReceiverId, float]:
+        return dict(zip(self.inc.receiver_ids, self.rates))
+
+    # ------------------------------------------------------------------
+    # link-rate evaluation
+    # ------------------------------------------------------------------
+    def _nonlinear_pair_rate(self, pair: int, active_rate: float) -> float:
+        values = [
+            active_rate if self.active[member] else self.rates[member]
+            for member in self.view.pair_members[pair]
+        ]
+        return float(self.pair_function[pair](values))
+
+    def _single_link_rate_at(self, link: int, active_rate: float) -> float:
+        total = self.link_frozen_load[link] + self.link_slope[link] * active_rate
+        if self.link_nonlinear_active[link]:
+            for pair in self.view.link_pairs[link]:
+                if self.pair_factor[pair] is None and self.pair_active_count[pair] > 0:
+                    total += self._nonlinear_pair_rate(pair, active_rate)
+        return total
+
+    # ------------------------------------------------------------------
+    # increment computation
+    # ------------------------------------------------------------------
+    def compute_increment(self) -> float:
+        bound = self._rho_bound()
+        level = self.level
+        bisect_links: List[int] = []
+        for link in range(len(self.link_active_pairs)):
+            if self.link_active_pairs[link] == 0:
+                continue
+            capacity = self.view.capacities[link]
+            headroom = capacity - self._single_link_rate_at(link, level)
+            if headroom <= 0:
+                return 0.0
+            if self.link_nonlinear_active[link]:
+                bisect_links.append(link)
+            else:
+                slope = self.link_slope[link]
+                if slope > 0:
+                    candidate = headroom / slope
+                    if candidate < bound:
+                        bound = candidate
+        for link in bisect_links:
+            bound = min(
+                bound, self._bisect_link(link, self.view.capacities[link], bound)
+            )
+        return max(bound, 0.0)
+
+    def _rho_bound(self) -> float:
+        if self.any_finite_rho:
+            bound = math.inf
+            for session_id, count in enumerate(self.session_active_count):
+                if count == 0:
+                    continue
+                rho = self.view.session_max_rate[session_id]
+                if math.isfinite(rho):
+                    bound = min(bound, rho - self.level)
+            if math.isfinite(bound):
+                return bound
+        return max(self.inc.max_capacity - self.level, 0.0)
+
+    def _bisect_link(self, link: int, capacity: float, upper: float) -> float:
+        return _bisect_increment(
+            lambda rate: self._single_link_rate_at(link, rate), self.level, capacity, upper
+        )
+
+    # ------------------------------------------------------------------
+    # state updates
+    # ------------------------------------------------------------------
+    def apply_increment(self, increment: float) -> None:
+        self.level += increment
+
+    def freeze_receivers(self) -> Tuple[Set[ReceiverId], Set[int]]:
+        view = self.view
+        level = self.level
+        saturated_compact: List[int] = []
+        saturated_flags = [False] * len(view.capacities)
+        for link in range(len(view.capacities)):
+            if self._single_link_rate_at(link, level) >= self.saturation_threshold[link]:
+                saturated_compact.append(link)
+                saturated_flags[link] = True
+
+        frozen_idx: List[int] = []
+        frozen_flags = [False] * len(self.active)
+        for receiver in range(len(self.active)):
+            if not self.active[receiver]:
+                continue
+            threshold = self.session_rho_threshold[view.receiver_session[receiver]]
+            if threshold is not None and level >= threshold:
+                frozen_flags[receiver] = True
+                frozen_idx.append(receiver)
+                continue
+            for link in view.receiver_links[receiver]:
+                if saturated_flags[link]:
+                    frozen_flags[receiver] = True
+                    frozen_idx.append(receiver)
+                    break
+
+        if frozen_idx:
+            # Single-rate sessions freeze as a unit (one pass suffices:
+            # propagation is intra-session and sessions start all-active).
+            extra: List[int] = []
+            for receiver in frozen_idx:
+                session_id = view.receiver_session[receiver]
+                if not view.session_single_rate[session_id]:
+                    continue
+                for mate in view.session_receivers[session_id]:
+                    if self.active[mate] and not frozen_flags[mate]:
+                        frozen_flags[mate] = True
+                        extra.append(mate)
+            frozen_idx.extend(extra)
+
+            for receiver in frozen_idx:
+                self.active[receiver] = False
+                self.rates[receiver] = level
+                self.session_active_count[view.receiver_session[receiver]] -= 1
+                for pair in view.receiver_pairs[receiver]:
+                    count = self.pair_active_count[pair] - 1
+                    self.pair_active_count[pair] = count
+                    if count == 0:
+                        link = view.pair_link[pair]
+                        self.link_active_pairs[link] -= 1
+                        factor = self.pair_factor[pair]
+                        if factor is None:
+                            self.link_nonlinear_active[link] -= 1
+                            self.link_frozen_load[link] += self._nonlinear_pair_rate(
+                                pair, level
+                            )
+                        else:
+                            self.link_slope[link] -= factor
+                            self.link_frozen_load[link] += factor * level
+            self.num_active -= len(frozen_idx)
+
+        receiver_ids = self.inc.receiver_ids
+        relevant_links = self.inc.relevant_links
+        frozen_ids = {receiver_ids[index] for index in frozen_idx}
+        saturated_ids = {relevant_links[link] for link in saturated_compact}
+        return frozen_ids, saturated_ids

@@ -80,6 +80,38 @@ def _at_max_rate(network: Network, allocation: Allocation, rid: ReceiverId, tol:
     return rate >= rho - tol * max(1.0, rho)
 
 
+def _session_rates_on_full_links(
+    allocation: Allocation, full_links: Sequence[int]
+) -> Dict[int, Dict[int, float]]:
+    """Per fully utilised link, the link rates ``u_{i,j}`` of its sessions.
+
+    The link-perspective checkers compare every session against every other
+    session on each fully utilised link; computing the rates once per link
+    avoids re-deriving the same ``u_{i,j}`` for every receiver.
+    """
+    network = allocation.network
+    return {
+        link_id: {
+            session_id: allocation.session_link_rate(session_id, link_id)
+            for session_id in network.sessions_on_link(link_id)
+        }
+        for link_id in full_links
+    }
+
+
+def _session_dominates_link(
+    rates_on_link: Dict[int, float], session_id: int, tolerance: float
+) -> bool:
+    """True when no other session's link rate exceeds the session's own."""
+    own = rates_on_link.get(session_id, 0.0)
+    threshold = own + tolerance * max(1.0, own)
+    return all(
+        rate <= threshold
+        for other_id, rate in rates_on_link.items()
+        if other_id != session_id
+    )
+
+
 # ----------------------------------------------------------------------
 # Fairness Property 1
 # ----------------------------------------------------------------------
@@ -102,6 +134,17 @@ def fully_utilized_receiver_fairness(
     full_links = allocation.fully_utilized_links(tolerance)
     targets = list(receivers) if receivers is not None else network.all_receiver_ids()
 
+    # The witness test only compares against the highest rate crossing the
+    # link, so that maximum can be computed once per fully utilised link
+    # instead of rescanning R_j for every receiver.
+    max_rate_on_link: Dict[int, float] = {
+        link_id: max(
+            (allocation.rate(other) for other in network.receivers_on_link(link_id)),
+            default=0.0,
+        )
+        for link_id in full_links
+    }
+
     violations: List[PropertyViolation] = []
     for rid in targets:
         if _at_max_rate(network, allocation, rid, tolerance):
@@ -111,11 +154,7 @@ def fully_utilized_receiver_fairness(
         for link_id in network.data_path(rid):
             if link_id not in full_links:
                 continue
-            others = network.receivers_on_link(link_id)
-            if all(
-                allocation.rate(other) <= rate + tolerance * max(1.0, rate)
-                for other in others
-            ):
+            if max_rate_on_link[link_id] <= rate + tolerance * max(1.0, rate):
                 witnessed = True
                 break
         if not witnessed:
@@ -205,6 +244,7 @@ def per_receiver_link_fairness(
     session_ids = list(sessions) if sessions is not None else [
         s.session_id for s in network.sessions
     ]
+    rates_on_link = _session_rates_on_full_links(allocation, full_links)
 
     violations: List[PropertyViolation] = []
     for session_id in session_ids:
@@ -216,12 +256,8 @@ def per_receiver_link_fairness(
             for link_id in network.data_path(rid):
                 if link_id not in full_links:
                     continue
-                own = allocation.session_link_rate(session_id, link_id)
-                if all(
-                    allocation.session_link_rate(other_id, link_id)
-                    <= own + tolerance * max(1.0, own)
-                    for other_id in network.sessions_on_link(link_id)
-                    if other_id != session_id
+                if _session_dominates_link(
+                    rates_on_link[link_id], session_id, tolerance
                 ):
                     witnessed = True
                     break
@@ -259,6 +295,7 @@ def per_session_link_fairness(
     session_ids = list(sessions) if sessions is not None else [
         s.session_id for s in network.sessions
     ]
+    rates_on_link = _session_rates_on_full_links(allocation, full_links)
 
     violations: List[PropertyViolation] = []
     for session_id in session_ids:
@@ -272,13 +309,7 @@ def per_session_link_fairness(
         for link_id in network.session_data_path(session_id):
             if link_id not in full_links:
                 continue
-            own = allocation.session_link_rate(session_id, link_id)
-            if all(
-                allocation.session_link_rate(other_id, link_id)
-                <= own + tolerance * max(1.0, own)
-                for other_id in network.sessions_on_link(link_id)
-                if other_id != session_id
-            ):
+            if _session_dominates_link(rates_on_link[link_id], session_id, tolerance):
                 witnessed = True
                 break
         if not witnessed:

@@ -26,7 +26,8 @@ from .layer_ablation import LayerAblationResult, run_layer_ablation
 from .leave_latency import LeaveLatencyResult, run_leave_latency
 from .loss_correlation import LossCorrelationResult, run_loss_correlation
 from .mixed_sessions import ConversionStep, MixedSessionsResult, run_mixed_sessions
-from .runner import run_all
+from .parallel import default_jobs, parallel_map, run_star_repetitions, task_seeds
+from .runner import EXPERIMENT_KEYS, run_all
 
 __all__ = [
     "ActiveNodeResult",
@@ -65,5 +66,10 @@ __all__ = [
     "ConversionStep",
     "MixedSessionsResult",
     "run_mixed_sessions",
+    "default_jobs",
+    "parallel_map",
+    "run_star_repetitions",
+    "task_seeds",
+    "EXPERIMENT_KEYS",
     "run_all",
 ]

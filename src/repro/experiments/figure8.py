@@ -33,6 +33,7 @@ from ..analysis.tables import format_series
 from ..protocols import make_protocol
 from ..simulator.metrics import RedundancyMeasurement
 from ..simulator.star import star_redundancy, uniform_star
+from .parallel import parallel_map
 
 __all__ = [
     "Figure8Point",
@@ -125,6 +126,37 @@ class Figure8Result:
         )
 
 
+def _run_figure8_point(
+    protocol_name: str,
+    independent_loss: float,
+    shared_loss_rate: float,
+    num_receivers: int,
+    num_layers: int,
+    duration_units: int,
+    repetitions: int,
+    base_seed: int,
+) -> Figure8Point:
+    """One (protocol, independent-loss) measurement; picklable for workers."""
+    config = uniform_star(
+        num_receivers=num_receivers,
+        shared_loss_rate=shared_loss_rate,
+        independent_loss_rate=independent_loss,
+        num_layers=num_layers,
+        duration_units=duration_units,
+    )
+    measurement = star_redundancy(
+        make_protocol(protocol_name),
+        config,
+        repetitions=repetitions,
+        base_seed=base_seed,
+    )
+    return Figure8Point(
+        protocol=protocol_name,
+        independent_loss_rate=independent_loss,
+        measurement=measurement,
+    )
+
+
 def run_figure8_panel(
     shared_loss_rate: float,
     independent_loss_rates: Sequence[float] = DEFAULT_INDEPENDENT_LOSS_RATES,
@@ -134,35 +166,34 @@ def run_figure8_panel(
     repetitions: int = 3,
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
+    jobs: int = 1,
 ) -> Figure8Panel:
-    """Simulate one Figure 8 panel (one shared loss rate)."""
+    """Simulate one Figure 8 panel (one shared loss rate).
+
+    With ``jobs > 1`` the panel's (protocol, loss-rate) points are computed
+    in parallel worker processes.  Every point carries its own fixed seeds,
+    so the result is identical to the serial run regardless of ``jobs``.
+    """
     panel = Figure8Panel(
         shared_loss_rate=shared_loss_rate,
         independent_loss_rates=tuple(independent_loss_rates),
         num_receivers=num_receivers,
     )
-    for protocol_name in protocols:
-        for independent_loss in independent_loss_rates:
-            config = uniform_star(
-                num_receivers=num_receivers,
-                shared_loss_rate=shared_loss_rate,
-                independent_loss_rate=independent_loss,
-                num_layers=num_layers,
-                duration_units=duration_units,
-            )
-            measurement = star_redundancy(
-                make_protocol(protocol_name),
-                config,
-                repetitions=repetitions,
-                base_seed=base_seed,
-            )
-            panel.points.append(
-                Figure8Point(
-                    protocol=protocol_name,
-                    independent_loss_rate=independent_loss,
-                    measurement=measurement,
-                )
-            )
+    tasks = [
+        (
+            protocol_name,
+            independent_loss,
+            shared_loss_rate,
+            num_receivers,
+            num_layers,
+            duration_units,
+            repetitions,
+            base_seed,
+        )
+        for protocol_name in protocols
+        for independent_loss in independent_loss_rates
+    ]
+    panel.points.extend(parallel_map(_run_figure8_point, tasks, jobs=jobs))
     return panel
 
 
@@ -174,8 +205,9 @@ def run_figure8(
     base_seed: int = 0,
     low_shared_loss: float = 0.0001,
     high_shared_loss: float = 0.05,
+    jobs: int = 1,
 ) -> Figure8Result:
-    """Simulate both Figure 8 panels."""
+    """Simulate both Figure 8 panels (optionally across ``jobs`` processes)."""
     return Figure8Result(
         low_shared_loss=run_figure8_panel(
             low_shared_loss,
@@ -184,6 +216,7 @@ def run_figure8(
             duration_units=duration_units,
             repetitions=repetitions,
             base_seed=base_seed,
+            jobs=jobs,
         ),
         high_shared_loss=run_figure8_panel(
             high_shared_loss,
@@ -192,5 +225,6 @@ def run_figure8(
             duration_units=duration_units,
             repetitions=repetitions,
             base_seed=base_seed,
+            jobs=jobs,
         ),
     )

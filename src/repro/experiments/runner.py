@@ -3,7 +3,10 @@
 ``python -m repro.experiments.runner`` regenerates all figures of the paper
 (and the ablations) at the default reduced scale and prints each as a table,
 together with a one-line verdict on whether the paper's qualitative claim is
-reproduced.  Use ``--full`` for the paper-scale Figure 8 sweep (slower).
+reproduced.  Use ``--full`` for the paper-scale Figure 8 sweep (slower) and
+``--jobs N`` to fan the experiments across ``N`` worker processes (every
+experiment carries its own fixed seeds, so the results and verdicts are
+identical to the serial run).
 """
 
 from __future__ import annotations
@@ -11,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from .active_nodes import run_active_nodes
 from .burstiness import run_burstiness
@@ -28,75 +31,151 @@ from .layer_ablation import run_layer_ablation
 from .leave_latency import run_leave_latency
 from .loss_correlation import run_loss_correlation
 from .mixed_sessions import run_mixed_sessions
+from .parallel import parallel_map
 
-__all__ = ["run_all", "main"]
+__all__ = ["run_all", "main", "EXPERIMENT_KEYS"]
 
 
-def _figure8_runner(full_scale: bool) -> Callable[[], object]:
+def _run_figure8_scaled(full_scale: bool, jobs: int = 1):
+    # Figure 8 dominates the full-scale run, so it additionally fans its
+    # (protocol, loss-rate) points across workers; with jobs=1 this is the
+    # plain serial sweep.
     if not full_scale:
-        return run_figure8
-    return lambda: run_figure8(
+        return run_figure8(jobs=jobs)
+    return run_figure8(
         independent_loss_rates=PAPER_INDEPENDENT_LOSS_RATES,
         num_receivers=100,
         duration_units=2000,
         repetitions=5,
+        jobs=jobs,
     )
 
 
-def run_all(full_scale: bool = False) -> List[Tuple[str, object, str]]:
-    """Run every experiment; return (name, result, verdict) triples."""
-    experiments: List[Tuple[str, Callable[[], object], Callable[[object], str]]] = [
-        ("Figure 1 (sample network)", run_figure1,
-         lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
-        ("Figure 2 (single-rate limitations)", run_figure2,
-         lambda r: "matches paper" if (r.single_rate_matches_paper and r.multi_rate_is_more_max_min_fair)
-         else "MISMATCH"),
-        ("Figure 3 (receiver removal)", run_figure3,
-         lambda r: "matches paper" if r.demonstrates_both_directions else "MISMATCH"),
-        ("Figure 4 (redundancy vs session fairness)", run_figure4,
-         lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
-        ("Figure 5 (random-join redundancy)", run_figure5,
-         lambda r: "bounded as predicted" if r.respects_upper_bounds else "MISMATCH"),
-        ("Figure 6 (redundancy vs fair rate)", run_figure6,
-         lambda r: f"formula vs water-filling max error {r.cross_check_max_error:.2e}"),
-        ("Section 3 fixed-layer example", run_fixed_layers,
-         lambda r: "no max-min fair allocation exists" if r.no_max_min_fair_exists else "MISMATCH"),
-        ("Figure 7(a) Markov analysis", run_figure7,
-         lambda r: "equal loss rates give the highest redundancy"
-         if r.equal_loss_is_worst else "MISMATCH"),
-        ("Figure 8 (protocol redundancy)", _figure8_runner(full_scale),
-         lambda r: "coordinated protocol lowest; below 2.5"
-         if (r.low_shared_loss.coordinated_is_lowest
-             and r.low_shared_loss.max_redundancy("coordinated") < 2.5)
-         else "shape differs"),
-        ("Ablation: layer count", run_layer_ablation,
-         lambda r: "more layers never increase redundancy"
-         if r.never_worse_than_single_layer else "MISMATCH"),
-        ("Ablation: loss correlation", run_loss_correlation,
-         lambda r: "correlated loss lowers redundancy"
-         if r.all_protocols_benefit_from_correlation else "shape differs"),
-        ("Ablation: mixed session types (Lemma 3)", run_mixed_sessions,
-         lambda r: "ordering monotone and Theorem 2 holds"
-         if (r.ordering_is_monotone and r.theorem2_holds_throughout) else "MISMATCH"),
-        ("Extension: active-node coordination", run_active_nodes,
-         lambda r: "redundancy of one is feasible"
-         if (r.active_node_redundancy_near_one and r.active_node_is_lowest)
-         else "shape differs"),
-        ("Extension: leave latency", run_leave_latency,
-         lambda r: "longer leave latency increases redundancy"
-         if r.redundancy_increases_with_latency else "shape differs"),
-        ("Extension: bursty loss", run_burstiness,
-         lambda r: "protocol ordering robust to burstiness"
-         if r.ordering_preserved else "shape differs"),
-    ]
+#: key -> (display name, runner(full_scale, jobs) -> result, verdict(result) -> str).
+#: Workers are handed only the registry *key* (via ``_run_experiment_by_key``)
+#: and resolve the runner after importing this module, so the entries
+#: themselves never need to be pickled.
+_EXPERIMENTS: List[Tuple[str, str, Callable, Callable]] = [
+    ("figure1", "Figure 1 (sample network)",
+     lambda full, jobs: run_figure1(),
+     lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
+    ("figure2", "Figure 2 (single-rate limitations)",
+     lambda full, jobs: run_figure2(),
+     lambda r: "matches paper" if (r.single_rate_matches_paper and r.multi_rate_is_more_max_min_fair)
+     else "MISMATCH"),
+    ("figure3", "Figure 3 (receiver removal)",
+     lambda full, jobs: run_figure3(),
+     lambda r: "matches paper" if r.demonstrates_both_directions else "MISMATCH"),
+    ("figure4", "Figure 4 (redundancy vs session fairness)",
+     lambda full, jobs: run_figure4(),
+     lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
+    ("figure5", "Figure 5 (random-join redundancy)",
+     lambda full, jobs: run_figure5(),
+     lambda r: "bounded as predicted" if r.respects_upper_bounds else "MISMATCH"),
+    ("figure6", "Figure 6 (redundancy vs fair rate)",
+     lambda full, jobs: run_figure6(),
+     lambda r: f"formula vs water-filling max error {r.cross_check_max_error:.2e}"),
+    ("fixed_layers", "Section 3 fixed-layer example",
+     lambda full, jobs: run_fixed_layers(),
+     lambda r: "no max-min fair allocation exists" if r.no_max_min_fair_exists else "MISMATCH"),
+    ("figure7", "Figure 7(a) Markov analysis",
+     lambda full, jobs: run_figure7(),
+     lambda r: "equal loss rates give the highest redundancy"
+     if r.equal_loss_is_worst else "MISMATCH"),
+    ("figure8", "Figure 8 (protocol redundancy)",
+     _run_figure8_scaled,
+     lambda r: "coordinated protocol lowest; below 2.5"
+     if (r.low_shared_loss.coordinated_is_lowest
+         and r.low_shared_loss.max_redundancy("coordinated") < 2.5)
+     else "shape differs"),
+    ("layer_ablation", "Ablation: layer count",
+     lambda full, jobs: run_layer_ablation(),
+     lambda r: "more layers never increase redundancy"
+     if r.never_worse_than_single_layer else "MISMATCH"),
+    ("loss_correlation", "Ablation: loss correlation",
+     lambda full, jobs: run_loss_correlation(),
+     lambda r: "correlated loss lowers redundancy"
+     if r.all_protocols_benefit_from_correlation else "shape differs"),
+    ("mixed_sessions", "Ablation: mixed session types (Lemma 3)",
+     lambda full, jobs: run_mixed_sessions(),
+     lambda r: "ordering monotone and Theorem 2 holds"
+     if (r.ordering_is_monotone and r.theorem2_holds_throughout) else "MISMATCH"),
+    ("active_nodes", "Extension: active-node coordination",
+     lambda full, jobs: run_active_nodes(),
+     lambda r: "redundancy of one is feasible"
+     if (r.active_node_redundancy_near_one and r.active_node_is_lowest)
+     else "shape differs"),
+    ("leave_latency", "Extension: leave latency",
+     lambda full, jobs: run_leave_latency(),
+     lambda r: "longer leave latency increases redundancy"
+     if r.redundancy_increases_with_latency else "shape differs"),
+    ("burstiness", "Extension: bursty loss",
+     lambda full, jobs: run_burstiness(),
+     lambda r: "protocol ordering robust to burstiness"
+     if r.ordering_preserved else "shape differs"),
+]
 
-    results = []
-    for name, runner, verdict in experiments:
-        start = time.time()
-        result = runner()
-        elapsed = time.time() - start
-        results.append((name, result, f"{verdict(result)} ({elapsed:.1f}s)"))
-    return results
+#: Keys accepted by ``run_all(only=...)``, in execution order.
+EXPERIMENT_KEYS: Tuple[str, ...] = tuple(key for key, _, _, _ in _EXPERIMENTS)
+
+
+def _run_experiment_by_key(key: str, full_scale: bool, jobs: int):
+    """Execute one experiment by registry key (picklable worker entry point).
+
+    Returns ``(result, elapsed_seconds)``; timing happens in the worker so
+    the per-experiment breakdown survives the multi-process path.  ``jobs``
+    reaches the runners that can fan out internally (Figure 8's point sweep,
+    which dominates the full-scale run).
+    """
+    for candidate, _name, runner, _verdict in _EXPERIMENTS:
+        if candidate == key:
+            start = time.time()
+            result = runner(full_scale, jobs)
+            return result, time.time() - start
+    raise KeyError(f"unknown experiment key {key!r}")
+
+
+def run_all(
+    full_scale: bool = False,
+    jobs: int = 1,
+    only: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, object, str]]:
+    """Run every experiment; return (name, result, verdict) triples.
+
+    Parameters
+    ----------
+    full_scale:
+        Run Figure 8 at paper scale (100 receivers, full loss sweep).
+    jobs:
+        Number of worker processes.  ``1`` (the default) runs everything
+        in-process; larger values fan the experiments out via
+        :func:`repro.experiments.parallel.parallel_map` (and Figure 8
+        additionally fans its point sweep).  All experiments use fixed
+        seeds, so results and verdicts are independent of ``jobs`` apart
+        from each verdict's trailing ``(<elapsed>s)`` timing suffix.
+    only:
+        Optional subset of :data:`EXPERIMENT_KEYS` to run (registry order is
+        preserved regardless of the order given here).
+    """
+    if only is not None:
+        unknown = sorted(set(only) - set(EXPERIMENT_KEYS))
+        if unknown:
+            raise KeyError(f"unknown experiment keys {unknown}; valid: {list(EXPERIMENT_KEYS)}")
+        selected = [entry for entry in _EXPERIMENTS if entry[0] in set(only)]
+    else:
+        selected = list(_EXPERIMENTS)
+
+    outcomes = parallel_map(
+        _run_experiment_by_key,
+        [(key, full_scale, jobs) for key, _, _, _ in selected],
+        jobs=jobs,
+    )
+    # Verdict format matches the original runner: "<verdict> (<elapsed>s)".
+    # The timing suffix is the only jobs-dependent part of the output.
+    return [
+        (name, result, f"{verdict(result)} ({elapsed:.1f}s)")
+        for (_key, name, _runner, verdict), (result, elapsed) in zip(selected, outcomes)
+    ]
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -106,9 +185,25 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="run Figure 8 at paper scale (100 receivers, full loss sweep)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="number of worker processes (default 1: run serially in-process)",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=EXPERIMENT_KEYS,
+        default=None,
+        help="run only the named experiments",
+    )
     args = parser.parse_args(argv)
 
-    for name, result, verdict in run_all(full_scale=args.full):
+    start = time.time()
+    for name, result, verdict in run_all(
+        full_scale=args.full, jobs=args.jobs, only=args.only
+    ):
         print("=" * 72)
         print(f"{name}: {verdict}")
         print("=" * 72)
@@ -116,6 +211,7 @@ def main(argv: List[str] | None = None) -> int:
         if callable(table):
             print(table())
         print()
+    print(f"total wall time: {time.time() - start:.1f}s (jobs={args.jobs})")
     return 0
 
 

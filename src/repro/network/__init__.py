@@ -17,6 +17,7 @@ This subpackage implements the paper's network model
 """
 
 from .graph import Link, NetworkGraph
+from .incidence import NetworkIncidence
 from .network import LinkRateFunction, Network
 from .routing import ExplicitRouting, RoutingStrategy, RoutingTable, ShortestPathRouting
 from .session import Receiver, ReceiverId, Sender, Session, SessionType
@@ -37,6 +38,7 @@ from .topologies import (
 __all__ = [
     "Link",
     "NetworkGraph",
+    "NetworkIncidence",
     "LinkRateFunction",
     "Network",
     "ExplicitRouting",

@@ -109,6 +109,8 @@ class NetworkGraph:
         self._node_set: Set[str] = set()
         self._links: List[Link] = []
         self._incident: Dict[str, List[int]] = {}
+        self._link_name_index: Dict[str, int] = {}
+        self._capacities_cache: Optional[List[float]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -132,14 +134,24 @@ class NetworkGraph:
         Endpoints that are not yet registered are added automatically.
         Parallel links between the same pair of nodes are permitted (each gets
         its own id), which is occasionally useful for modelling per-direction
-        capacities.
+        capacities.  Display names must be unique across the graph (whether
+        supplied explicitly or auto-generated); a duplicate raises
+        :class:`NetworkModelError` instead of silently shadowing the earlier
+        link in name-based lookups.
         """
         self.add_node(u)
         self.add_node(v)
         link = Link(link_id=len(self._links), u=u, v=v, capacity=capacity, name=name)
+        if link.name in self._link_name_index:
+            raise NetworkModelError(
+                f"duplicate link name {link.name!r} (already used by link "
+                f"{self._link_name_index[link.name]})"
+            )
         self._links.append(link)
+        self._link_name_index[link.name] = link.link_id
         self._incident[u].append(link.link_id)
         self._incident[v].append(link.link_id)
+        self._capacities_cache = None
         return link
 
     # ------------------------------------------------------------------
@@ -174,19 +186,21 @@ class NetworkGraph:
             raise NetworkModelError(f"no link with id {link_id}") from None
 
     def link_by_name(self, name: str) -> Link:
-        """Return the link with the given display name."""
-        for link in self._links:
-            if link.name == name:
-                return link
-        raise NetworkModelError(f"no link named {name!r}")
+        """Return the link with the given display name (O(1) dict lookup)."""
+        try:
+            return self._links[self._link_name_index[name]]
+        except KeyError:
+            raise NetworkModelError(f"no link named {name!r}") from None
 
     def capacity(self, link_id: int) -> float:
         """Capacity ``c_j`` of link ``link_id``."""
         return self.link(link_id).capacity
 
     def capacities(self) -> List[float]:
-        """Capacities of all links, indexed by link id."""
-        return [link.capacity for link in self._links]
+        """Capacities of all links, indexed by link id (cached between adds)."""
+        if self._capacities_cache is None:
+            self._capacities_cache = [link.capacity for link in self._links]
+        return list(self._capacities_cache)
 
     def incident_links(self, node: str) -> List[int]:
         """Ids of links incident to ``node``."""

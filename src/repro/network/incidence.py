@@ -1,0 +1,238 @@
+"""Cached NumPy incidence structures for a :class:`~repro.network.network.Network`.
+
+The water-filling construction and the fairness-property checkers repeatedly
+ask the same structural questions of a network: which receivers sit
+downstream of session ``i`` on link ``j`` (the sets ``R_{i,j}``), which links
+lie on a receiver's data-path, and what the link capacities are.  The
+dict/frozenset answers exposed by :class:`~repro.network.routing.RoutingTable`
+are convenient but slow to traverse in hot loops.
+
+:class:`NetworkIncidence` flattens those structures once into dense NumPy
+arrays:
+
+* receivers are numbered ``0..R-1`` in ``(session_id, receiver_index)``
+  order, links that appear on some data-path are compacted to ``0..L-1``;
+* every non-empty ``(session, link)`` combination becomes a *pair*; the
+  downstream receiver indices of all pairs live in one CSR array
+  (``pair_ptr`` / ``pair_receivers``), grouped by link;
+* ``membership`` is the receiver x link boolean matrix (``membership[r, l]``
+  iff link ``l`` is on receiver ``r``'s data-path);
+* ``receiver_pair_ptr`` / ``receiver_pairs`` invert the pair CSR so that the
+  pairs touched by a set of receivers can be found without scanning.
+
+A network is immutable after construction, so the incidence is computed
+lazily on first use and cached on the :class:`Network` (see
+:meth:`Network.incidence`).  The structures are purely topological — they do
+not depend on the per-session link-rate functions ``v_i``, which may vary
+between fairness computations on the same network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .session import ReceiverId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .network import Network
+
+__all__ = ["NetworkIncidence", "ScalarIncidenceView"]
+
+
+@dataclass
+class ScalarIncidenceView:
+    """Plain-list rendering of a :class:`NetworkIncidence`.
+
+    Small networks water-fill faster with scalar Python arithmetic than with
+    NumPy (per-operation dispatch overhead dominates below a few hundred
+    elements), so the solver keeps a list-based twin of the index arrays.
+    Built lazily, cached alongside the incidence.
+    """
+
+    pair_link: List[int]
+    pair_session: List[int]
+    pair_members: List[List[int]]
+    receiver_pairs: List[List[int]]
+    receiver_links: List[List[int]]
+    link_pairs: List[List[int]]
+    capacities: List[float]
+    session_max_rate: List[float]
+    session_single_rate: List[bool]
+    receiver_session: List[int]
+    session_receivers: List[List[int]]
+
+
+class NetworkIncidence:
+    """Dense index structures for one network (see module docstring).
+
+    Attributes
+    ----------
+    receiver_ids:
+        All receiver ids in ``(session_id, receiver_index)`` order; the
+        position of a receiver in this list is its *receiver index* used by
+        every array below.
+    receiver_index:
+        Inverse mapping ``ReceiverId -> 0..R-1``.
+    receiver_session:
+        ``int64[R]`` — session id of each receiver.
+    relevant_links:
+        Sorted original link ids that appear on at least one data-path; the
+        position of a link in this list is its *compact link index*.
+    capacities:
+        ``float64[L]`` — capacity of each relevant link.
+    pair_link / pair_session:
+        ``int64[P]`` — compact link index and session id of each
+        ``(session, link)`` pair, grouped by link in ascending compact order.
+    pair_ptr / pair_receivers:
+        CSR layout of the downstream receiver indices ``R_{i,j}``: pair ``p``
+        owns ``pair_receivers[pair_ptr[p]:pair_ptr[p + 1]]``.
+    receiver_pair_ptr / receiver_pairs:
+        CSR layout of the pairs each receiver belongs to (the transpose of
+        ``pair_receivers``).
+    membership:
+        ``bool[R, L]`` receiver x link data-path membership matrix.
+    session_max_rate / session_single_rate:
+        ``float64[S]`` maximum desired rates ``rho_i`` and ``bool[S]``
+        single-rate flags, indexed by session id.
+    """
+
+    def __init__(self, network: "Network") -> None:
+        self.receiver_ids: List[ReceiverId] = network.all_receiver_ids()
+        self.receiver_index: Dict[ReceiverId, int] = {
+            rid: index for index, rid in enumerate(self.receiver_ids)
+        }
+        num_receivers = len(self.receiver_ids)
+        self.receiver_session = np.array(
+            [rid[0] for rid in self.receiver_ids], dtype=np.int64
+        )
+
+        self.relevant_links: List[int] = sorted(network.routing.links_used())
+        self.link_index: Dict[int, int] = {
+            link_id: compact for compact, link_id in enumerate(self.relevant_links)
+        }
+        num_links = len(self.relevant_links)
+        self.capacities = np.array(
+            [network.link_capacity(j) for j in self.relevant_links], dtype=np.float64
+        )
+        self.max_capacity = float(self.capacities.max()) if num_links else 0.0
+
+        # (session, link) pairs, grouped by link in compact-index order; the
+        # downstream sets R_{i,j} are flattened into one CSR array.
+        pair_link: List[int] = []
+        pair_session: List[int] = []
+        pair_lengths: List[int] = []
+        flat_receivers: List[int] = []
+        for compact, link_id in enumerate(self.relevant_links):
+            for session_id in sorted(network.sessions_on_link(link_id)):
+                downstream = sorted(
+                    network.receivers_of_session_on_link(session_id, link_id)
+                )
+                pair_link.append(compact)
+                pair_session.append(session_id)
+                pair_lengths.append(len(downstream))
+                flat_receivers.extend(self.receiver_index[rid] for rid in downstream)
+        self.pair_link = np.array(pair_link, dtype=np.int64)
+        self.pair_session = np.array(pair_session, dtype=np.int64)
+        self.pair_ptr = np.zeros(len(pair_link) + 1, dtype=np.int64)
+        np.cumsum(pair_lengths, out=self.pair_ptr[1:])
+        self.pair_receivers = np.array(flat_receivers, dtype=np.int64)
+        self.num_pairs = len(pair_link)
+
+        # Transpose: pairs incident to each receiver, CSR over receivers.
+        counts = np.bincount(self.pair_receivers, minlength=num_receivers)
+        self.receiver_pair_ptr = np.zeros(num_receivers + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.receiver_pair_ptr[1:])
+        self.receiver_pairs = np.empty(len(self.pair_receivers), dtype=np.int64)
+        cursor = self.receiver_pair_ptr[:-1].copy()
+        for pair in range(self.num_pairs):
+            members = self.pair_receivers[self.pair_ptr[pair]:self.pair_ptr[pair + 1]]
+            self.receiver_pairs[cursor[members]] = pair
+            cursor[members] += 1
+
+        # Receiver x link membership matrix (data-path incidence).
+        self.membership = np.zeros((num_receivers, num_links), dtype=bool)
+        for index, rid in enumerate(self.receiver_ids):
+            for link_id in network.data_path(rid):
+                self.membership[index, self.link_index[link_id]] = True
+
+        self.session_max_rate = np.array(
+            [session.max_rate for session in network.sessions], dtype=np.float64
+        )
+        self.session_single_rate = np.array(
+            [session.is_single_rate for session in network.sessions], dtype=bool
+        )
+        self.any_finite_rho = bool(np.isfinite(self.session_max_rate).any())
+        self.session_receiver_count = np.bincount(
+            self.receiver_session, minlength=len(self.session_max_rate)
+        ).astype(np.int64)
+        self.base_pair_counts = np.diff(self.pair_ptr).astype(np.int64)
+        # Link -> pair CSR (pairs are grouped by link in ascending order).
+        link_pair_counts = np.bincount(self.pair_link, minlength=num_links)
+        self.link_pair_ptr = np.zeros(num_links + 1, dtype=np.int64)
+        np.cumsum(link_pair_counts, out=self.link_pair_ptr[1:])
+        self._scalar_view: Optional[ScalarIncidenceView] = None
+
+    def scalar_view(self) -> ScalarIncidenceView:
+        """Plain-list twin of the index arrays (built once, cached)."""
+        if self._scalar_view is None:
+            receiver_links: List[List[int]] = [
+                np.nonzero(row)[0].tolist() for row in self.membership
+            ]
+            pair_members = [
+                self.pair_members(pair).tolist() for pair in range(self.num_pairs)
+            ]
+            receiver_pairs = [
+                self.receiver_incident_pairs(r).tolist()
+                for r in range(self.num_receivers)
+            ]
+            link_pairs = [
+                list(range(int(self.link_pair_ptr[l]), int(self.link_pair_ptr[l + 1])))
+                for l in range(self.num_links)
+            ]
+            session_receivers: List[List[int]] = [
+                [] for _ in range(len(self.session_max_rate))
+            ]
+            for index, session_id in enumerate(self.receiver_session):
+                session_receivers[int(session_id)].append(index)
+            self._scalar_view = ScalarIncidenceView(
+                pair_link=self.pair_link.tolist(),
+                pair_session=self.pair_session.tolist(),
+                pair_members=pair_members,
+                receiver_pairs=receiver_pairs,
+                receiver_links=receiver_links,
+                link_pairs=link_pairs,
+                capacities=self.capacities.tolist(),
+                session_max_rate=self.session_max_rate.tolist(),
+                session_single_rate=self.session_single_rate.tolist(),
+                receiver_session=self.receiver_session.tolist(),
+                session_receivers=session_receivers,
+            )
+        return self._scalar_view
+
+    @property
+    def num_receivers(self) -> int:
+        return len(self.receiver_ids)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.relevant_links)
+
+    def pair_members(self, pair: int) -> np.ndarray:
+        """Receiver indices downstream of pair ``pair`` (a CSR slice view)."""
+        return self.pair_receivers[self.pair_ptr[pair]:self.pair_ptr[pair + 1]]
+
+    def receiver_incident_pairs(self, receiver: int) -> np.ndarray:
+        """Pairs whose downstream set contains ``receiver`` (a CSR slice view)."""
+        return self.receiver_pairs[
+            self.receiver_pair_ptr[receiver]:self.receiver_pair_ptr[receiver + 1]
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkIncidence(receivers={self.num_receivers}, "
+            f"links={self.num_links}, pairs={self.num_pairs})"
+        )

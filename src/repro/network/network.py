@@ -19,6 +19,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping,
 
 from ..errors import NetworkModelError
 from .graph import NetworkGraph
+from .incidence import NetworkIncidence
 from .routing import RoutingStrategy, RoutingTable, ShortestPathRouting
 from .session import Receiver, ReceiverId, Session, SessionType
 
@@ -59,6 +60,7 @@ class Network:
         self._validate_sessions()
         self._routing_strategy = routing if routing is not None else ShortestPathRouting()
         self._routing = self._routing_strategy.build(graph, self._sessions)
+        self._incidence: Optional[NetworkIncidence] = None
         self._link_rate_functions: Dict[int, LinkRateFunction] = dict(link_rate_functions or {})
         for session_id in self._link_rate_functions:
             if not 0 <= session_id < len(self._sessions):
@@ -168,6 +170,17 @@ class Network:
 
     def link_capacity(self, link_id: int) -> float:
         return self._graph.capacity(link_id)
+
+    def incidence(self) -> NetworkIncidence:
+        """Dense NumPy index structures for this network, built once and cached.
+
+        Networks are immutable after construction (the derivation methods
+        below return copies), so the incidence can be shared by every
+        fairness computation on the same network.
+        """
+        if self._incidence is None:
+            self._incidence = NetworkIncidence(self)
+        return self._incidence
 
     def __iter__(self) -> Iterator[Session]:
         return iter(self._sessions)

@@ -35,6 +35,19 @@ Two Section-5 "future work" effects are also modelled:
 
 The simulator is vectorised over receivers, so a session with hundreds of
 receivers runs at roughly the cost of the per-packet Python loop.
+
+**Batched loss sampling.**  Loss outcomes are pre-sampled *per time unit*:
+one call to the shared-loss process yields the outcomes for every packet of
+the unit, and one call per independent-loss process yields the per-receiver
+outcome matrix, instead of one (or ``R``) generator calls per packet.  This
+changes the random stream consumed for a given seed relative to the original
+per-packet sampling (losses are now drawn for every scheduled packet, in
+unit order, rather than on demand for carried packets only), so seeded
+results differ from releases with ``RNG_SCHEME_VERSION < 2`` — a deliberate,
+version-bumped change.  Statistically the processes are unchanged for
+memoryless (Bernoulli) losses; stateful processes such as Gilbert–Elliott
+now advance once per scheduled packet, i.e. burst state evolves with link
+time rather than with the subset of packets that happened to be contested.
 """
 
 from __future__ import annotations
@@ -50,7 +63,17 @@ from ..protocols.base import LayeredProtocol
 from .loss import BernoulliLoss, LossProcess, NoLoss
 from .packets import PacketSchedule
 
-__all__ = ["SessionSimulationResult", "LayeredSessionSimulator", "simulate_layered_session"]
+__all__ = [
+    "SessionSimulationResult",
+    "LayeredSessionSimulator",
+    "simulate_layered_session",
+    "RNG_SCHEME_VERSION",
+]
+
+#: Version of the random-stream layout.  Bumped to 2 when loss sampling
+#: switched from per-packet draws to per-unit pre-sampled arrays; seeded
+#: results are reproducible within a version but differ across versions.
+RNG_SCHEME_VERSION = 2
 
 IndependentLoss = Union[LossProcess, Sequence[LossProcess]]
 
@@ -193,10 +216,27 @@ class LayeredSessionSimulator:
             return np.full(self.num_receivers, self._per_receiver_loss[0].average_loss_rate)
         return np.array([p.average_loss_rate for p in self._per_receiver_loss])
 
-    def _sample_independent_losses(self, rng: np.random.Generator) -> np.ndarray:
+    def _sample_unit_losses(
+        self, rng: np.random.Generator, num_packets: int
+    ) -> tuple:
+        """Pre-sample one time unit's loss outcomes in bulk.
+
+        Returns ``(shared, independent)`` with ``shared`` of shape
+        ``(num_packets,)`` and ``independent`` of shape
+        ``(num_packets, num_receivers)``.  A single independent-loss process
+        is sampled row-major (packet by packet, receiver by receiver within
+        a packet), matching the order the per-packet loop would consume it.
+        """
+        shared = self.shared_loss.sample_array(rng, num_packets)
         if len(self._per_receiver_loss) == 1:
-            return self._per_receiver_loss[0].sample_array(rng, self.num_receivers)
-        return np.array([p.sample(rng) for p in self._per_receiver_loss], dtype=bool)
+            independent = self._per_receiver_loss[0].sample_array(
+                rng, num_packets * self.num_receivers
+            ).reshape(num_packets, self.num_receivers)
+        else:
+            independent = np.column_stack(
+                [p.sample_array(rng, num_packets) for p in self._per_receiver_loss]
+            )
+        return shared, independent
 
     # ------------------------------------------------------------------
     # simulation
@@ -226,7 +266,11 @@ class LayeredSessionSimulator:
             if measuring:
                 level_sum += float(levels.mean())
                 max_level_sum += float(max_level)
-            for packet in self.schedule.unit_packets(unit):
+            unit_packets = self.schedule.unit_packets(unit)
+            shared_lost, independent_lost = self._sample_unit_losses(
+                rng, len(unit_packets)
+            )
+            for packet_index, packet in enumerate(unit_packets):
                 if track_advertised:
                     pending = (advertised > levels) & (advert_expiry <= packet.time)
                     if pending.any():
@@ -248,13 +292,13 @@ class LayeredSessionSimulator:
                     # observe it, so no protocol state changes.
                     continue
 
-                if self.shared_loss.sample(rng):
+                if shared_lost[packet_index]:
                     # Correlated congestion: every subscribed receiver
                     # observes the loss.
                     congested = subscribed
                     received = None
                 else:
-                    independent = self._sample_independent_losses(rng)
+                    independent = independent_lost[packet_index]
                     congested = subscribed & independent
                     received = subscribed & ~independent
 

@@ -1,0 +1,103 @@
+"""Deterministic multi-process fan-out: parallel results must equal serial."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import run_figure8_panel
+from repro.experiments.parallel import (
+    default_jobs,
+    parallel_map,
+    run_star_repetitions,
+    task_seeds,
+)
+from repro.experiments.runner import EXPERIMENT_KEYS, run_all
+from repro.simulator import uniform_star
+
+
+def _square(value):
+    return value * value
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree_and_preserve_order(self):
+        tasks = [(value,) for value in range(8)]
+        serial = parallel_map(_square, tasks, jobs=1)
+        parallel = parallel_map(_square, tasks, jobs=2)
+        assert serial == parallel == [value * value for value in range(8)]
+
+    def test_single_task_stays_in_process(self):
+        assert parallel_map(_square, [(3,)], jobs=4) == [9]
+
+    def test_rejects_negative_jobs(self):
+        with pytest.raises(SimulationError):
+            parallel_map(_square, [(1,)], jobs=-1)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestTaskSeeds:
+    def test_schedule_matches_replicate_convention(self):
+        assert task_seeds(5, 3) == [5, 6, 7]
+
+    def test_rejects_empty_schedule(self):
+        with pytest.raises(SimulationError):
+            task_seeds(0, 0)
+
+
+class TestStarRepetitions:
+    def test_parallel_repetitions_match_serial(self):
+        config = uniform_star(5, 0.001, 0.05, duration_units=80)
+        serial = run_star_repetitions("deterministic", config, 3, base_seed=2, jobs=1)
+        parallel = run_star_repetitions("deterministic", config, 3, base_seed=2, jobs=2)
+        assert [r.shared_link_packets for r in serial] == [
+            r.shared_link_packets for r in parallel
+        ]
+        for first, second in zip(serial, parallel):
+            assert (first.receiver_packets == second.receiver_packets).all()
+
+
+#: Verdicts end with a per-experiment timing suffix " (1.2s)" — the only
+#: jobs-dependent part of the output, stripped before comparing.
+_TIMING_SUFFIX = re.compile(r" \(\d+\.\d+s\)$")
+
+
+class TestRunAllJobs:
+    def test_verdicts_identical_for_jobs_1_and_2(self):
+        subset = ["figure1", "figure3", "figure7"]
+        serial = run_all(only=subset, jobs=1)
+        parallel = run_all(only=subset, jobs=2)
+        assert [(name, _TIMING_SUFFIX.sub("", verdict)) for name, _, verdict in serial] == [
+            (name, _TIMING_SUFFIX.sub("", verdict)) for name, _, verdict in parallel
+        ]
+        for _name, _result, verdict in serial:
+            assert _TIMING_SUFFIX.search(verdict), f"missing timing suffix: {verdict!r}"
+        assert len(serial) == len(subset)
+
+    def test_only_rejects_unknown_keys(self):
+        with pytest.raises(KeyError):
+            run_all(only=["figure1", "nonsense"])
+
+    def test_registry_keys_exposed(self):
+        assert "figure8" in EXPERIMENT_KEYS
+        assert len(EXPERIMENT_KEYS) == 15
+
+
+class TestFigure8Jobs:
+    def test_panel_identical_across_jobs(self):
+        kwargs = dict(
+            shared_loss_rate=0.001,
+            independent_loss_rates=(0.02, 0.08),
+            num_receivers=6,
+            duration_units=80,
+            repetitions=2,
+        )
+        serial = run_figure8_panel(**kwargs, jobs=1)
+        parallel = run_figure8_panel(**kwargs, jobs=2)
+        assert [(p.protocol, p.independent_loss_rate, p.redundancy) for p in serial.points] == [
+            (p.protocol, p.independent_loss_rate, p.redundancy) for p in parallel.points
+        ]

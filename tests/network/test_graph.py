@@ -72,6 +72,25 @@ class TestNetworkGraph:
         with pytest.raises(NetworkModelError):
             graph.link_by_name("missing")
 
+    def test_duplicate_explicit_name_rejected(self):
+        graph = NetworkGraph()
+        graph.add_link("a", "b", capacity=1.0, name="uplink")
+        with pytest.raises(NetworkModelError):
+            graph.add_link("b", "c", capacity=1.0, name="uplink")
+
+    def test_explicit_name_colliding_with_auto_name_rejected(self):
+        graph = NetworkGraph()
+        graph.add_link("a", "b", capacity=1.0, name="l2")
+        # The second link would auto-name itself "l2" as well.
+        with pytest.raises(NetworkModelError):
+            graph.add_link("b", "c", capacity=1.0)
+
+    def test_name_lookup_after_many_links(self):
+        graph = NetworkGraph()
+        for index in range(50):
+            graph.add_link(f"n{index}", f"n{index + 1}", capacity=1.0)
+        assert graph.link_by_name("l37").link_id == 36
+
     def test_unknown_link_id(self):
         graph = NetworkGraph()
         with pytest.raises(NetworkModelError):
