@@ -7,10 +7,16 @@ rate, panel (b) a high one (0.05).
 
 Scale: 60 receivers, 1200 sender time units, 3 repetitions and 5 loss points
 per curve — reduced from the paper's 100 receivers / 100k packets / 30
-repetitions so the full figure regenerates in well under a minute while the
-qualitative shape (Coordinated lowest and below ~2.5, redundancy rising with
-independent loss, everything below 5) is already stable.  Pass larger
-parameters to :func:`repro.experiments.run_figure8_panel` for paper scale.
+repetitions so the full figure regenerates in seconds while the qualitative
+shape (Coordinated lowest and below ~2.5, redundancy rising with independent
+loss, everything below 5) is already stable.  Pass larger parameters to
+:func:`repro.experiments.run_figure8_panel` for paper scale.
+
+The panels run on the time-unit-batched engine, which stacks each
+protocol's loss sweep and repetitions into one event scan; the ``slow``
+engine-comparison benchmark pits it against the per-packet reference loop
+on a reduced workload (identical results, very different wall time — see
+``docs/performance.md`` for recorded numbers).
 """
 
 from __future__ import annotations
@@ -25,13 +31,14 @@ DURATION_UNITS = 1200
 REPETITIONS = 3
 
 
-def _run_panel(shared_loss_rate: float):
+def _run_panel(shared_loss_rate: float, engine: str = "batched", duration: int = DURATION_UNITS):
     return run_figure8_panel(
         shared_loss_rate=shared_loss_rate,
         independent_loss_rates=INDEPENDENT_LOSS_RATES,
         num_receivers=NUM_RECEIVERS,
-        duration_units=DURATION_UNITS,
+        duration_units=duration,
         repetitions=REPETITIONS,
+        engine=engine,
     )
 
 
@@ -55,3 +62,14 @@ def test_bench_figure8b_high_shared_loss(benchmark):
     panel = benchmark.pedantic(_run_panel, args=(0.05,), rounds=1, iterations=1)
     print(f"\nFigure 8(b) - shared loss 0.05, {NUM_RECEIVERS} receivers\n" + panel.table())
     _check_panel(panel, coordinated_cap=2.5)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", ("batched", "reference"))
+def test_bench_figure8_engine_comparison(benchmark, engine):
+    """Batched vs per-packet reference engine on a reduced panel (same results)."""
+    panel = benchmark.pedantic(
+        _run_panel, args=(0.05,), kwargs={"engine": engine, "duration": 400},
+        rounds=1, iterations=1,
+    )
+    _check_panel(panel, coordinated_cap=2.6)

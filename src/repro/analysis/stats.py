@@ -40,9 +40,17 @@ def _require_values(values: Sequence[float], minimum: int = 1) -> List[float]:
 
 
 def mean(values: Sequence[float]) -> float:
-    """Arithmetic mean."""
+    """Arithmetic mean (exact summation, clamped into ``[min, max]``).
+
+    Floating-point summation and division can land a final ulp outside
+    the data range (e.g. ``sum([1.9] * 3) / 3 < 1.9``), violating the
+    interval invariants downstream consumers rely on; the true mean
+    always lies within [min, max], so clamping only removes rounding
+    error.
+    """
     data = _require_values(values)
-    return sum(data) / len(data)
+    average = math.fsum(data) / len(data)
+    return min(max(average, min(data)), max(data))
 
 
 def sample_variance(values: Sequence[float]) -> float:

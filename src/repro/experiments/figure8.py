@@ -32,7 +32,7 @@ from typing import Dict, List, Optional, Sequence
 from ..analysis.tables import format_series
 from ..protocols import make_protocol
 from ..simulator.metrics import RedundancyMeasurement
-from ..simulator.star import star_redundancy, uniform_star
+from ..simulator.star import star_redundancy, star_redundancy_group, uniform_star
 from .parallel import parallel_map
 
 __all__ = [
@@ -126,6 +126,24 @@ class Figure8Result:
         )
 
 
+def _point_config(
+    independent_loss: float,
+    shared_loss_rate: float,
+    num_receivers: int,
+    num_layers: int,
+    duration_units: int,
+):
+    """The star configuration of one Figure 8 point — the single source the
+    serial (grouped) and multi-process paths both build from."""
+    return uniform_star(
+        num_receivers=num_receivers,
+        shared_loss_rate=shared_loss_rate,
+        independent_loss_rate=independent_loss,
+        num_layers=num_layers,
+        duration_units=duration_units,
+    )
+
+
 def _run_figure8_point(
     protocol_name: str,
     independent_loss: float,
@@ -135,20 +153,18 @@ def _run_figure8_point(
     duration_units: int,
     repetitions: int,
     base_seed: int,
+    engine: str = "batched",
 ) -> Figure8Point:
     """One (protocol, independent-loss) measurement; picklable for workers."""
-    config = uniform_star(
-        num_receivers=num_receivers,
-        shared_loss_rate=shared_loss_rate,
-        independent_loss_rate=independent_loss,
-        num_layers=num_layers,
-        duration_units=duration_units,
+    config = _point_config(
+        independent_loss, shared_loss_rate, num_receivers, num_layers, duration_units
     )
     measurement = star_redundancy(
         make_protocol(protocol_name),
         config,
         repetitions=repetitions,
         base_seed=base_seed,
+        engine=engine,
     )
     return Figure8Point(
         protocol=protocol_name,
@@ -167,18 +183,47 @@ def run_figure8_panel(
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
     jobs: int = 1,
+    engine: str = "batched",
 ) -> Figure8Panel:
     """Simulate one Figure 8 panel (one shared loss rate).
 
     With ``jobs > 1`` the panel's (protocol, loss-rate) points are computed
-    in parallel worker processes.  Every point carries its own fixed seeds,
-    so the result is identical to the serial run regardless of ``jobs``.
+    in parallel worker processes; serially, each protocol's loss sweep and
+    repetitions ride one batched group scan
+    (:func:`repro.simulator.star.star_redundancy_group`).  Every point
+    carries its own fixed seeds, so results are identical for any ``jobs``
+    and either ``engine``.
     """
     panel = Figure8Panel(
         shared_loss_rate=shared_loss_rate,
         independent_loss_rates=tuple(independent_loss_rates),
         num_receivers=num_receivers,
     )
+    if jobs == 1:
+        for protocol_name in protocols:
+            configs = [
+                _point_config(
+                    independent_loss, shared_loss_rate, num_receivers,
+                    num_layers, duration_units,
+                )
+                for independent_loss in independent_loss_rates
+            ]
+            measurements = star_redundancy_group(
+                [make_protocol(protocol_name) for _ in configs],
+                configs,
+                repetitions=repetitions,
+                base_seed=base_seed,
+                engine=engine,
+            )
+            panel.points.extend(
+                Figure8Point(
+                    protocol=protocol_name,
+                    independent_loss_rate=independent_loss,
+                    measurement=measurement,
+                )
+                for independent_loss, measurement in zip(independent_loss_rates, measurements)
+            )
+        return panel
     tasks = [
         (
             protocol_name,
@@ -189,6 +234,7 @@ def run_figure8_panel(
             duration_units,
             repetitions,
             base_seed,
+            engine,
         )
         for protocol_name in protocols
         for independent_loss in independent_loss_rates
@@ -206,6 +252,7 @@ def run_figure8(
     low_shared_loss: float = 0.0001,
     high_shared_loss: float = 0.05,
     jobs: int = 1,
+    engine: str = "batched",
 ) -> Figure8Result:
     """Simulate both Figure 8 panels (optionally across ``jobs`` processes)."""
     return Figure8Result(
@@ -217,6 +264,7 @@ def run_figure8(
             repetitions=repetitions,
             base_seed=base_seed,
             jobs=jobs,
+            engine=engine,
         ),
         high_shared_loss=run_figure8_panel(
             high_shared_loss,
@@ -226,5 +274,6 @@ def run_figure8(
             repetitions=repetitions,
             base_seed=base_seed,
             jobs=jobs,
+            engine=engine,
         ),
     )

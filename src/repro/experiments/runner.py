@@ -36,50 +36,52 @@ from .parallel import parallel_map
 __all__ = ["run_all", "main", "EXPERIMENT_KEYS"]
 
 
-def _run_figure8_scaled(full_scale: bool, jobs: int = 1):
+def _run_figure8_scaled(full_scale: bool, jobs: int = 1, engine: str = "batched"):
     # Figure 8 dominates the full-scale run, so it additionally fans its
     # (protocol, loss-rate) points across workers; with jobs=1 this is the
-    # plain serial sweep.
+    # plain serial sweep (with the batched engine stacking each protocol's
+    # points into one scan).
     if not full_scale:
-        return run_figure8(jobs=jobs)
+        return run_figure8(jobs=jobs, engine=engine)
     return run_figure8(
         independent_loss_rates=PAPER_INDEPENDENT_LOSS_RATES,
         num_receivers=100,
         duration_units=2000,
         repetitions=5,
         jobs=jobs,
+        engine=engine,
     )
 
 
-#: key -> (display name, runner(full_scale, jobs) -> result, verdict(result) -> str).
+#: key -> (display name, runner(full_scale, jobs, engine) -> result, verdict(result) -> str).
 #: Workers are handed only the registry *key* (via ``_run_experiment_by_key``)
 #: and resolve the runner after importing this module, so the entries
 #: themselves never need to be pickled.
 _EXPERIMENTS: List[Tuple[str, str, Callable, Callable]] = [
     ("figure1", "Figure 1 (sample network)",
-     lambda full, jobs: run_figure1(),
+     lambda full, jobs, engine: run_figure1(),
      lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
     ("figure2", "Figure 2 (single-rate limitations)",
-     lambda full, jobs: run_figure2(),
+     lambda full, jobs, engine: run_figure2(),
      lambda r: "matches paper" if (r.single_rate_matches_paper and r.multi_rate_is_more_max_min_fair)
      else "MISMATCH"),
     ("figure3", "Figure 3 (receiver removal)",
-     lambda full, jobs: run_figure3(),
+     lambda full, jobs, engine: run_figure3(),
      lambda r: "matches paper" if r.demonstrates_both_directions else "MISMATCH"),
     ("figure4", "Figure 4 (redundancy vs session fairness)",
-     lambda full, jobs: run_figure4(),
+     lambda full, jobs, engine: run_figure4(),
      lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
     ("figure5", "Figure 5 (random-join redundancy)",
-     lambda full, jobs: run_figure5(),
+     lambda full, jobs, engine: run_figure5(),
      lambda r: "bounded as predicted" if r.respects_upper_bounds else "MISMATCH"),
     ("figure6", "Figure 6 (redundancy vs fair rate)",
-     lambda full, jobs: run_figure6(),
+     lambda full, jobs, engine: run_figure6(),
      lambda r: f"formula vs water-filling max error {r.cross_check_max_error:.2e}"),
     ("fixed_layers", "Section 3 fixed-layer example",
-     lambda full, jobs: run_fixed_layers(),
+     lambda full, jobs, engine: run_fixed_layers(),
      lambda r: "no max-min fair allocation exists" if r.no_max_min_fair_exists else "MISMATCH"),
     ("figure7", "Figure 7(a) Markov analysis",
-     lambda full, jobs: run_figure7(),
+     lambda full, jobs, engine: run_figure7(),
      lambda r: "equal loss rates give the highest redundancy"
      if r.equal_loss_is_worst else "MISMATCH"),
     ("figure8", "Figure 8 (protocol redundancy)",
@@ -89,28 +91,28 @@ _EXPERIMENTS: List[Tuple[str, str, Callable, Callable]] = [
          and r.low_shared_loss.max_redundancy("coordinated") < 2.5)
      else "shape differs"),
     ("layer_ablation", "Ablation: layer count",
-     lambda full, jobs: run_layer_ablation(),
+     lambda full, jobs, engine: run_layer_ablation(),
      lambda r: "more layers never increase redundancy"
      if r.never_worse_than_single_layer else "MISMATCH"),
     ("loss_correlation", "Ablation: loss correlation",
-     lambda full, jobs: run_loss_correlation(),
+     lambda full, jobs, engine: run_loss_correlation(),
      lambda r: "correlated loss lowers redundancy"
      if r.all_protocols_benefit_from_correlation else "shape differs"),
     ("mixed_sessions", "Ablation: mixed session types (Lemma 3)",
-     lambda full, jobs: run_mixed_sessions(),
+     lambda full, jobs, engine: run_mixed_sessions(),
      lambda r: "ordering monotone and Theorem 2 holds"
      if (r.ordering_is_monotone and r.theorem2_holds_throughout) else "MISMATCH"),
     ("active_nodes", "Extension: active-node coordination",
-     lambda full, jobs: run_active_nodes(),
+     lambda full, jobs, engine: run_active_nodes(),
      lambda r: "redundancy of one is feasible"
      if (r.active_node_redundancy_near_one and r.active_node_is_lowest)
      else "shape differs"),
     ("leave_latency", "Extension: leave latency",
-     lambda full, jobs: run_leave_latency(),
+     lambda full, jobs, engine: run_leave_latency(),
      lambda r: "longer leave latency increases redundancy"
      if r.redundancy_increases_with_latency else "shape differs"),
     ("burstiness", "Extension: bursty loss",
-     lambda full, jobs: run_burstiness(),
+     lambda full, jobs, engine: run_burstiness(),
      lambda r: "protocol ordering robust to burstiness"
      if r.ordering_preserved else "shape differs"),
 ]
@@ -119,18 +121,19 @@ _EXPERIMENTS: List[Tuple[str, str, Callable, Callable]] = [
 EXPERIMENT_KEYS: Tuple[str, ...] = tuple(key for key, _, _, _ in _EXPERIMENTS)
 
 
-def _run_experiment_by_key(key: str, full_scale: bool, jobs: int):
+def _run_experiment_by_key(key: str, full_scale: bool, jobs: int, engine: str = "batched"):
     """Execute one experiment by registry key (picklable worker entry point).
 
     Returns ``(result, elapsed_seconds)``; timing happens in the worker so
     the per-experiment breakdown survives the multi-process path.  ``jobs``
     reaches the runners that can fan out internally (Figure 8's point sweep,
-    which dominates the full-scale run).
+    which dominates the full-scale run), as does the simulation ``engine``
+    selection.
     """
     for candidate, _name, runner, _verdict in _EXPERIMENTS:
         if candidate == key:
             start = time.time()
-            result = runner(full_scale, jobs)
+            result = runner(full_scale, jobs, engine)
             return result, time.time() - start
     raise KeyError(f"unknown experiment key {key!r}")
 
@@ -139,6 +142,7 @@ def run_all(
     full_scale: bool = False,
     jobs: int = 1,
     only: Optional[Sequence[str]] = None,
+    engine: str = "batched",
 ) -> List[Tuple[str, object, str]]:
     """Run every experiment; return (name, result, verdict) triples.
 
@@ -156,6 +160,10 @@ def run_all(
     only:
         Optional subset of :data:`EXPERIMENT_KEYS` to run (registry order is
         preserved regardless of the order given here).
+    engine:
+        Simulation engine for the packet-level experiments: ``"batched"``
+        (default) or ``"reference"``.  Results are identical; only the
+        runtime differs.
     """
     if only is not None:
         unknown = sorted(set(only) - set(EXPERIMENT_KEYS))
@@ -167,7 +175,7 @@ def run_all(
 
     outcomes = parallel_map(
         _run_experiment_by_key,
-        [(key, full_scale, jobs) for key, _, _, _ in selected],
+        [(key, full_scale, jobs, engine) for key, _, _, _ in selected],
         jobs=jobs,
     )
     # Verdict format matches the original runner: "<verdict> (<elapsed>s)".
@@ -198,11 +206,18 @@ def main(argv: List[str] | None = None) -> int:
         default=None,
         help="run only the named experiments",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("batched", "reference"),
+        default="batched",
+        help="simulation engine for the packet-level experiments "
+        "(identical results; 'reference' is the slow per-packet loop)",
+    )
     args = parser.parse_args(argv)
 
     start = time.time()
     for name, result, verdict in run_all(
-        full_scale=args.full, jobs=args.jobs, only=args.only
+        full_scale=args.full, jobs=args.jobs, only=args.only, engine=args.engine
     ):
         print("=" * 72)
         print(f"{name}: {verdict}")

@@ -38,7 +38,7 @@ from ..errors import ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from ..simulator.packets import Packet
-from .base import LayeredProtocol
+from .base import LayeredProtocol, join_threshold_packets
 
 __all__ = ["ActiveNodeProtocol"]
 
@@ -47,6 +47,7 @@ class ActiveNodeProtocol(LayeredProtocol):
     """Group-wide joins and leaves decided at the branch-point router."""
 
     name = "active-node"
+    supports_batched_units = True
 
     def __init__(
         self,
@@ -110,9 +111,7 @@ class ActiveNodeProtocol(LayeredProtocol):
         group_level = int(levels.max())
         if group_level not in packet.sync_levels:
             return np.zeros_like(received)
-        gate = self.sync_threshold_fraction * float(
-            2.0 ** (2 * (group_level - 1))
-        )
+        gate = self.sync_threshold_fraction * join_threshold_packets(group_level)
         if self._packets_since_group_event < gate:
             return np.zeros_like(received)
         # The whole group joins together (stragglers catch up too).
@@ -120,6 +119,120 @@ class ActiveNodeProtocol(LayeredProtocol):
 
     def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
         self._packets_since_group_event = 0
+
+    # ------------------------------------------------------------------
+    # batched path: the group is a single scalar state machine
+    # ------------------------------------------------------------------
+    def step_chunk(self, chunk, levels):
+        """Chunked scan specialised to the group's lock-step dynamics.
+
+        Every receiver always holds the same subscription level (the group
+        joins and leaves together from the all-ones initial state), so the
+        protocol reduces to one scalar (level, counter) machine whose events
+        are group congestions — shared-link losses, or fan-out loss bursts
+        hitting at least ``group_loss_fraction`` of the group — plus group
+        joins at the sender's sync points.  Receiver-level reception is
+        still accounted per receiver for the rate measurements.
+        """
+        from .scan import ChunkResult
+
+        num_receivers = levels.size
+        top = chunk.num_layers
+        layers = chunk.layers
+        shared = chunk.shared_lost
+        indep = chunk.independent_lost  # receiver-major (R, n)
+        n = layers.size
+        ind_count = indep.sum(axis=0, dtype=np.int64)
+        # congested.any() / the group-leave condition / received.any(),
+        # all conditional on the packet being subscribed at all.
+        any_congestion = shared | (ind_count > 0)
+        group_hit = shared | (ind_count >= self.group_loss_fraction * num_receivers)
+        recv_any = ~shared & (ind_count < num_receivers)
+
+        received = np.zeros(num_receivers, dtype=np.int64)
+        ev_cols = []
+        ev_old = []
+        ev_new = []
+        level = int(levels.max())
+        count = self._packets_since_group_event
+        sync_cols = chunk.sync_cols
+        pos = 0
+        while pos < n:
+            cols = chunk.cols_for_level[level]
+            observed = cols[cols >= pos] if pos else cols
+            if observed.size == 0:
+                break
+            hits = observed[group_hit[observed]]
+            next_event = int(hits[0]) if hits.size else n
+            if level < top and sync_cols.size:
+                ahead = np.searchsorted(sync_cols, pos)
+                for index in range(ahead, sync_cols.size):
+                    sync_col = int(sync_cols[index])
+                    if sync_col >= next_event:
+                        break
+                    if not chunk.sync_ok[index, level] or not recv_any[sync_col]:
+                        continue
+                    gate = self.sync_threshold_fraction * join_threshold_packets(level)
+                    upto = observed[observed <= sync_col]
+                    if count + int(recv_any[upto].sum()) >= gate:
+                        next_event = sync_col
+                        break
+            stretch = observed[observed < next_event]
+            if stretch.size:
+                alive = stretch[~shared[stretch]]
+                if alive.size:
+                    received += alive.size - indep[:, alive].sum(axis=1)
+                count += int(recv_any[stretch].sum())
+            if next_event >= n:
+                break
+            # Replicate the reference engine's per-packet order exactly at
+            # the event packet: congestion reaction first, then reception.
+            col = next_event
+            if any_congestion[col]:
+                if group_hit[col]:
+                    count = 0
+                    if level > 1:
+                        ev_cols.append(col)
+                        ev_old.append(level)
+                        level -= 1
+                        ev_new.append(level)
+            if recv_any[col]:
+                received += 1 - indep[:, col]
+                count += 1
+                sync_index = np.searchsorted(sync_cols, col)
+                if (
+                    sync_index < sync_cols.size
+                    and sync_cols[sync_index] == col
+                    and chunk.sync_ok[sync_index, level]
+                    and level < top
+                    and count >= self.sync_threshold_fraction * join_threshold_packets(level)
+                ):
+                    ev_cols.append(col)
+                    ev_old.append(level)
+                    level += 1
+                    ev_new.append(level)
+                    count = 0
+            pos = col + 1
+
+        self._packets_since_group_event = count
+        levels[:] = level
+        if ev_cols:
+            event_cols = np.repeat(np.asarray(ev_cols, dtype=np.int64), num_receivers)
+            event_receivers = np.tile(np.arange(num_receivers), len(ev_cols))
+            event_old = np.repeat(np.asarray(ev_old, dtype=np.int64), num_receivers)
+            event_new = np.repeat(np.asarray(ev_new, dtype=np.int64), num_receivers)
+        else:
+            event_cols = np.zeros(0, dtype=np.int64)
+            event_receivers = np.zeros(0, dtype=np.int64)
+            event_old = np.zeros(0, dtype=np.int64)
+            event_new = np.zeros(0, dtype=np.int64)
+        return ChunkResult(
+            received=received,
+            event_cols=event_cols,
+            event_receivers=event_receivers,
+            event_old_levels=event_old,
+            event_new_levels=event_new,
+        )
 
     @property
     def packets_since_group_event(self) -> int:

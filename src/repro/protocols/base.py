@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import ProtocolError
 from ..layering.layers import LayerScheme
+from .scan import ChunkResult, UnitChunk, scan_chunk
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
@@ -56,6 +57,25 @@ class LayeredProtocol(abc.ABC):
 
     #: Human-readable protocol name (used in experiment tables).
     name: str = "abstract"
+
+    #: Whether the protocol implements the time-unit-batched engine path
+    #: (:meth:`step_chunk` and the ``scan_*`` hooks).  The simulation engine
+    #: falls back to the per-packet reference loop when this is false, so
+    #: custom protocol subclasses keep working unmodified.
+    supports_batched_units: bool = False
+
+    #: Whether the protocol's state is strictly per-receiver, allowing the
+    #: engine to stack independently-seeded runs as receiver blocks of one
+    #: batched session (see ``LayeredSessionSimulator.run_many``).  Group
+    #: protocols with session-global state (the active-node extension)
+    #: leave this false.
+    supports_stacked_runs: bool = False
+
+    def stacking_key(self) -> tuple:
+        """Identity for run stacking: two protocol instances may drive
+        blocks of the same batched session only when their keys match.
+        Subclasses with behavioural parameters extend the tuple."""
+        return (type(self),)
 
     def __init__(self) -> None:
         self.num_receivers = 0
@@ -88,6 +108,107 @@ class LayeredProtocol(abc.ABC):
                 f"protocol {self.name!r} used before reset(); call reset() first"
             )
         return self._rng
+
+    # ------------------------------------------------------------------
+    # per-unit randomness (RNG scheme >= 3)
+    # ------------------------------------------------------------------
+    def begin_unit(
+        self,
+        rng: np.random.Generator,
+        num_packets: int,
+        num_receivers: Optional[int] = None,
+    ) -> None:
+        """Pre-sample the protocol's randomness for one time unit.
+
+        Called by *both* engines once per unit, immediately after the unit's
+        loss outcomes are sampled, so the random stream a seeded run
+        consumes is identical regardless of the engine.  ``num_receivers``
+        overrides the drawn block's width when the batched engine stacks
+        several runs (each run's generator draws for its own block).  The
+        default draws nothing; the Uncoordinated protocol draws its
+        per-packet join uniforms here.
+        """
+
+    def begin_chunk(
+        self,
+        num_runs: int = 1,
+        num_units: int = 1,
+        packets_per_unit: int = 0,
+    ) -> None:
+        """Prepare per-chunk scratch state (batched engine only).
+
+        Called by the batched engine before the :meth:`begin_unit` calls of
+        a chunk's units; protocols that pre-sample per-unit draws for the
+        scan size their chunk buffers here.  ``num_runs`` tells them how
+        many stacked run blocks each unit's draws arrive in.
+        """
+
+    # ------------------------------------------------------------------
+    # batched (time-unit chunk) path
+    # ------------------------------------------------------------------
+    def step_chunk(self, chunk: UnitChunk, levels: np.ndarray) -> ChunkResult:
+        """Advance the session through one chunk of time units.
+
+        ``levels`` is updated in place.  The default implementation runs the
+        generic per-receiver event scan (:func:`repro.protocols.scan.scan_chunk`)
+        driven by the ``scan_*`` hooks below; protocols whose receivers are
+        *not* independent (the active-node group protocol) override it.
+        """
+        return scan_chunk(self, chunk, levels)
+
+    def scan_boundary(
+        self,
+        chunk: UnitChunk,
+        lo: int,
+        act: np.ndarray,
+        levels_act: np.ndarray,
+        pos: np.ndarray,
+    ) -> int:
+        """Column (exclusive) the current scan window must not cross.
+
+        Protocols whose joins happen at designated packets (the Coordinated
+        sync points) bound the window at the next packet where a join is
+        plausible, so :meth:`scan_first_join` only ever has to evaluate the
+        window's final column.  The default imposes no bound.
+        """
+        return chunk.num_packets
+
+    def scan_first_join(
+        self,
+        chunk: UnitChunk,
+        cols: np.ndarray,
+        act: np.ndarray,
+        levels_act: np.ndarray,
+        received: np.ndarray,
+        pos: np.ndarray,
+        fresh: bool = True,
+    ):
+        """First join-triggering packet per receiver under frozen state.
+
+        ``cols`` are the packet columns in view, ``act`` the active
+        receivers, ``levels_act`` their current levels and ``received`` the
+        receiver-major ``(len(act), len(cols))`` reception matrix (already
+        masked to each receiver's unconsumed columns).  Return ``None``
+        when no join is possible, else ``(has_join, index)`` arrays over
+        ``act`` with the first candidate's position within ``cols``.  Only
+        the first event per receiver is acted upon and later candidates are
+        recomputed after every state change, so implementations may assume
+        state is frozen.
+        """
+        raise ProtocolError(
+            f"protocol {self.name!r} declares supports_batched_units but does "
+            "not implement scan_first_join()"
+        )
+
+    def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
+        """Receivers got ``counts`` packets with no join/leave in between."""
+
+    def scan_congested(self, receivers: np.ndarray) -> None:
+        """Per-receiver congestion events (mirror of :meth:`on_congestion`)."""
+
+    def scan_joined(self, receivers: np.ndarray) -> None:
+        """Per-receiver completed joins (mirror of :meth:`on_join`,
+        collapsed with the join packet's own reception)."""
 
     # ------------------------------------------------------------------
     # per-packet hooks

@@ -48,6 +48,8 @@ class CoordinatedProtocol(LayeredProtocol):
     """Joins only at sender-coordinated sync points, gated on loss-free progress."""
 
     name = "coordinated"
+    supports_batched_units = True
+    supports_stacked_runs = True
 
     def __init__(self, sync_threshold_fraction: float = 0.5) -> None:
         super().__init__()
@@ -57,6 +59,9 @@ class CoordinatedProtocol(LayeredProtocol):
                 f"{sync_threshold_fraction}"
             )
         self.sync_threshold_fraction = float(sync_threshold_fraction)
+
+    def stacking_key(self) -> tuple:
+        return (type(self), self.sync_threshold_fraction)
 
     def _reset_state(self) -> None:
         # Loss-free packets received since the last join/leave event.
@@ -84,6 +89,93 @@ class CoordinatedProtocol(LayeredProtocol):
         return received & at_sync_level & ready
 
     def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        self._received_since_event[receivers] = 0
+
+    # ------------------------------------------------------------------
+    # batched-scan hooks
+    # ------------------------------------------------------------------
+    def scan_boundary(self, chunk, lo, act, levels_act, pos):
+        """End the scan window at the next *plausible* sync point.
+
+        A level-``i`` receiver cannot join before its counter reaches the
+        gate, and the counter cannot grow faster than the packets it can
+        observe, so sync points the observed-packet bound rules out for
+        every receiver are skipped wholesale.  The window ends just after
+        the first surviving sync point, which is therefore the only column
+        :meth:`scan_first_join` has to inspect.
+        """
+        sync_cols = chunk.sync_cols
+        start = np.searchsorted(sync_cols, lo)
+        if start >= sync_cols.size:
+            return chunk.num_packets
+        ahead = sync_cols[start:]
+        gate = self.sync_threshold_fraction * self.join_threshold(levels_act)
+        headroom = gate - self._received_since_event[act]
+        eligible = chunk.sync_ok[start:][:, levels_act] & (levels_act < chunk.num_layers)[None, :]
+        observed = (
+            chunk.observed_before[levels_act[None, :], ahead[:, None] + 1]
+            - chunk.observed_before[levels_act, pos][None, :]
+        )
+        plausible = (eligible & (observed >= headroom[None, :])).any(axis=1)
+        index = int(plausible.argmax())
+        if not plausible[index]:
+            return chunk.num_packets
+        return int(ahead[index]) + 1
+
+    def scan_first_join(self, chunk, cols, act, levels_act, received, pos, fresh=True):
+        if fresh:
+            # Whole-window call: scan_boundary already ruled out every sync
+            # point before the window's final column under the receivers'
+            # current state (counters only shrink until their next event,
+            # which triggers the exhaustive re-check below), so the
+            # per-packet join rule collapses to one vector test there.
+            sync_col = int(cols[-1])
+            where = np.searchsorted(chunk.sync_cols, sync_col)
+            if where >= chunk.sync_cols.size or chunk.sync_cols[where] != sync_col:
+                return None
+            at_sync = chunk.sync_ok[where, levels_act]
+            if not at_sync.any():
+                return None
+            gate = self.sync_threshold_fraction * self.join_threshold(levels_act)
+            counters = self._received_since_event[act]
+            totals = received.sum(axis=1, dtype=np.int64)
+            has_join = (
+                received[:, -1]
+                & at_sync
+                & (counters + totals >= gate)
+                & (levels_act < chunk.num_layers)
+            )
+            return has_join, np.full(act.size, cols.size - 1, dtype=np.int64)
+        # Post-event re-check for a few receivers: a leave may have lowered
+        # the gate below what the window boundary assumed, so every sync
+        # point still ahead inside the window must be inspected.
+        s_lo = np.searchsorted(chunk.sync_cols, cols[0])
+        s_hi = np.searchsorted(chunk.sync_cols, cols[-1], side="right")
+        if s_lo == s_hi:
+            return None
+        sync_sel = chunk.sync_cols[s_lo:s_hi]
+        sync_at = np.searchsorted(cols, sync_sel)
+        at_sync = chunk.sync_ok[s_lo:s_hi][:, levels_act].T
+        gate = self.sync_threshold_fraction * self.join_threshold(levels_act)
+        counters = self._received_since_event[act]
+        running = received.cumsum(axis=1, dtype=np.int64)[:, sync_at]
+        candidates = (
+            received[:, sync_at]
+            & at_sync
+            & (counters[:, None] + running >= gate[:, None])
+            & (levels_act < chunk.num_layers)[:, None]
+        )
+        first = candidates.argmax(axis=1)
+        has_join = candidates[np.arange(act.size), first]
+        return has_join, sync_at[first]
+
+    def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
+        self._received_since_event[receivers] += counts
+
+    def scan_congested(self, receivers: np.ndarray) -> None:
+        self._received_since_event[receivers] = 0
+
+    def scan_joined(self, receivers: np.ndarray) -> None:
         self._received_since_event[receivers] = 0
 
     @property

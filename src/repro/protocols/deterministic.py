@@ -26,6 +26,8 @@ class DeterministicProtocol(LayeredProtocol):
     """Counter-based joins; leaves (and counter resets) on congestion."""
 
     name = "deterministic"
+    supports_batched_units = True
+    supports_stacked_runs = True
 
     def _reset_state(self) -> None:
         self._received_since_event = np.zeros(self.num_receivers, dtype=np.int64)
@@ -47,6 +49,41 @@ class DeterministicProtocol(LayeredProtocol):
         return received & (self._received_since_event >= thresholds)
 
     def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        self._received_since_event[receivers] = 0
+
+    # ------------------------------------------------------------------
+    # batched-scan hooks
+    # ------------------------------------------------------------------
+    def scan_first_join(self, chunk, cols, act, levels_act, received, pos, fresh=True):
+        # The counter a receiver would hold just after a packet (with state
+        # frozen) is counter + (receptions so far); a join fires once it
+        # reaches the 2^(2(i-1)) threshold — exactly the per-packet rule.
+        # Only receivers whose counter can cross the threshold within the
+        # window need the (small) cumulative scan.
+        counters = self._received_since_event[act]
+        thresholds = self.join_threshold(levels_act)
+        totals = received.sum(axis=1, dtype=np.int64)
+        reachable = (counters + totals >= thresholds) & (levels_act < chunk.num_layers)
+        if not reachable.any():
+            return None
+        ridx = np.nonzero(reachable)[0]
+        part = received[ridx]
+        running = part.cumsum(axis=1, dtype=np.int64)
+        candidates = part & (counters[ridx][:, None] + running >= thresholds[ridx][:, None])
+        first = candidates.argmax(axis=1)
+        has_join = np.zeros(act.size, dtype=bool)
+        index = np.zeros(act.size, dtype=np.int64)
+        has_join[ridx] = candidates[np.arange(ridx.size), first]
+        index[ridx] = first
+        return has_join, index
+
+    def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
+        self._received_since_event[receivers] += counts
+
+    def scan_congested(self, receivers: np.ndarray) -> None:
+        self._received_since_event[receivers] = 0
+
+    def scan_joined(self, receivers: np.ndarray) -> None:
         self._received_since_event[receivers] = 0
 
     @property

@@ -1,0 +1,322 @@
+"""Chunked per-receiver event scan — the core of the batched protocol engine.
+
+The Section-4 protocols are *receiver-local*: given the loss outcomes of
+every scheduled packet, one receiver's subscription level and join counters
+evolve independently of every other receiver's (the only cross-receiver
+coupling — which layers the shared link carries — affects measurement, not
+protocol state, because a packet some receiver is subscribed to is always
+carried).  The scan below exploits that:
+
+* loss outcomes (and the Uncoordinated protocol's join draws) are
+  pre-sampled for a whole *chunk* of time units, which is possible because
+  the ``RNG_SCHEME_VERSION >= 2`` stream draws them for every scheduled
+  packet regardless of simulation state;
+* each receiver's trajectory through the chunk is a sparse sequence of
+  *events* (congestion-driven leaves/counter resets and joins) separated by
+  stretches of plain packet reception;
+* every iteration of the scan finds, for all still-active receivers at
+  once, the first packet at which each receiver's state changes — computed
+  with array operations under the receiver's current (frozen) state, which
+  is exact precisely because nothing changes before the first event;
+* the stretch before each event is accounted in bulk (received-packet
+  counts, join-counter increments), the event itself is applied, and the
+  scan continues from the next packet.
+
+Matrices are laid out **receiver-major** — one row per receiver, one column
+per packet — so the per-receiver reductions (first event, bulk counts) run
+along contiguous memory.  Columns are restricted twice over: to packets of
+layers no higher than the highest subscription among active receivers, and
+to a bounded window ahead of the scan front, so per-iteration work tracks
+the event spacing rather than the chunk size.
+
+The scan produces results bit-for-bit identical to the per-packet reference
+engine; ``tests/simulator/test_engine_equivalence.py`` holds the proof
+obligations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
+    from .base import LayeredProtocol
+
+__all__ = ["UnitChunk", "ChunkResult", "scan_chunk"]
+
+
+@dataclass
+class UnitChunk:
+    """Pre-sampled inputs for a contiguous run of sender time units.
+
+    Attributes
+    ----------
+    start_unit / num_units / packets_per_unit:
+        The chunk covers time units ``start_unit .. start_unit+num_units``;
+        packet column ``c`` belongs to unit ``start_unit + c //
+        packets_per_unit``.
+    num_layers:
+        Top subscription level of the layer scheme.
+    layers:
+        Layer of every packet column (the unit pattern, tiled).
+    shared_lost / independent_lost:
+        Pre-sampled loss outcomes: ``(n,)`` for the shared link and
+        receiver-major ``(num_receivers, n)`` for the fan-out links.  When
+        several runs are stacked into one chunk, ``shared_lost`` holds one
+        row per run and ``receivable`` carries the combined outcome.
+    receivable:
+        Optional pre-combined reception outcome (``~shared & ~independent``
+        per receiver row); computed from the loss arrays when absent.
+    cols_for_level:
+        ``cols_for_level[l]`` lists the packet columns with ``layer <= l``
+        — the packets a level-``l`` receiver can observe.
+    observed_before:
+        ``observed_before[l, c]`` counts the packet columns before ``c``
+        with ``layer <= l`` (shape ``(num_layers + 1, n + 1)``); an upper
+        bound on what a level-``l`` receiver can receive, used to prune
+        unreachable join opportunities.
+    sync_cols / sync_ok:
+        Columns of unit-initial packets carrying sender sync marks, and a
+        ``(len(sync_cols), num_levels+2)`` table with ``sync_ok[i, l]``
+        true when level ``l`` may join at that sync point.
+    times:
+        Absolute transmission time per column; only materialised when the
+        engine tracks leave-latency advertisements.
+    scan_window:
+        Maximum observed columns one scan iteration examines (0 =
+        unbounded).  Purely a performance knob — results are identical for
+        any value.
+    """
+
+    start_unit: int
+    num_units: int
+    packets_per_unit: int
+    num_layers: int
+    layers: np.ndarray
+    shared_lost: np.ndarray
+    independent_lost: np.ndarray
+    cols_for_level: Sequence[np.ndarray]
+    observed_before: np.ndarray
+    sync_cols: np.ndarray
+    sync_ok: np.ndarray
+    times: Optional[np.ndarray] = None
+    scan_window: int = 0
+    receivable: Optional[np.ndarray] = None
+
+    @property
+    def num_packets(self) -> int:
+        return int(self.layers.size)
+
+
+@dataclass
+class ChunkResult:
+    """What one chunk of simulation did to the session.
+
+    ``received`` counts packets received per receiver over the chunk.  The
+    ``event_*`` arrays record every subscription-level change (one entry per
+    receiver per change, in increasing packet order per receiver): the
+    packet column it happened at, the receiver, and the levels before/after
+    — enough for the engine to reconstruct per-packet carriage and
+    leave-latency advertisements without re-simulating.
+    """
+
+    received: np.ndarray
+    event_cols: np.ndarray
+    event_receivers: np.ndarray
+    event_old_levels: np.ndarray
+    event_new_levels: np.ndarray
+
+    @property
+    def num_events(self) -> int:
+        return int(self.event_cols.size)
+
+
+def _concat(parts: List[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def scan_chunk(
+    protocol: "LayeredProtocol",
+    chunk: UnitChunk,
+    levels: np.ndarray,
+) -> ChunkResult:
+    """Advance ``levels`` (in place) through one chunk; see module docstring.
+
+    The protocol participates through the hooks
+    :meth:`~repro.protocols.base.LayeredProtocol.scan_first_join` and
+    :meth:`~repro.protocols.base.LayeredProtocol.scan_boundary` (join
+    detection under frozen state) plus the bookkeeping mirrors
+    :meth:`~repro.protocols.base.LayeredProtocol.scan_bulk_received`,
+    :meth:`~repro.protocols.base.LayeredProtocol.scan_congested` and
+    :meth:`~repro.protocols.base.LayeredProtocol.scan_joined`.
+    """
+    n = chunk.num_packets
+    num_receivers = levels.size
+    window = chunk.scan_window or n
+
+    # Receiver-local reception outcome if subscribed: neither link lost it.
+    receivable = chunk.receivable
+    if receivable is None:
+        receivable = ~chunk.independent_lost & ~chunk.shared_lost[None, :]
+    # Narrow dtypes keep the broadcast comparisons below memory-light.
+    layers = chunk.layers.astype(np.int16, copy=False)
+
+    received_counts = np.zeros(num_receivers, dtype=np.int64)
+    ev_cols: List[np.ndarray] = []
+    ev_rec: List[np.ndarray] = []
+    ev_old: List[np.ndarray] = []
+    ev_new: List[np.ndarray] = []
+
+    everyone = np.arange(num_receivers)
+    pos = np.zeros(num_receivers, dtype=np.int32)
+    lo = 0
+    while lo < n:
+        # ---- establish one window of observable columns -----------------
+        top = int(levels.max())
+        cols_all = chunk.cols_for_level[top]
+        first = np.searchsorted(cols_all, lo) if lo else 0
+        if first >= cols_all.size:
+            break
+        capped = cols_all.size - first > window
+        cols = cols_all[first:first + window]
+        # The window ends just before the next column anyone could observe
+        # (skipping unobservable higher-layer packets costs nothing).
+        window_end = int(cols_all[first + window]) if capped else n
+        boundary = protocol.scan_boundary(chunk, lo, everyone, levels, pos)
+        if boundary < window_end:
+            cols = cols[:np.searchsorted(cols, boundary)]
+            window_end = boundary
+            if cols.size == 0:
+                # Nothing observable before the boundary; hop across.
+                np.maximum(pos, window_end, out=pos)
+                lo = window_end
+                continue
+
+        num_cols = cols.size
+        layer_row = layers[cols][None, :]
+        ok = receivable[:, cols]
+        sub = layer_row <= levels.astype(np.int16)[:, None]
+        recv = sub & ok
+        cong = sub ^ recv  # subscribed and not received = congested
+        if int(pos.max()) > lo:
+            # Receivers that processed an event past a truncated window
+            # must not see the columns they already consumed.
+            valid = cols[None, :] >= pos[:, None]
+            recv &= valid
+            cong &= valid
+
+        has_join = np.zeros(num_receivers, dtype=bool)
+        e_join = np.zeros(num_receivers, dtype=np.int64)
+        join = protocol.scan_first_join(chunk, cols, everyone, levels, recv, pos, fresh=True)
+        if join is not None:
+            has_join, e_join = join
+
+        # ---- drain the window's events, touching only changed rows ------
+        iota = np.arange(num_cols, dtype=np.int32)
+        truncate_at = -1
+        while True:
+            e_cong = cong.argmax(axis=1)
+            has_cong = cong[everyone, e_cong]
+            has_event = has_cong | has_join
+            if not has_event.any():
+                break
+            # Congestion and join columns are disjoint per receiver, so the
+            # earlier of the two (when both exist) is the true first event.
+            was_cong = has_cong & (~has_join | (e_cong < e_join))
+            e_slice = np.where(was_cong, e_cong, e_join)
+            hit = np.nonzero(has_event)[0]
+            e_hit = e_slice[hit]
+            event_cols = cols[e_hit]
+            # Receptions strictly before each event column (rows are
+            # already masked below each receiver's position).
+            bulk = (recv[hit] & (iota[None, :] < e_hit[:, None].astype(np.int32))).sum(
+                axis=1, dtype=np.int64
+            )
+            received_counts[hit] += bulk
+            protocol.scan_bulk_received(hit, bulk)
+            hit_cong = was_cong[hit]
+            cidx = hit[hit_cong]
+            if cidx.size:
+                protocol.scan_congested(cidx)
+                leave = levels[cidx] > 1
+                lidx = cidx[leave]
+                if lidx.size:
+                    ev_cols.append(event_cols[hit_cong][leave].astype(np.int64))
+                    ev_rec.append(lidx)
+                    ev_old.append(levels[lidx])
+                    levels[lidx] -= 1
+                    ev_new.append(levels[lidx])
+            jidx = hit[~hit_cong]
+            if jidx.size:
+                # The join-triggering packet was itself received.
+                received_counts[jidx] += 1
+                protocol.scan_joined(jidx)
+                join_cols = event_cols[~hit_cong]
+                ev_cols.append(join_cols.astype(np.int64))
+                ev_rec.append(jidx)
+                ev_old.append(levels[jidx])
+                levels[jidx] += 1
+                ev_new.append(levels[jidx])
+                raised = levels[jidx] > top
+                if raised.any():
+                    # A receiver outgrew the window's layer slice: packets
+                    # above ``top`` are missing from these columns, so its
+                    # scan must resume in a wider window.  Close this one
+                    # *before* the first such join — the joiner itself has
+                    # consumed its column, while receivers whose first event
+                    # came earlier still need their look at it.
+                    truncate_at = int(join_cols[raised].min())
+            pos[hit] = event_cols + 1
+            if truncate_at >= 0:
+                # Close the window at the earliest hit position: receivers
+                # whose event came earlier may still have unevaluated
+                # events between there and the truncating join, so only
+                # event-free receivers may be bulk-advanced past it.  The
+                # next (wider) window re-examines everything beyond.
+                window_end = int(pos[hit].min())
+                break
+            # Refresh the changed rows (subscription, consumed prefix).
+            sub_hit = layer_row <= levels[hit].astype(np.int16)[:, None]
+            recv_hit = sub_hit & ok[hit]
+            cong_hit = sub_hit ^ recv_hit
+            valid_hit = cols[None, :] >= pos[hit][:, None]
+            recv_hit &= valid_hit
+            cong_hit &= valid_hit
+            recv[hit] = recv_hit
+            cong[hit] = cong_hit
+            join = protocol.scan_first_join(chunk, cols, hit, levels[hit], recv_hit, pos[hit], fresh=False)
+            if join is None:
+                has_join[hit] = False
+            else:
+                has_join[hit], e_join[hit] = join
+
+        # ---- close the window: bulk everyone to its end ------------------
+        if truncate_at >= 0:
+            # Hit receivers' rows are stale (the loop broke before their
+            # refresh); their position masks keep their contribution empty,
+            # which is exact because the window closes at the earliest hit.
+            closing = (
+                recv
+                & (cols[None, :] < np.int32(window_end))
+                & (cols[None, :] >= pos[:, None])
+            ).sum(axis=1, dtype=np.int64)
+        else:
+            closing = recv.sum(axis=1, dtype=np.int64)
+        received_counts += closing
+        protocol.scan_bulk_received(everyone, closing)
+        np.maximum(pos, window_end, out=pos)
+        lo = window_end
+
+    return ChunkResult(
+        received=received_counts,
+        event_cols=_concat(ev_cols),
+        event_receivers=_concat(ev_rec),
+        event_old_levels=_concat(ev_old),
+        event_new_levels=_concat(ev_new),
+    )

@@ -18,15 +18,61 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from ..simulator.packets import Packet
+from ..errors import ProtocolError
 from .base import LayeredProtocol
 
 __all__ = ["UncoordinatedProtocol"]
 
 
 class UncoordinatedProtocol(LayeredProtocol):
-    """Random, memoryless joins; leaves on every congestion event."""
+    """Random, memoryless joins; leaves on every congestion event.
+
+    Since ``RNG_SCHEME_VERSION >= 3`` the per-packet join uniforms are
+    pre-sampled once per time unit in :meth:`begin_unit` (one
+    receiver-major ``(receivers, packets)`` draw), so the per-packet
+    reference path and the batched scan read the same numbers from the
+    same stream.
+    When the protocol is driven directly — outside an engine run, with no
+    unit loaded — :meth:`on_packet_received` falls back to drawing fresh
+    uniforms per packet.
+    """
 
     name = "uncoordinated"
+    supports_batched_units = True
+    supports_stacked_runs = True
+
+    def _reset_state(self) -> None:
+        self._unit_draws = None
+        self._chunk_buffer = None
+        self._chunk_draw_exponents = None
+        self._chunk_runs = 1
+        self._fill_count = 0
+
+    def begin_unit(self, rng, num_packets, num_receivers=None):
+        count = self.num_receivers if num_receivers is None else num_receivers
+        if self._chunk_buffer is None:
+            self._unit_draws = rng.random((count, num_packets))
+            return
+        # Batched path: draw straight into this chunk's pre-sized buffer.
+        # Units arrive in order, with one block per stacked run inside each
+        # unit (the engine's sampling order).
+        unit = self._fill_count // self._chunk_runs
+        run = self._fill_count % self._chunk_runs
+        block = self._chunk_buffer[
+            run * count:(run + 1) * count,
+            unit * num_packets:(unit + 1) * num_packets,
+        ]
+        block[...] = rng.random((count, num_packets))
+        self._unit_draws = block
+        self._fill_count += 1
+
+    def begin_chunk(self, num_runs: int = 1, num_units: int = 1, packets_per_unit: int = 0) -> None:
+        shape = (self.num_receivers, num_units * packets_per_unit)
+        if self._chunk_buffer is None or self._chunk_buffer.shape != shape:
+            self._chunk_buffer = np.empty(shape)
+        self._chunk_draw_exponents = None
+        self._chunk_runs = num_runs
+        self._fill_count = 0
 
     def on_packet_received(
         self,
@@ -38,5 +84,41 @@ class UncoordinatedProtocol(LayeredProtocol):
         if not received.any():
             return np.zeros_like(received)
         probabilities = self.join_probability_per_packet(levels)
-        draws = rng.random(self.num_receivers)
+        if self._unit_draws is not None:
+            draws = self._unit_draws[:, packet.sequence % self._unit_draws.shape[1]]
+        else:
+            draws = rng.random(self.num_receivers)
         return received & (draws < probabilities)
+
+    # ------------------------------------------------------------------
+    # batched-scan hooks
+    # ------------------------------------------------------------------
+    def scan_first_join(self, chunk, cols, act, levels_act, received, pos, fresh=True):
+        if self._chunk_draw_exponents is None:
+            if self._chunk_buffer is None:
+                raise ProtocolError(
+                    "uncoordinated batched scan needs begin_chunk()/begin_unit() "
+                    "to pre-sample its join draws"
+                )
+            # The join thresholds 2^(-2(i-1)) are exact binary powers, so
+            # ``draw < threshold`` depends only on the draw's IEEE-754
+            # exponent: ``draw < 2^(-2(i-1))`` iff its biased exponent is at
+            # most ``1022 - 2(i-1)``.  Storing the exponent field therefore
+            # reproduces the float comparisons bit for bit while turning
+            # the per-window test into a cheap int16 comparison (zeros and
+            # subnormals have exponent 0 and clear every level's bar).
+            self._chunk_draw_exponents = (
+                self._chunk_buffer.view(np.uint64) >> np.uint64(52)
+            ).astype(np.int16)
+        if act.size == self.num_receivers:
+            exponents = self._chunk_draw_exponents[:, cols]
+        else:
+            exponents = self._chunk_draw_exponents[act[:, None], cols[None, :]]
+        # Fold the top-level clamp into the bar: exponent fields are
+        # non-negative, so a negative bar never matches.
+        bars = np.where(
+            levels_act < chunk.num_layers, 1024 - 2 * levels_act, -1
+        ).astype(np.int16)
+        candidates = received & (exponents <= bars[:, None])
+        first = candidates.argmax(axis=1)
+        return candidates[np.arange(act.size), first], first

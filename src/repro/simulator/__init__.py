@@ -4,29 +4,46 @@
   processes;
 * :mod:`~repro.simulator.packets` — the sender's periodic packet schedule
   with sender-coordinated sync marks;
-* :mod:`~repro.simulator.engine` — the vectorised per-packet simulation of a
-  session on a modified star, measuring shared-link redundancy;
+* :mod:`~repro.simulator.engine` — the time-unit-batched simulation of a
+  session on a modified star (with the per-packet reference loop as
+  ``engine="reference"``), measuring shared-link redundancy;
 * :mod:`~repro.simulator.star` — Figure 7 experiment configurations;
 * :mod:`~repro.simulator.metrics` — replication and summary statistics.
 """
 
-from .engine import LayeredSessionSimulator, SessionSimulationResult, simulate_layered_session
+from .engine import (
+    ENGINES,
+    RNG_SCHEME_VERSION,
+    LayeredSessionSimulator,
+    SessionSimulationResult,
+    simulate_layered_session,
+    simulate_session_group,
+)
 from .loss import BernoulliLoss, GilbertElliottLoss, LossProcess, NoLoss
-from .metrics import RedundancyMeasurement, measure_redundancy, replicate
+from .metrics import (
+    RedundancyMeasurement,
+    measure_redundancy,
+    replicate,
+    summarize_redundancy,
+)
 from .packets import Packet, PacketSchedule
 from .star import (
     StarExperimentConfig,
     build_simulator,
     simulate_star,
     star_redundancy,
+    star_redundancy_group,
     two_receiver_star,
     uniform_star,
 )
 
 __all__ = [
+    "ENGINES",
+    "RNG_SCHEME_VERSION",
     "LayeredSessionSimulator",
     "SessionSimulationResult",
     "simulate_layered_session",
+    "simulate_session_group",
     "BernoulliLoss",
     "GilbertElliottLoss",
     "LossProcess",
@@ -34,12 +51,14 @@ __all__ = [
     "RedundancyMeasurement",
     "measure_redundancy",
     "replicate",
+    "summarize_redundancy",
     "Packet",
     "PacketSchedule",
     "StarExperimentConfig",
     "build_simulator",
     "simulate_star",
     "star_redundancy",
+    "star_redundancy_group",
     "two_receiver_star",
     "uniform_star",
 ]

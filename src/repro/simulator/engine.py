@@ -33,33 +33,47 @@ Two Section-5 "future work" effects are also modelled:
   latency after its last leave expires — a slightly conservative
   approximation that over- rather than under-states carriage.
 
-The simulator is vectorised over receivers, so a session with hundreds of
-receivers runs at roughly the cost of the per-packet Python loop.
+**Two engines, one behaviour.**  The simulator ships a time-unit-batched
+engine (the default) and the original per-packet reference loop
+(``engine="reference"``).  Both produce bit-for-bit identical results for
+any seed: the batched engine restructures each chunk of time units as a
+per-receiver *event scan* (see :mod:`repro.protocols.scan`) instead of a
+Python-level loop over packets, which is possible because the Section-4
+protocols are receiver-local and the random stream is pre-sampled
+state-independently.  Protocols that do not implement the batched hooks
+transparently fall back to the reference loop.
 
-**Batched loss sampling.**  Loss outcomes are pre-sampled *per time unit*:
-one call to the shared-loss process yields the outcomes for every packet of
-the unit, and one call per independent-loss process yields the per-receiver
-outcome matrix, instead of one (or ``R``) generator calls per packet.  This
-changes the random stream consumed for a given seed relative to the original
-per-packet sampling (losses are now drawn for every scheduled packet, in
-unit order, rather than on demand for carried packets only), so seeded
-results differ from releases with ``RNG_SCHEME_VERSION < 2`` — a deliberate,
+**Batched randomness (RNG scheme 3).**  All randomness is pre-sampled *per
+time unit* in a fixed layout — shared-link loss outcomes (one draw per
+scheduled packet), per-receiver independent losses (receiver-major), then
+the protocol's own draws
+(:meth:`repro.protocols.base.LayeredProtocol.begin_unit`; only the
+Uncoordinated protocol draws, one uniform per receiver and packet).
+Scheme 2 introduced the per-unit loss pre-sampling; scheme 3 moved the
+Uncoordinated join draws into the same per-unit layout (they were
+previously drawn on demand per received packet) and flipped the
+independent-loss layout from packet-major to receiver-major, so seeded
+results differ from ``RNG_SCHEME_VERSION < 3`` releases — a deliberate,
 version-bumped change.  Statistically the processes are unchanged for
 memoryless (Bernoulli) losses; stateful processes such as Gilbert–Elliott
-now advance once per scheduled packet, i.e. burst state evolves with link
-time rather than with the subset of packets that happened to be contested.
+advance once per scheduled packet, i.e. burst state evolves with link time
+rather than with the subset of packets that happened to be contested.  A
+*single* stateful process shared by all receivers now walks the unit's
+packets receiver by receiver; per-receiver process lists (the supported
+way to model bursty fan-out links) are unaffected.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..layering.layers import ExponentialLayerScheme, LayerScheme
 from ..protocols.base import LayeredProtocol
+from ..protocols.scan import UnitChunk
 from .loss import BernoulliLoss, LossProcess, NoLoss
 from .packets import PacketSchedule
 
@@ -67,13 +81,21 @@ __all__ = [
     "SessionSimulationResult",
     "LayeredSessionSimulator",
     "simulate_layered_session",
+    "simulate_session_group",
     "RNG_SCHEME_VERSION",
+    "ENGINES",
 ]
 
 #: Version of the random-stream layout.  Bumped to 2 when loss sampling
-#: switched from per-packet draws to per-unit pre-sampled arrays; seeded
-#: results are reproducible within a version but differ across versions.
-RNG_SCHEME_VERSION = 2
+#: switched from per-packet draws to per-unit pre-sampled arrays, and to 3
+#: when the Uncoordinated protocol's join draws joined the per-unit layout;
+#: seeded results are reproducible within a version (and across engines)
+#: but differ across versions.
+RNG_SCHEME_VERSION = 3
+
+#: Valid ``engine=`` arguments: the time-unit-batched event scan (default)
+#: and the per-packet reference loop it is equivalent to.
+ENGINES = ("batched", "reference")
 
 IndependentLoss = Union[LossProcess, Sequence[LossProcess]]
 
@@ -164,6 +186,14 @@ class LayeredSessionSimulator:
         leave is pending, the shared link keeps carrying the receiver's
         previously subscribed layers.  Zero (the default) models the
         idealised instantaneous leaves of Section 4.
+    engine:
+        ``"batched"`` (the default) processes whole chunks of time units
+        with the per-receiver event scan; ``"reference"`` runs the original
+        per-packet loop.  Results are bit-for-bit identical for any seed;
+        protocols without batched support always use the reference loop.
+    chunk_units:
+        Time units the batched engine processes per chunk (performance
+        knob only; results do not depend on it).
     """
 
     def __init__(
@@ -176,6 +206,8 @@ class LayeredSessionSimulator:
         duration_units: int = 800,
         warmup_units: Optional[int] = None,
         leave_latency: float = 0.0,
+        engine: str = "batched",
+        chunk_units: int = 8,
     ) -> None:
         if num_receivers < 1:
             raise SimulationError(f"need at least one receiver, got {num_receivers}")
@@ -183,6 +215,16 @@ class LayeredSessionSimulator:
             raise SimulationError(f"duration_units must be >= 2, got {duration_units}")
         if leave_latency < 0:
             raise SimulationError(f"leave_latency must be non-negative, got {leave_latency}")
+        if engine not in ENGINES:
+            raise SimulationError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if chunk_units < 1:
+            raise SimulationError(f"chunk_units must be positive, got {chunk_units}")
+        self.engine = engine
+        self.chunk_units = int(chunk_units)
+        #: Scan-window width in time units (internal performance knob of the
+        #: batched engine; 0 scans each chunk in one unbounded window).
+        self.scan_window_units = 2
+        self._chunk_static: Dict[int, Tuple[np.ndarray, List[np.ndarray], np.ndarray]] = {}
         self.protocol = protocol
         self.num_receivers = num_receivers
         self.scheme = scheme if scheme is not None else ExponentialLayerScheme(8)
@@ -222,18 +264,19 @@ class LayeredSessionSimulator:
         """Pre-sample one time unit's loss outcomes in bulk.
 
         Returns ``(shared, independent)`` with ``shared`` of shape
-        ``(num_packets,)`` and ``independent`` of shape
-        ``(num_packets, num_receivers)``.  A single independent-loss process
-        is sampled row-major (packet by packet, receiver by receiver within
-        a packet), matching the order the per-packet loop would consume it.
+        ``(num_packets,)`` and ``independent`` receiver-major of shape
+        ``(num_receivers, num_packets)``.  A single independent-loss
+        process is sampled receiver-major (receiver by receiver, packet by
+        packet within a receiver) since RNG scheme 3, matching the layout
+        the batched scan consumes directly.
         """
         shared = self.shared_loss.sample_array(rng, num_packets)
         if len(self._per_receiver_loss) == 1:
             independent = self._per_receiver_loss[0].sample_array(
                 rng, num_packets * self.num_receivers
-            ).reshape(num_packets, self.num_receivers)
+            ).reshape(self.num_receivers, num_packets)
         else:
-            independent = np.column_stack(
+            independent = np.stack(
                 [p.sample_array(rng, num_packets) for p in self._per_receiver_loss]
             )
         return shared, independent
@@ -242,11 +285,49 @@ class LayeredSessionSimulator:
     # simulation
     # ------------------------------------------------------------------
     def run(self, seed: Optional[int] = None) -> SessionSimulationResult:
-        """Simulate one run and return its measurements."""
+        """Simulate one run and return its measurements.
+
+        The engine selected at construction does the work; both engines
+        consume the same random stream and return identical results.
+        """
         rng = np.random.default_rng(seed)
+        self.protocol.reset(self.num_receivers, self.scheme, rng)
+        if self.engine == "batched" and self.protocol.supports_batched_units:
+            return self._run_batched([(self, rng)])[0]
+        return self._run_reference(rng)
+
+    def run_many(self, seeds: Sequence[Optional[int]]) -> List[SessionSimulationResult]:
+        """Simulate one run per seed; equals ``[run(s) for s in seeds]`` bit for bit.
+
+        When the batched engine drives a protocol whose per-receiver state
+        stacks (the three Section-4 protocols), the runs are simulated
+        *together* — each run's receivers become an independent block of a
+        wider session, with its own random generator and loss samples — so
+        the scan's per-iteration cost is shared across repetitions.  This
+        is the fast path behind replicated measurements such as the
+        Figure 8 points.
+        """
+        seeds = list(seeds)
+        if not seeds:
+            return []
+        stacked = (
+            len(seeds) > 1
+            and self.engine == "batched"
+            and self.protocol.supports_batched_units
+            and self.protocol.supports_stacked_runs
+        )
+        if not stacked:
+            return [self.run(seed=seed) for seed in seeds]
+        rngs = [np.random.default_rng(seed) for seed in seeds]
+        self.protocol.reset(self.num_receivers * len(rngs), self.scheme, rngs[0])
+        return self._run_batched([(self, rng) for rng in rngs])
+
+    # ------------------------------------------------------------------
+    # reference engine: one packet at a time
+    # ------------------------------------------------------------------
+    def _run_reference(self, rng: np.random.Generator) -> SessionSimulationResult:
         num_layers = self.scheme.num_layers
         levels = np.ones(self.num_receivers, dtype=np.int64)
-        self.protocol.reset(self.num_receivers, self.scheme, rng)
 
         track_advertised = self.leave_latency > 0.0
         advertised = np.ones(self.num_receivers, dtype=np.int64)
@@ -270,6 +351,7 @@ class LayeredSessionSimulator:
             shared_lost, independent_lost = self._sample_unit_losses(
                 rng, len(unit_packets)
             )
+            self.protocol.begin_unit(rng, len(unit_packets))
             for packet_index, packet in enumerate(unit_packets):
                 if track_advertised:
                     pending = (advertised > levels) & (advert_expiry <= packet.time)
@@ -298,7 +380,7 @@ class LayeredSessionSimulator:
                     congested = subscribed
                     received = None
                 else:
-                    independent = independent_lost[packet_index]
+                    independent = independent_lost[:, packet_index]
                     congested = subscribed & independent
                     received = subscribed & ~independent
 
@@ -346,6 +428,496 @@ class LayeredSessionSimulator:
             leave_latency=self.leave_latency,
         )
 
+    # ------------------------------------------------------------------
+    # batched engine: one chunk of time units at a time
+    # ------------------------------------------------------------------
+    def _run_batched(
+        self, runs: List[Tuple["LayeredSessionSimulator", np.random.Generator]]
+    ) -> List[SessionSimulationResult]:
+        """Chunked engine: one independently-seeded run per (simulator, rng).
+
+        Multiple runs are stacked as receiver blocks of one wide session —
+        each block driven by its own generator and loss processes, so the
+        per-run results match the solo runs bit for bit — and all per-run
+        accounting is split back out per chunk.  The runs' simulators may
+        differ in loss configuration but must share this simulator's
+        geometry (receivers, scheme, duration, warm-up, leave latency) and
+        its protocol instance drives all blocks.
+        """
+        num_runs = len(runs)
+        receivers = self.num_receivers
+        total_receivers = receivers * num_runs
+        levels = np.ones(total_receivers, dtype=np.int64)
+        track_advertised = self.leave_latency > 0.0
+        advertised = np.ones(total_receivers, dtype=np.int64)
+        advert_expiry = np.zeros(total_receivers, dtype=float)
+
+        shared_link_packets = [0] * num_runs
+        receiver_packets = np.zeros((num_runs, receivers), dtype=np.int64)
+        level_sum = [0.0] * num_runs
+        max_level_sum = [0.0] * num_runs
+        measured_units = self.duration_units - self.warmup_units
+        total_sender_packets = self.schedule.total_packets(self.duration_units)
+
+        for start_unit, num_units, measuring in self._chunk_plan():
+            chunk = self._assemble_chunk(runs, start_unit, num_units, track_advertised)
+            start_levels = levels.copy()
+            result = self.protocol.step_chunk(chunk, levels)
+            if num_runs == 1:
+                blocks = [
+                    (
+                        slice(0, receivers),
+                        result.event_cols,
+                        result.event_receivers,
+                        result.event_old_levels,
+                        result.event_new_levels,
+                    )
+                ]
+            else:
+                run_of_event = result.event_receivers // receivers
+                blocks = []
+                for run in range(num_runs):
+                    mine = run_of_event == run
+                    blocks.append(
+                        (
+                            slice(run * receivers, (run + 1) * receivers),
+                            result.event_cols[mine],
+                            result.event_receivers[mine] - run * receivers,
+                            result.event_old_levels[mine],
+                            result.event_new_levels[mine],
+                        )
+                    )
+            for run, (block, event_cols, event_receivers, event_old, event_new) in enumerate(blocks):
+                if measuring:
+                    receiver_packets[run] += result.received[block]
+                    # Accumulate the unit-start statistics in unit order,
+                    # with the same floats the reference loop adds.
+                    boundary = _unit_start_levels(
+                        chunk, start_levels[block], event_cols, event_receivers, event_old, event_new
+                    )
+                    means = boundary.mean(axis=1)
+                    maxes = boundary.max(axis=1)
+                    for index in range(chunk.num_units):
+                        level_sum[run] += float(means[index])
+                        max_level_sum[run] += float(maxes[index])
+                if track_advertised:
+                    carried = self._advertised_carriage(
+                        chunk,
+                        start_levels[block],
+                        levels[block],
+                        event_cols,
+                        event_receivers,
+                        event_old,
+                        event_new,
+                        advertised[block],
+                        advert_expiry[block],
+                    )
+                    if measuring:
+                        shared_link_packets[run] += carried
+                elif measuring:
+                    shared_link_packets[run] += _carried_packets(
+                        chunk, start_levels[block], event_cols, event_old, event_new
+                    )
+
+        return [
+            SessionSimulationResult(
+                protocol=self.protocol.name,
+                num_receivers=receivers,
+                num_layers=self.scheme.num_layers,
+                duration_units=self.duration_units,
+                warmup_units=self.warmup_units,
+                measured_units=measured_units,
+                shared_link_packets=shared_link_packets[run],
+                receiver_packets=receiver_packets[run],
+                total_sender_packets=total_sender_packets,
+                mean_subscription_level=level_sum[run] / measured_units,
+                mean_max_subscription_level=max_level_sum[run] / measured_units,
+                shared_loss_rate=simulator.shared_loss.average_loss_rate,
+                independent_loss_rates=simulator._independent_loss_rates(),
+                leave_latency=self.leave_latency,
+            )
+            for run, (simulator, _rng) in enumerate(runs)
+        ]
+
+    def _chunk_plan(self) -> List[Tuple[int, int, bool]]:
+        """(start_unit, num_units, measuring) chunks, split at the warm-up
+        boundary so every chunk is uniformly measured or unmeasured."""
+        plan: List[Tuple[int, int, bool]] = []
+        segments = (
+            (0, self.warmup_units, False),
+            (self.warmup_units, self.duration_units, True),
+        )
+        for low, high, measuring in segments:
+            unit = low
+            while unit < high:
+                count = min(self.chunk_units, high - unit)
+                plan.append((unit, count, measuring))
+                unit += count
+        return plan
+
+    def _assemble_chunk(
+        self,
+        runs: List[Tuple["LayeredSessionSimulator", np.random.Generator]],
+        start_unit: int,
+        num_units: int,
+        with_times: bool,
+    ) -> UnitChunk:
+        """Pre-sample one chunk's randomness and package it for the scan.
+
+        Sampling happens unit by unit in the exact order of the reference
+        loop (losses, then the protocol's :meth:`begin_unit` draws), so both
+        engines read the same numbers from a seeded stream.  With several
+        generators (stacked runs), each samples its own block within every
+        unit, preserving each run's solo stream.
+        """
+        packets_per_unit = self.schedule.packets_per_unit
+        static = self._chunk_static.get(num_units)
+        if static is None:
+            layers = np.tile(self.schedule.pattern_layers, num_units).astype(np.int16)
+            cols_for_level = [
+                np.nonzero(layers <= level)[0].astype(np.int32)
+                for level in range(self.scheme.num_layers + 1)
+            ]
+            # observed_before[l, c]: packet columns before c a level-l
+            # receiver can observe — an upper bound on its receptions.
+            observed_before = np.zeros(
+                (self.scheme.num_layers + 1, layers.size + 1), dtype=np.int64
+            )
+            for level in range(self.scheme.num_layers + 1):
+                np.cumsum(layers <= level, out=observed_before[level, 1:])
+            offsets = np.tile(self.schedule.pattern_offsets, num_units)
+            static = (layers, cols_for_level, observed_before, offsets)
+            self._chunk_static[num_units] = static
+        layers, cols_for_level, observed_before, offsets = static
+
+        num_runs = len(runs)
+        receivers = self.num_receivers
+        self.protocol.begin_chunk(num_runs, num_units, packets_per_unit)
+        num_packets = num_units * packets_per_unit
+        shared_lost = np.empty((num_runs, num_packets), dtype=bool)
+        independent_lost = np.empty((receivers * num_runs, num_packets), dtype=bool)
+        for relative in range(num_units):
+            low = relative * packets_per_unit
+            for run, (simulator, rng) in enumerate(runs):
+                shared, independent = simulator._sample_unit_losses(rng, packets_per_unit)
+                self.protocol.begin_unit(rng, packets_per_unit, num_receivers=receivers)
+                shared_lost[run, low:low + packets_per_unit] = shared
+                independent_lost[run * receivers:(run + 1) * receivers, low:low + packets_per_unit] = independent
+        receivable = ~independent_lost
+        for run in range(num_runs):
+            receivable[run * receivers:(run + 1) * receivers] &= ~shared_lost[run][None, :]
+        shared_for_chunk = shared_lost[0] if num_runs == 1 else shared_lost
+
+        # Mirror PacketSchedule.sync_levels_for_unit: level i may join at
+        # units that are positive multiples of 2^(i-1).
+        units = np.arange(start_unit, start_unit + num_units)
+        periods = 2 ** np.arange(self.schedule.num_sync_levels, dtype=np.int64)
+        marks = (units[:, None] % periods[None, :] == 0) & (units > 0)[:, None]
+        with_sync = np.nonzero(marks.any(axis=1))[0]
+        sync_cols = with_sync * packets_per_unit
+        sync_ok = np.zeros((with_sync.size, self.scheme.num_layers + 2), dtype=bool)
+        sync_ok[:, 1:self.schedule.num_sync_levels + 1] = marks[with_sync]
+
+        times = None
+        if with_times:
+            # unit + offset in exactly the reference loop's operand order,
+            # so leave-latency expiry comparisons see identical floats.
+            units = np.repeat(
+                np.arange(start_unit, start_unit + num_units, dtype=float),
+                packets_per_unit,
+            )
+            times = units + offsets
+
+        return UnitChunk(
+            start_unit=start_unit,
+            num_units=num_units,
+            packets_per_unit=packets_per_unit,
+            num_layers=self.scheme.num_layers,
+            layers=layers,
+            shared_lost=shared_for_chunk,
+            independent_lost=independent_lost,
+            receivable=receivable,
+            cols_for_level=cols_for_level,
+            observed_before=observed_before,
+            sync_cols=sync_cols,
+            sync_ok=sync_ok,
+            times=times,
+            scan_window=max(
+                packets_per_unit,
+                min(
+                    self.scan_window_units * packets_per_unit,
+                    # Keep one window's matrices cache-sized however many
+                    # runs are stacked (purely a performance knob).
+                    32768 // max(1, receivers * num_runs),
+                ),
+            ),
+        )
+
+    def _advertised_carriage(
+        self,
+        chunk: UnitChunk,
+        start_levels: np.ndarray,
+        end_levels: np.ndarray,
+        event_cols: np.ndarray,
+        event_receivers: np.ndarray,
+        event_old: np.ndarray,
+        event_new: np.ndarray,
+        advertised: np.ndarray,
+        advert_expiry: np.ndarray,
+    ) -> int:
+        """Shared-link carriage for one chunk under leave latency.
+
+        Replays the reference loop's lazily-dropped advertisements from the
+        chunk's level-change events: each leave opens (or extends) a
+        per-receiver advertisement window at the pre-leave level, which
+        closes at the first packet at or after its expiry time; the shared
+        link carries a layer while any window or live subscription wants
+        it.  ``advertised``/``advert_expiry`` are updated in place to the
+        end-of-chunk state.
+        """
+        n = chunk.num_packets
+        times = chunk.times
+        if event_cols.size == 0:
+            base_max: np.ndarray = np.full(n, int(start_levels.max()), dtype=np.int64)
+        else:
+            base_max = _max_level_per_packet(
+                chunk, start_levels, event_cols, event_old, event_new
+            ).astype(np.int64)
+
+        intervals: List[Tuple[int, int, int]] = []
+        window_value: Dict[int, int] = {}
+        window_expiry: Dict[int, float] = {}
+        window_start: Dict[int, int] = {}
+        for pending in np.nonzero(advertised > start_levels)[0]:
+            receiver = int(pending)
+            window_value[receiver] = int(advertised[receiver])
+            window_expiry[receiver] = float(advert_expiry[receiver])
+            window_start[receiver] = 0
+
+        if event_cols.size:
+            order = np.lexsort((event_cols, event_receivers))
+            for row, receiver, old, new in zip(
+                event_cols[order].tolist(),
+                event_receivers[order].tolist(),
+                event_old[order].tolist(),
+                event_new[order].tolist(),
+            ):
+                if new > old:
+                    # A join never raises a pending advertisement: the
+                    # advertised level always bounds the live subscription.
+                    continue
+                if receiver in window_value:
+                    drop = int(np.searchsorted(times, window_expiry[receiver]))
+                    if drop <= row:
+                        if drop > window_start[receiver]:
+                            intervals.append(
+                                (window_start[receiver], drop, window_value[receiver])
+                            )
+                        window_value[receiver] = old
+                        window_start[receiver] = row + 1
+                    elif old > window_value[receiver]:
+                        # The advertised level is a *running* max: packets up
+                        # to and including this one saw the old value.
+                        if row + 1 > window_start[receiver]:
+                            intervals.append(
+                                (window_start[receiver], row + 1, window_value[receiver])
+                            )
+                        window_value[receiver] = old
+                        window_start[receiver] = row + 1
+                else:
+                    window_value[receiver] = old
+                    window_start[receiver] = row + 1
+                window_expiry[receiver] = float(times[row]) + self.leave_latency
+
+        advertised[:] = end_levels
+        for receiver, value in window_value.items():
+            expiry = window_expiry[receiver]
+            drop = int(np.searchsorted(times, expiry))
+            end = min(drop, n)
+            if end > window_start[receiver]:
+                intervals.append((window_start[receiver], end, value))
+            if drop >= n:
+                # Still pending at the chunk boundary; carry the window over.
+                advertised[receiver] = value
+                advert_expiry[receiver] = expiry
+
+        if intervals:
+            extra = np.zeros(n, dtype=np.int64)
+            for start, end, value in intervals:
+                segment = extra[start:end]
+                np.maximum(segment, value, out=segment)
+            carriage = np.maximum(base_max, extra)
+        else:
+            carriage = base_max
+        return int(np.count_nonzero(chunk.layers <= carriage))
+
+
+def _unit_start_levels(
+    chunk: UnitChunk,
+    start_levels: np.ndarray,
+    event_cols: np.ndarray,
+    event_receivers: np.ndarray,
+    event_old: np.ndarray,
+    event_new: np.ndarray,
+) -> np.ndarray:
+    """Subscription levels at the start of each of the chunk's units."""
+    num_units = chunk.num_units
+    num_receivers = start_levels.size
+    if event_cols.size == 0:
+        return np.tile(start_levels, (num_units, 1))
+    delta = event_new - event_old
+    boundary = event_cols // chunk.packets_per_unit + 1
+    keep = boundary < num_units
+    accumulated = np.bincount(
+        boundary[keep] * num_receivers + event_receivers[keep],
+        weights=delta[keep],
+        minlength=num_units * num_receivers,
+    ).reshape(num_units, num_receivers)
+    return start_levels[None, :] + accumulated.cumsum(axis=0).astype(np.int64)
+
+
+def _max_level_per_packet(
+    chunk: UnitChunk,
+    start_levels: np.ndarray,
+    event_cols: np.ndarray,
+    event_old: np.ndarray,
+    event_new: np.ndarray,
+) -> np.ndarray:
+    """Highest live subscription level at the start of every packet.
+
+    Tracks the per-level receiver occupancy instead of per-receiver
+    trajectories: each level change moves one receiver between two level
+    buckets, so the occupancy histogram over packets is a cumulative sum of
+    scattered ±1 deltas, and the carried level is the highest non-empty
+    bucket — work proportional to ``packets × levels`` however many
+    receivers moved.
+    """
+    n = chunk.num_packets
+    width = chunk.num_layers + 1
+    keep = event_cols + 1 < n
+    rows = event_cols[keep] + 1
+    flat = np.concatenate((rows * width + event_old[keep],
+                           rows * width + event_new[keep]))
+    weights = np.concatenate((np.full(rows.size, -1.0), np.full(rows.size, 1.0)))
+    deltas = np.bincount(flat, weights=weights, minlength=n * width).reshape(n, width)
+    occupancy = np.bincount(start_levels, minlength=width)[None, :] + deltas.cumsum(axis=0)
+    return width - 1 - (occupancy[:, ::-1] > 0).argmax(axis=1)
+
+
+def _carried_packets(
+    chunk: UnitChunk,
+    start_levels: np.ndarray,
+    event_cols: np.ndarray,
+    event_old: np.ndarray,
+    event_new: np.ndarray,
+) -> int:
+    """Packets of the chunk carried by the shared link (no leave latency).
+
+    The carried level is piecewise constant between level-change events, so
+    the count is a handful of lookups into the chunk's static
+    ``observed_before`` prefix table — one segment per distinct event
+    column — instead of per-packet work.
+    """
+    n = chunk.num_packets
+    table = chunk.observed_before
+    if event_cols.size == 0:
+        return int(table[int(start_levels.max()), n])
+    width = chunk.num_layers + 1
+    order = np.argsort(event_cols, kind="stable")
+    boundaries = np.unique(event_cols[order])
+    segment_of = np.searchsorted(boundaries, event_cols)
+    flat = np.concatenate(
+        (segment_of * width + event_old, segment_of * width + event_new)
+    )
+    weights = np.concatenate(
+        (np.full(event_cols.size, -1.0), np.full(event_cols.size, 1.0))
+    )
+    deltas = np.bincount(flat, weights=weights, minlength=boundaries.size * width)
+    occupancy = (
+        np.bincount(start_levels, minlength=width)[None, :]
+        + deltas.reshape(boundaries.size, width).cumsum(axis=0)
+    )
+    tops = np.concatenate(
+        ([int(start_levels.max())], width - 1 - (occupancy[:, ::-1] > 0).argmax(axis=1))
+    )
+    edges = np.concatenate(([0], boundaries + 1, [n]))
+    spans = table[tops, np.minimum(edges[1:], n)] - table[tops, edges[:-1]]
+    return int(spans.sum())
+
+
+def simulate_session_group(
+    simulators: Sequence[LayeredSessionSimulator],
+    seeds: Sequence[Sequence[Optional[int]]],
+) -> List[List[SessionSimulationResult]]:
+    """Run several simulators' seeded repetitions in one batched scan.
+
+    The Figure 8 sweep evaluates many (loss-rate, repetition) points that
+    share everything but their loss processes; since every run's receivers
+    are independent blocks with their own random stream, *all* of a
+    protocol's points can ride one scan.  ``seeds[i]`` lists the seeds for
+    ``simulators[i]``; the return value mirrors that shape, and every
+    result is bit-for-bit what ``simulators[i].run(seed)`` returns.
+
+    Simulators must share geometry (receivers, scheme, duration, warm-up,
+    leave latency) and behaviourally identical protocols; incompatible or
+    non-stackable groups transparently fall back to per-simulator
+    :meth:`~LayeredSessionSimulator.run_many` calls, with identical
+    results.
+    """
+    if len(simulators) != len(seeds):
+        raise SimulationError(
+            f"need one seed list per simulator ({len(simulators)} != {len(seeds)})"
+        )
+    if not simulators:
+        return []
+    lead = simulators[0]
+    flat = [
+        (simulator, seed)
+        for simulator, seed_list in zip(simulators, seeds)
+        for seed in seed_list
+    ]
+    stackable = (
+        len(flat) > 1
+        and lead.engine == "batched"
+        and lead.protocol.supports_batched_units
+        and lead.protocol.supports_stacked_runs
+        and all(_stack_compatible(lead, simulator) for simulator in simulators[1:])
+    )
+    if not stackable:
+        return [
+            simulator.run_many(seed_list)
+            for simulator, seed_list in zip(simulators, seeds)
+        ]
+    runs = [
+        (simulator, np.random.default_rng(seed)) for simulator, seed in flat
+    ]
+    lead.protocol.reset(lead.num_receivers * len(runs), lead.scheme, runs[0][1])
+    flat_results = lead._run_batched(runs)
+    grouped: List[List[SessionSimulationResult]] = []
+    cursor = 0
+    for seed_list in seeds:
+        grouped.append(flat_results[cursor:cursor + len(seed_list)])
+        cursor += len(seed_list)
+    return grouped
+
+
+def _stack_compatible(lead: LayeredSessionSimulator, other: LayeredSessionSimulator) -> bool:
+    """Whether ``other``'s runs may ride in ``lead``'s batched session."""
+    return (
+        other.engine == "batched"
+        and other.num_receivers == lead.num_receivers
+        and other.duration_units == lead.duration_units
+        and other.warmup_units == lead.warmup_units
+        and other.leave_latency == lead.leave_latency
+        and other.protocol.supports_batched_units
+        and other.protocol.supports_stacked_runs
+        and other.protocol.stacking_key() == lead.protocol.stacking_key()
+        and other.scheme.num_layers == lead.scheme.num_layers
+        and np.array_equal(other.schedule.pattern_layers, lead.schedule.pattern_layers)
+        and np.array_equal(other.schedule.pattern_offsets, lead.schedule.pattern_offsets)
+        and other.schedule.num_sync_levels == lead.schedule.num_sync_levels
+    )
+
 
 def simulate_layered_session(
     protocol: LayeredProtocol,
@@ -357,6 +929,7 @@ def simulate_layered_session(
     warmup_units: Optional[int] = None,
     leave_latency: float = 0.0,
     seed: Optional[int] = None,
+    engine: str = "batched",
 ) -> SessionSimulationResult:
     """Convenience wrapper: Bernoulli losses, exponential layers, one run.
 
@@ -374,5 +947,6 @@ def simulate_layered_session(
         duration_units=duration_units,
         warmup_units=warmup_units,
         leave_latency=leave_latency,
+        engine=engine,
     )
     return simulator.run(seed=seed)

@@ -16,9 +16,10 @@ from ..analysis.stats import SummaryStatistics, summarize
 from ..errors import SimulationError
 from .engine import SessionSimulationResult
 
-__all__ = ["RedundancyMeasurement", "replicate", "measure_redundancy"]
+__all__ = ["RedundancyMeasurement", "replicate", "measure_redundancy", "summarize_redundancy"]
 
 RunFactory = Callable[[int], SessionSimulationResult]
+RunManyFactory = Callable[[Sequence[int]], List[SessionSimulationResult]]
 
 
 @dataclass
@@ -53,21 +54,29 @@ def replicate(
     run: RunFactory,
     repetitions: int,
     base_seed: int = 0,
+    run_many: Optional[RunManyFactory] = None,
 ) -> List[SessionSimulationResult]:
-    """Run a simulation factory for ``repetitions`` distinct seeds."""
+    """Run a simulation factory for ``repetitions`` distinct seeds.
+
+    When ``run_many`` is given (e.g. ``LayeredSessionSimulator.run_many``)
+    all repetitions are dispatched in one call, letting the batched engine
+    stack them into a single scan; results are identical either way.
+    """
     if repetitions < 1:
         raise SimulationError(f"repetitions must be positive, got {repetitions}")
-    return [run(base_seed + index) for index in range(repetitions)]
+    seeds = [base_seed + index for index in range(repetitions)]
+    if run_many is not None:
+        return run_many(seeds)
+    return [run(seed) for seed in seeds]
 
 
-def measure_redundancy(
-    run: RunFactory,
-    repetitions: int,
-    base_seed: int = 0,
+def summarize_redundancy(
+    results: Sequence[SessionSimulationResult],
     confidence: float = 0.95,
 ) -> RedundancyMeasurement:
-    """Replicate a run and summarise the shared-link redundancy."""
-    results = replicate(run, repetitions, base_seed)
+    """Package replicated run results as a redundancy measurement."""
+    if not results:
+        raise SimulationError("cannot summarise an empty result list")
     first = results[0]
     redundancies = [result.redundancy for result in results]
     return RedundancyMeasurement(
@@ -79,3 +88,15 @@ def measure_redundancy(
         receiver_rate_means=[result.mean_receiver_rate for result in results],
         statistics=summarize(redundancies, confidence),
     )
+
+
+def measure_redundancy(
+    run: RunFactory,
+    repetitions: int,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+    run_many: Optional[RunManyFactory] = None,
+) -> RedundancyMeasurement:
+    """Replicate a run and summarise the shared-link redundancy."""
+    results = replicate(run, repetitions, base_seed, run_many=run_many)
+    return summarize_redundancy(results, confidence)

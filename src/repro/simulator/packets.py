@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..layering.layers import LayerScheme
 
@@ -102,6 +104,16 @@ class PacketSchedule:
     def packets_per_unit(self) -> int:
         """Total packets transmitted per time unit at full subscription."""
         return sum(self._integer_rates)
+
+    @property
+    def pattern_layers(self) -> np.ndarray:
+        """Layer of each packet of the one-unit pattern, in transmission order."""
+        return np.array([layer for _offset, layer in self._pattern], dtype=np.int64)
+
+    @property
+    def pattern_offsets(self) -> np.ndarray:
+        """Within-unit time offset of each packet, in transmission order."""
+        return np.array([offset for offset, _layer in self._pattern], dtype=float)
 
     def sync_levels_for_unit(self, unit: int) -> Tuple[int, ...]:
         """Sync levels carried by the unit-initial layer-1 packet of ``unit``.

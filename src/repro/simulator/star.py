@@ -18,14 +18,14 @@ experiments and benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..errors import SimulationError
 from ..layering.layers import ExponentialLayerScheme
 from ..protocols.base import LayeredProtocol
-from .engine import LayeredSessionSimulator, SessionSimulationResult
+from .engine import LayeredSessionSimulator, SessionSimulationResult, simulate_session_group
 from .loss import BernoulliLoss, LossProcess, NoLoss
-from .metrics import RedundancyMeasurement, measure_redundancy
+from .metrics import RedundancyMeasurement, measure_redundancy, summarize_redundancy
 
 __all__ = [
     "StarExperimentConfig",
@@ -33,6 +33,7 @@ __all__ = [
     "uniform_star",
     "simulate_star",
     "star_redundancy",
+    "star_redundancy_group",
 ]
 
 
@@ -112,6 +113,7 @@ def _loss_process(rate: float) -> LossProcess:
 def build_simulator(
     protocol: LayeredProtocol,
     config: StarExperimentConfig,
+    engine: str = "batched",
 ) -> LayeredSessionSimulator:
     """Assemble the packet-level simulator for a star configuration."""
     rates = list(config.independent_loss_rates)
@@ -127,6 +129,7 @@ def build_simulator(
         scheme=ExponentialLayerScheme(config.num_layers),
         duration_units=config.duration_units,
         warmup_units=config.warmup_units,
+        engine=engine,
     )
 
 
@@ -134,9 +137,10 @@ def simulate_star(
     protocol: LayeredProtocol,
     config: StarExperimentConfig,
     seed: Optional[int] = None,
+    engine: str = "batched",
 ) -> SessionSimulationResult:
     """Run one simulation of a star configuration."""
-    return build_simulator(protocol, config).run(seed=seed)
+    return build_simulator(protocol, config, engine=engine).run(seed=seed)
 
 
 def star_redundancy(
@@ -144,11 +148,44 @@ def star_redundancy(
     config: StarExperimentConfig,
     repetitions: int = 5,
     base_seed: int = 0,
+    engine: str = "batched",
 ) -> RedundancyMeasurement:
-    """Replicate a star simulation and summarise shared-link redundancy."""
-    simulator = build_simulator(protocol, config)
+    """Replicate a star simulation and summarise shared-link redundancy.
+
+    Repetitions are dispatched through
+    :meth:`~repro.simulator.engine.LayeredSessionSimulator.run_many`, which
+    the batched engine simulates together as stacked receiver blocks —
+    results are identical to running the seeds one by one.
+    """
+    simulator = build_simulator(protocol, config, engine=engine)
     return measure_redundancy(
         lambda seed: simulator.run(seed=seed),
         repetitions=repetitions,
         base_seed=base_seed,
+        run_many=simulator.run_many,
     )
+
+
+def star_redundancy_group(
+    protocols: Sequence[LayeredProtocol],
+    configs: Sequence[StarExperimentConfig],
+    repetitions: int = 5,
+    base_seed: int = 0,
+    engine: str = "batched",
+) -> List[RedundancyMeasurement]:
+    """Measure several star configurations' redundancy in one batched group.
+
+    One measurement per (protocol, config) pair, each identical to the
+    corresponding :func:`star_redundancy` call; when the protocols stack
+    (the three Section-4 protocols with matching parameters) every
+    repetition of every configuration rides a single batched scan, which
+    is how the Figure 8 sweep amortises its per-packet bookkeeping across
+    the whole panel.
+    """
+    simulators = [
+        build_simulator(protocol, config, engine=engine)
+        for protocol, config in zip(protocols, configs)
+    ]
+    seeds = [[base_seed + index for index in range(repetitions)]] * len(simulators)
+    grouped = simulate_session_group(simulators, seeds)
+    return [summarize_redundancy(results) for results in grouped]

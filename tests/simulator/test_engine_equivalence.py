@@ -1,0 +1,183 @@
+"""Bit-for-bit equivalence of the batched engine and the per-packet reference.
+
+The time-unit-batched engine (the default since the scan rewrite) must
+reproduce the reference per-packet loop *exactly* for any seed: the two
+consume the same pre-sampled random stream, so every measured quantity —
+shared-link packet counts, per-receiver reception counts, and the
+subscription-level statistics — has to match to the last bit.  The same
+holds for the stacked fast paths (``run_many`` and
+``simulate_session_group``), which fold many independently seeded runs into
+one scan.
+
+These tests are the safety net for the scan's aggressive batching
+(windowed event scans, join-candidate pruning, carriage reconstruction);
+any semantic drift shows up here first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layering import ExponentialLayerScheme
+from repro.protocols import make_protocol
+from repro.simulator import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    LayeredSessionSimulator,
+    NoLoss,
+    simulate_session_group,
+    star_redundancy,
+    star_redundancy_group,
+    uniform_star,
+)
+
+SEEDS = list(range(10))
+PROTOCOLS = ("uncoordinated", "deterministic", "coordinated")
+
+
+def _simulator(protocol_name, engine, shared=0.01, independent=0.05,
+               num_receivers=17, duration_units=96, leave_latency=0.0,
+               num_layers=6, independent_loss=None):
+    return LayeredSessionSimulator(
+        protocol=make_protocol(protocol_name),
+        num_receivers=num_receivers,
+        shared_loss=BernoulliLoss(shared) if shared > 0 else NoLoss(),
+        independent_loss=(
+            independent_loss
+            if independent_loss is not None
+            else (BernoulliLoss(independent) if independent > 0 else NoLoss())
+        ),
+        scheme=ExponentialLayerScheme(num_layers),
+        duration_units=duration_units,
+        leave_latency=leave_latency,
+        engine=engine,
+    )
+
+
+def assert_identical(reference, batched):
+    assert batched.shared_link_packets == reference.shared_link_packets
+    assert np.array_equal(batched.receiver_packets, reference.receiver_packets)
+    assert batched.mean_subscription_level == reference.mean_subscription_level
+    assert batched.mean_max_subscription_level == reference.mean_max_subscription_level
+    assert batched.total_sender_packets == reference.total_sender_packets
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_section4_protocols_match_reference(self, protocol, seed):
+        reference = _simulator(protocol, "reference").run(seed=seed)
+        batched = _simulator(protocol, "batched").run(seed=seed)
+        assert_identical(reference, batched)
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_high_correlated_loss_matches_reference(self, protocol, seed):
+        # Shared (correlated) losses synchronise events across receivers,
+        # the scan's most intricate regime.
+        reference = _simulator(protocol, "reference", shared=0.05, independent=0.1).run(seed=seed)
+        batched = _simulator(protocol, "batched", shared=0.05, independent=0.1).run(seed=seed)
+        assert_identical(reference, batched)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_active_node_matches_reference(self, seed):
+        reference = _simulator("active-node", "reference").run(seed=seed)
+        batched = _simulator("active-node", "batched").run(seed=seed)
+        assert_identical(reference, batched)
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("latency", (0.5, 1.0, 2.7))
+    def test_leave_latency_matches_reference(self, protocol, seed, latency):
+        reference = _simulator(protocol, "reference", leave_latency=latency).run(seed=seed)
+        batched = _simulator(protocol, "batched", leave_latency=latency).run(seed=seed)
+        assert_identical(reference, batched)
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_lossless_runs_match_reference(self, seed):
+        for protocol in PROTOCOLS:
+            reference = _simulator(protocol, "reference", shared=0.0, independent=0.0).run(seed=seed)
+            batched = _simulator(protocol, "batched", shared=0.0, independent=0.0).run(seed=seed)
+            assert_identical(reference, batched)
+
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_bursty_per_receiver_losses_match_reference(self, seed):
+        def bursty(engine):
+            processes = [GilbertElliottLoss(0.02, 0.3) for _ in range(9)]
+            return _simulator(
+                "deterministic", engine, num_receivers=9, independent_loss=processes
+            )
+        assert_identical(bursty("reference").run(seed=seed), bursty("batched").run(seed=seed))
+
+    def test_reference_engine_is_explicitly_selectable(self):
+        simulator = _simulator("coordinated", "reference")
+        assert simulator.engine == "reference"
+        with pytest.raises(Exception):
+            _simulator("coordinated", "bogus")
+
+
+class TestStackedRuns:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_run_many_matches_solo_runs(self, protocol):
+        solo = [_simulator(protocol, "batched").run(seed=seed) for seed in SEEDS]
+        stacked = _simulator(protocol, "batched").run_many(SEEDS)
+        assert len(stacked) == len(SEEDS)
+        for one, many in zip(solo, stacked):
+            assert_identical(one, many)
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_run_many_matches_solo_runs_with_latency(self, protocol):
+        solo = [
+            _simulator(protocol, "batched", leave_latency=1.5).run(seed=seed)
+            for seed in SEEDS[:5]
+        ]
+        stacked = _simulator(protocol, "batched", leave_latency=1.5).run_many(SEEDS[:5])
+        for one, many in zip(solo, stacked):
+            assert_identical(one, many)
+
+    def test_active_node_run_many_falls_back(self):
+        # Group state cannot stack; run_many must still give exact results.
+        solo = [_simulator("active-node", "batched").run(seed=seed) for seed in SEEDS[:3]]
+        stacked = _simulator("active-node", "batched").run_many(SEEDS[:3])
+        for one, many in zip(solo, stacked):
+            assert_identical(one, many)
+
+    def test_session_group_matches_per_simulator_runs(self):
+        configs = [
+            uniform_star(11, 0.01, rate, num_layers=6, duration_units=96)
+            for rate in (0.02, 0.08)
+        ]
+        grouped = simulate_session_group(
+            [
+                _simulator("coordinated", "batched", shared=0.01, independent=rate,
+                           num_receivers=11, num_layers=6)
+                for rate in (0.02, 0.08)
+            ],
+            [SEEDS[:4], SEEDS[:4]],
+        )
+        for rate, results in zip((0.02, 0.08), grouped):
+            for seed, result in zip(SEEDS[:4], results):
+                solo = _simulator("coordinated", "batched", shared=0.01,
+                                  independent=rate, num_receivers=11,
+                                  num_layers=6).run(seed=seed)
+                assert_identical(solo, result)
+        del configs
+
+    def test_star_redundancy_group_matches_pointwise(self):
+        configs = [
+            uniform_star(13, 0.02, rate, num_layers=6, duration_units=96)
+            for rate in (0.02, 0.05, 0.1)
+        ]
+        grouped = star_redundancy_group(
+            [make_protocol("deterministic") for _ in configs],
+            configs,
+            repetitions=4,
+            base_seed=3,
+        )
+        for config, measurement in zip(configs, grouped):
+            pointwise = star_redundancy(
+                make_protocol("deterministic"), config, repetitions=4, base_seed=3
+            )
+            assert measurement.redundancies == pointwise.redundancies
+            assert measurement.receiver_rate_means == pointwise.receiver_rate_means

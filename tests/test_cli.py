@@ -1,0 +1,61 @@
+"""Smoke tests for the command-line surface.
+
+Cheap, CI-friendly checks that the documented entry points parse their
+arguments and describe themselves: ``python -m repro --help`` (the
+top-level experiment runner) and its ``repro.experiments.runner`` alias.
+The full experiment sweep is exercised by the experiment tests; these only
+guard the CLI wiring.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENT_KEYS, main
+
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+def test_module_help_exits_cleanly():
+    completed = _run_cli("--help")
+    assert completed.returncode == 0
+    assert "--full" in completed.stdout
+    assert "--jobs" in completed.stdout
+    assert "--engine" in completed.stdout
+    assert "--only" in completed.stdout
+
+
+def test_module_help_lists_experiments():
+    completed = _run_cli("--help")
+    for key in ("figure8", "figure1", "leave_latency"):
+        assert key in completed.stdout
+
+
+def test_runner_rejects_unknown_experiment():
+    completed = _run_cli("--only", "not-an-experiment")
+    assert completed.returncode != 0
+
+
+def test_main_rejects_unknown_engine():
+    with pytest.raises(SystemExit):
+        main(["--engine", "warp-drive"])
+
+
+def test_experiment_keys_are_unique_and_nonempty():
+    assert len(EXPERIMENT_KEYS) == len(set(EXPERIMENT_KEYS))
+    assert "figure8" in EXPERIMENT_KEYS
