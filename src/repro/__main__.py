@@ -1,14 +1,304 @@
-"""``python -m repro`` — regenerate every experiment of the paper.
+"""``python -m repro`` — the reproduction command-line interface.
 
-Delegates to :mod:`repro.experiments.runner`; pass ``--full`` for the
-paper-scale Figure 8 sweep.
+Subcommands:
+
+* ``python -m repro list`` — every registered experiment (key, title,
+  spec fields); ``--format json`` for a machine-readable listing.
+* ``python -m repro run <key> [<key> ...]`` — run experiments (or ``all``)
+  at ``--scale reduced|paper``, optionally across ``--jobs N`` worker
+  processes, printing tables (``--format text``) or the typed JSON result
+  envelopes (``--format json``); ``--out DIR`` writes one ``<key>.json``
+  per experiment; ``--set field=value`` overrides any spec field.
+* ``python -m repro verify`` — run experiments and print one verdict line
+  each; exits non-zero if any paper claim fails to reproduce (MISMATCH).
+
+The legacy flag-style runner remains available as
+``python -m repro.experiments.runner``.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+import json
 import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
-from .experiments.runner import main
+from .errors import ExperimentError, ReproError
+from .experiments.api import ENGINES, SCALES, ExperimentSpec
+from .experiments.registry import Experiment, all_experiments, select_experiments
+from .experiments.runner import run_specs
+
+__all__ = ["main"]
+
+
+def _parse_override(text: str) -> Any:
+    """Parse one ``--set field=value`` pair into ``(field, value)``.
+
+    Values are parsed as JSON when possible (numbers, booleans, ``null``,
+    lists) and fall back to plain strings; lists become tuples so they
+    match the spec's declared field types.
+    """
+    field, separator, raw = text.partition("=")
+    if not separator or not field:
+        raise ExperimentError(f"--set expects field=value, got {text!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    if isinstance(value, list):
+        value = tuple(value)
+    return field, value
+
+
+def _parse_overrides(args: argparse.Namespace) -> Dict[str, Any]:
+    """All ``--set field=value`` pairs as one mapping (last value wins)."""
+    overrides: Dict[str, Any] = {}
+    for pair in args.set or []:
+        field, value = _parse_override(pair)
+        overrides[field] = value
+    return overrides
+
+
+def _build_spec(
+    experiment: Experiment,
+    args: argparse.Namespace,
+    overrides: Dict[str, Any],
+) -> ExperimentSpec:
+    """An experiment's spec from the common CLI flags plus ``--set`` overrides.
+
+    ``--set`` wins over the dedicated flags, so ``--set scale=paper`` is an
+    accepted (if redundant) spelling of ``--scale paper``.  Overrides of
+    fields this experiment's spec does not declare are skipped here —
+    :func:`_run_selected` rejects a ``--set`` field no selected experiment
+    declares, so a sweep-wide override of a per-experiment knob
+    (``run all --set repetitions=5``) applies where it exists and a typo'd
+    field is still an error.
+    """
+    fields: Dict[str, Any] = {
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "engine": args.engine,
+    }
+    fields.update(overrides)
+    known = {spec_field.name for spec_field in dataclasses.fields(experiment.spec_cls)}
+    applicable = {name: value for name, value in fields.items() if name in known}
+    return experiment.make_spec(**applicable)
+
+
+def _select(keys: Sequence[str]) -> List[Experiment]:
+    """Resolve CLI experiment keys in registry order.
+
+    ``all`` expands to the default suite and may be combined with
+    standalone keys (``run all figure8_panel``); every named key is
+    validated, ``all`` or not.  Delegates to
+    :func:`repro.experiments.registry.select_experiments` so the CLI and
+    ``run_all`` share one validation/ordering implementation.
+    """
+    named = [key for key in keys if key != "all"]
+    try:
+        selected = select_experiments(named or None)
+    except KeyError as error:
+        raise ExperimentError(str(error.args[0])) from None
+    if not keys or "all" in keys:
+        wanted = {experiment.key for experiment in selected}
+        wanted.update(experiment.key for experiment in all_experiments())
+        return [
+            experiment
+            for experiment in all_experiments(default_only=False)
+            if experiment.key in wanted
+        ]
+    return selected
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    experiments = all_experiments(default_only=False)
+    if args.format == "json":
+        listing = [
+            {
+                "key": experiment.key,
+                "title": experiment.title,
+                "default": experiment.default,
+                "spec": experiment.spec_cls.__name__,
+                "spec_fields": {
+                    spec_field.name: repr(spec_field.default)
+                    for spec_field in dataclasses.fields(experiment.spec_cls)
+                },
+            }
+            for experiment in experiments
+        ]
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
+    width = max(len(experiment.key) for experiment in experiments)
+    for experiment in experiments:
+        marker = " " if experiment.default else "*"
+        print(f"{experiment.key.ljust(width)} {marker} {experiment.title}")
+    print("\n(* = standalone: not part of 'run all'/'verify'; run it by key)")
+    return 0
+
+
+def _run_selected(args: argparse.Namespace):
+    """Run the selected experiments via the registry's (key, spec) task form."""
+    experiments = _select(args.keys)
+    overrides = _parse_overrides(args)
+    declared = {
+        spec_field.name
+        for experiment in experiments
+        for spec_field in dataclasses.fields(experiment.spec_cls)
+    }
+    unknown = sorted(set(overrides) - declared)
+    if unknown:
+        raise ExperimentError(
+            f"unknown spec fields {unknown} for the selected experiments; "
+            f"valid fields: {sorted(declared)}"
+        )
+    tasks = [
+        (experiment.key, _build_spec(experiment, args, overrides))
+        for experiment in experiments
+    ]
+    # "--set wins over the dedicated flags" includes jobs: an overridden
+    # jobs value also drives the cross-experiment process fan-out.
+    jobs = overrides.get("jobs", args.jobs)
+    if not isinstance(jobs, int) or jobs < 1:
+        raise ExperimentError(f"jobs must be a positive integer, got {jobs!r}")
+    return experiments, run_specs(tasks, jobs=jobs)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    json_documents: List[Dict[str, Any]] = []
+    start = time.time()
+    experiments, results = _run_selected(args)
+    for experiment, result in zip(experiments, results):
+        if out_dir is not None:
+            (out_dir / f"{experiment.key}.json").write_text(result.to_json())
+        if args.format == "json":
+            json_documents.append(result.to_dict())
+        else:
+            print("=" * 72)
+            print(f"{experiment.title}: {result.verdict.summary} "
+                  f"({result.wall_time_seconds:.1f}s)")
+            print("=" * 72)
+            print(result.table())
+            print()
+    if args.format == "json":
+        # Always an array — consumers get one stable top-level shape whether
+        # one key or many were requested.
+        print(json.dumps(json_documents, indent=2, sort_keys=True))
+    else:
+        print(f"total wall time: {time.time() - start:.1f}s (jobs={args.jobs})")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    failures = 0
+    experiments, results = _run_selected(args)
+    for experiment, result in zip(experiments, results):
+        status = "ok" if result.verdict.ok else "MISMATCH"
+        print(
+            f"{experiment.key}: {status} — {result.verdict.summary} "
+            f"({result.wall_time_seconds:.1f}s)"
+        )
+        if not result.verdict.ok:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) failed to reproduce the paper's claim")
+        return 1
+    print(f"all {len(experiments)} experiments reproduce the paper's claims")
+    return 0
+
+
+def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="reduced",
+        help="scale preset: 'reduced' (seconds) or 'paper' (full sweep sizes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for experiments that fan out internally "
+        "(results are identical for every value)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="batched",
+        help="simulation engine for the packet-level experiments "
+        "(identical results; 'reference' is the slow per-packet loop)",
+    )
+    parser.add_argument(
+        "--set",
+        action="append",
+        metavar="FIELD=VALUE",
+        help="override a spec field (JSON values; repeatable), "
+        "e.g. --set repetitions=5 --set 'independent_loss_rates=[0.02,0.08]'",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for tests/docs)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list registered experiments (key, title)"
+    )
+    list_parser.add_argument("--format", choices=("text", "json"), default="text")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run experiments and print tables or JSON result envelopes"
+    )
+    run_parser.add_argument(
+        "keys",
+        nargs="+",
+        metavar="KEY",
+        help="experiment keys to run, or 'all' for the default suite "
+        "(see 'python -m repro list')",
+    )
+    _add_common_run_flags(run_parser)
+    run_parser.add_argument("--format", choices=("text", "json"), default="text")
+    run_parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="also write one <key>.json result envelope per experiment to DIR",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    verify_parser = subparsers.add_parser(
+        "verify",
+        help="run experiments and exit non-zero if any paper claim MISMATCHes",
+    )
+    verify_parser.add_argument(
+        "keys",
+        nargs="*",
+        metavar="KEY",
+        help="experiment keys to verify (default: the full default suite)",
+    )
+    _add_common_run_flags(verify_parser)
+    verify_parser.set_defaults(handler=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -11,7 +11,7 @@ from .stats import (
     standard_error,
     summarize,
 )
-from .tables import format_table, format_series
+from .tables import format_records, format_series, format_table
 
 __all__ = [
     "SummaryStatistics",
@@ -25,4 +25,5 @@ __all__ = [
     "summarize",
     "format_table",
     "format_series",
+    "format_records",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_records"]
 
 
 def _stringify(value: object, precision: int) -> str:
@@ -58,3 +58,40 @@ def format_series(
             row.append(series[name][index])
         rows.append(row)
     return format_table(headers, rows, precision)
+
+
+def format_records(
+    records: Sequence[Mapping[str, object]],
+    precision: int = 5,
+) -> str:
+    """Render experiment result records as aligned plain-text tables.
+
+    ``records`` is the machine-readable form every
+    :class:`~repro.experiments.api.ExperimentResult` carries: flat mappings,
+    one per data point or table row.  Rows sharing the same optional
+    ``"section"`` value are grouped into one table (titled by the section
+    name); within a group the columns are the union of the rows' keys in
+    first-seen order, with missing cells left blank.
+    """
+    if not records:
+        return "(no records)"
+    sections: List[str] = []
+    grouped: Dict[str, List[Mapping[str, object]]] = {}
+    for record in records:
+        section = str(record.get("section", ""))
+        if section not in grouped:
+            sections.append(section)
+            grouped[section] = []
+        grouped[section].append(record)
+    blocks: List[str] = []
+    for section in sections:
+        rows_in = grouped[section]
+        headers: List[str] = []
+        for record in rows_in:
+            for key in record:
+                if key != "section" and key not in headers:
+                    headers.append(key)
+        rows = [[record.get(key, "") for key in headers] for record in rows_in]
+        table = format_table(headers, rows, precision)
+        blocks.append(f"[{section}]\n{table}" if section else table)
+    return "\n\n".join(blocks)

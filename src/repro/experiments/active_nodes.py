@@ -10,17 +10,53 @@ measures how close each scheme gets on the Figure 7(b) modified star.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.tables import format_series
 from ..protocols import make_protocol
 from ..simulator.star import star_redundancy, uniform_star
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["ActiveNodeResult", "run_active_nodes", "DEFAULT_INDEPENDENT_LOSS_RATES"]
+__all__ = [
+    "ActiveNodesSpec",
+    "ActiveNodeResult",
+    "run_active_nodes",
+    "DEFAULT_INDEPENDENT_LOSS_RATES",
+]
 
 PROTOCOLS = ("active-node", "coordinated", "deterministic", "uncoordinated")
 
 DEFAULT_INDEPENDENT_LOSS_RATES = (0.01, 0.05, 0.1)
+
+
+@dataclass(frozen=True)
+class ActiveNodesSpec(ExperimentSpec):
+    """Spec for the active-node coordination extension experiment."""
+
+    independent_loss_rates: Optional[Sequence[float]] = None
+    shared_loss_rate: float = 0.0001
+    num_receivers: Optional[int] = None
+    duration_units: Optional[int] = None
+    repetitions: Optional[int] = None
+    base_seed: int = 0
+    protocols: Optional[Sequence[str]] = None
+
+
+_PRESETS = {
+    "reduced": {
+        "independent_loss_rates": DEFAULT_INDEPENDENT_LOSS_RATES,
+        "num_receivers": 40,
+        "duration_units": 1000,
+        "repetitions": 2,
+    },
+    "paper": {
+        "independent_loss_rates": DEFAULT_INDEPENDENT_LOSS_RATES,
+        "num_receivers": 100,
+        "duration_units": 2000,
+        "repetitions": 5,
+    },
+}
 
 
 @dataclass
@@ -68,6 +104,7 @@ def run_active_nodes(
     repetitions: int = 2,
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
+    engine: str = "batched",
 ) -> ActiveNodeResult:
     """Measure redundancy for the receiver-driven protocols and the active node."""
     result = ActiveNodeResult(
@@ -90,9 +127,56 @@ def run_active_nodes(
                 config,
                 repetitions=repetitions,
                 base_seed=base_seed,
+                engine=engine,
             )
             redundancy.append(measurement.mean_redundancy)
             rates.append(measurement.mean_receiver_rate)
         result.redundancy[protocol_name] = redundancy
         result.mean_receiver_rate[protocol_name] = rates
     return result
+
+
+def _run(spec: ActiveNodesSpec) -> ActiveNodeResult:
+    """Run the active-node comparison described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    return run_active_nodes(
+        independent_loss_rates=tuple(spec.independent_loss_rates),
+        shared_loss_rate=spec.shared_loss_rate,
+        num_receivers=spec.num_receivers,
+        duration_units=spec.duration_units,
+        repetitions=spec.repetitions,
+        base_seed=spec.base_seed,
+        protocols=tuple(spec.protocols) if spec.protocols is not None else PROTOCOLS,
+        engine=spec.engine,
+    )
+
+
+def _records(result: ActiveNodeResult) -> List[Dict[str, object]]:
+    return [
+        {
+            "section": "redundancy and receiver rate",
+            "protocol": protocol,
+            "independent_loss_rate": loss,
+            "redundancy": result.redundancy[protocol][index],
+            "mean_receiver_rate": result.mean_receiver_rate[protocol][index],
+        }
+        for protocol in result.redundancy
+        for index, loss in enumerate(result.independent_loss_rates)
+    ]
+
+
+def _verdict(result: ActiveNodeResult) -> Verdict:
+    ok = result.active_node_redundancy_near_one and result.active_node_is_lowest
+    return Verdict(ok, "redundancy of one is feasible" if ok else "shape differs")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="active_nodes",
+        title="Extension: active-node coordination",
+        spec_cls=ActiveNodesSpec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

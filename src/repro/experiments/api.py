@@ -1,0 +1,287 @@
+"""Declarative experiment API: specs, verdicts, and typed result envelopes.
+
+Every experiment in this package is described by three first-class objects:
+
+* :class:`ExperimentSpec` — a frozen dataclass naming *what* to run: the
+  scale preset (``"reduced"`` or ``"paper"``), the execution knobs shared by
+  every experiment (``jobs``, ``engine``), and per-experiment overrides
+  (seeds, receiver counts, loss grids, ...) declared by each experiment's
+  spec subclass.  Fields left at ``None`` resolve to the preset value for
+  the chosen scale (:meth:`ExperimentSpec.resolved`).
+* :class:`Verdict` — the machine-readable outcome of an experiment's
+  qualitative claim check (``ok`` plus a one-line summary).
+* :class:`ExperimentResult` — the uniform envelope every experiment
+  returns: the registry key, the spec echo, a list of flat JSON-safe
+  records (the figure's data points), the verdict, the RNG scheme version
+  the simulator ran under, and the wall time.  ``to_dict``/``from_dict``
+  round-trip losslessly through JSON: for any result ``r``,
+  ``ExperimentResult.from_dict(r.to_dict()) == r``.
+
+The registry tying specs to runnable experiments lives in
+:mod:`repro.experiments.registry`; the CLI on top of both is
+``python -m repro`` (``list`` / ``run`` / ``verify``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+
+__all__ = [
+    "SCALES",
+    "ENGINES",
+    "RESULT_SCHEMA_VERSION",
+    "ExperimentSpec",
+    "Verdict",
+    "ExperimentResult",
+]
+
+#: Recognised scale presets: ``"reduced"`` regenerates every figure in
+#: seconds; ``"paper"`` uses the paper's full sweep sizes.
+SCALES: Tuple[str, ...] = ("reduced", "paper")
+
+#: Recognised simulation engines (see :mod:`repro.simulator.engine`).
+ENGINES: Tuple[str, ...] = ("batched", "reference")
+
+#: Version of the ``ExperimentResult.to_dict`` JSON layout.  Bump when the
+#: envelope's keys change shape; ``from_dict`` rejects unknown versions.
+RESULT_SCHEMA_VERSION = 1
+
+#: Spec fields that choose *how* to execute, never *what* is computed:
+#: results are guaranteed identical for every value (see
+#: ``tests/simulator/test_engine_equivalence.py`` and
+#: ``tests/experiments/test_parallel.py``).  Excluded, along with the wall
+#: time, from :meth:`ExperimentResult.canonical_json`.
+EXECUTION_ONLY_FIELDS: Tuple[str, ...] = ("jobs", "engine")
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Normalise a value into the JSON-representable subset used by records.
+
+    Tuples become lists, mapping keys become strings; anything that would
+    not survive a JSON round-trip (sets, arbitrary objects, NaN) is
+    rejected so results never silently lose information on serialisation.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ExperimentError(
+                f"non-finite float {value!r} is not JSON round-trippable"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    raise ExperimentError(
+        f"value {value!r} of type {type(value).__name__} is not JSON-serialisable; "
+        "experiment records must contain only str/int/float/bool/None/list/dict"
+    )
+
+
+def _freeze(value: Any) -> Any:
+    """Convert JSON lists back into the tuples spec fields are declared with."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one experiment run.
+
+    Subclasses add per-experiment override fields (loss grids, receiver
+    counts, seeds, ...); fields defaulting to ``None`` mean "use the preset
+    value for :attr:`scale`" and are filled in by :meth:`resolved`.
+
+    Parameters
+    ----------
+    scale:
+        ``"reduced"`` (default; regenerates in seconds) or ``"paper"``
+        (the paper's full sweep sizes).
+    jobs:
+        Worker processes for experiments that fan out internally (Figure
+        8's point sweep).  Results are identical for every value.
+    engine:
+        Simulation engine for the packet-level experiments (``"batched"``
+        or ``"reference"``); ignored by the closed-form experiments.
+    """
+
+    scale: str = "reduced"
+    jobs: int = 1
+    engine: str = "batched"
+
+    def __post_init__(self) -> None:
+        if self.scale not in SCALES:
+            raise ExperimentError(
+                f"unknown scale {self.scale!r}; expected one of {list(SCALES)}"
+            )
+        if not isinstance(self.jobs, int) or self.jobs < 1:
+            raise ExperimentError(f"jobs must be a positive integer, got {self.jobs!r}")
+        if self.engine not in ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; expected one of {list(ENGINES)}"
+            )
+
+    @property
+    def paper_scale(self) -> bool:
+        """True when this spec selects the paper-scale preset."""
+        return self.scale == "paper"
+
+    def replace(self, **overrides: Any) -> "ExperimentSpec":
+        """A copy of this spec with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    def resolved(self, presets: Mapping[str, Mapping[str, Any]]) -> "ExperimentSpec":
+        """Fill every ``None`` field from the preset table for this scale.
+
+        ``presets`` maps each scale name to a ``{field: value}`` table;
+        explicitly-set fields always win over the preset.
+        """
+        if self.scale not in presets:
+            raise ExperimentError(
+                f"no preset table for scale {self.scale!r}; have {sorted(presets)}"
+            )
+        table = presets[self.scale]
+        updates = {
+            name: value
+            for name, value in table.items()
+            if getattr(self, name) is None
+        }
+        return dataclasses.replace(self, **updates) if updates else self
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe mapping of every spec field (tuples become lists)."""
+        return {
+            spec_field.name: _to_jsonable(getattr(self, spec_field.name))
+            for spec_field in dataclasses.fields(self)
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (lists become tuples)."""
+        known = {spec_field.name for spec_field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown {cls.__name__} fields {unknown}; expected subset of {sorted(known)}"
+            )
+        return cls(**{name: _freeze(value) for name, value in data.items()})
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Machine-readable outcome of an experiment's qualitative claim check.
+
+    ``ok`` is True when the paper's claim is reproduced; ``summary`` is the
+    one-line human-readable form (e.g. ``"matches paper"`` or
+    ``"shape differs"``) printed by the CLI and embedded in JSON output.
+    """
+
+    ok: bool
+    summary: str
+
+    def __str__(self) -> str:
+        return self.summary
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe mapping with ``ok`` and ``summary``."""
+        return {"ok": self.ok, "summary": self.summary}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Verdict":
+        """Rebuild a verdict from :meth:`to_dict` output."""
+        return cls(ok=bool(data["ok"]), summary=str(data["summary"]))
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Uniform, JSON-round-trippable envelope for one experiment run.
+
+    ``records`` is the machine-readable form of the figure: a flat sequence
+    of JSON-safe mappings (one per data point / table row, with an optional
+    ``"section"`` key grouping rows into sub-tables).  ``payload`` holds the
+    experiment's rich in-memory result object (``Figure8Result``, ...) when
+    the result was produced by running the experiment in this process; it is
+    not serialised and is excluded from equality, so a deserialised result
+    compares equal to the original.
+    """
+
+    key: str
+    spec: ExperimentSpec
+    records: Tuple[Mapping[str, Any], ...]
+    verdict: Verdict
+    rng_scheme_version: int
+    wall_time_seconds: float
+    payload: Any = field(default=None, compare=False, repr=False)
+
+    def table(self) -> str:
+        """Render :attr:`records` as aligned plain-text tables."""
+        from ..analysis.tables import format_records
+
+        return format_records(self.records)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe mapping of the envelope (minus ``payload``)."""
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "key": self.key,
+            "spec": self.spec.to_dict(),
+            "records": [_to_jsonable(record) for record in self.records],
+            "verdict": self.verdict.to_dict(),
+            "rng_scheme_version": self.rng_scheme_version,
+            "wall_time_seconds": self.wall_time_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The spec class is resolved through the registry by ``key``, so the
+        experiment must be registered (all built-in experiments are).
+        """
+        from .registry import get_experiment
+
+        version = data.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise ExperimentError(
+                f"unsupported result schema_version {version!r}; "
+                f"this build reads version {RESULT_SCHEMA_VERSION}"
+            )
+        experiment = get_experiment(data["key"])
+        return cls(
+            key=data["key"],
+            spec=experiment.spec_cls.from_dict(data["spec"]),
+            records=tuple(data["records"]),
+            verdict=Verdict.from_dict(data["verdict"]),
+            rng_scheme_version=int(data["rng_scheme_version"]),
+            wall_time_seconds=float(data["wall_time_seconds"]),
+        )
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The envelope as a JSON document (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent) + "\n"
+
+    def canonical_json(self) -> str:
+        """Deterministic JSON form excluding wall time and execution knobs.
+
+        Two runs of the same workload produce byte-identical canonical JSON
+        regardless of ``jobs``, ``engine``, or machine speed — the wall time
+        and the :data:`EXECUTION_ONLY_FIELDS` of the spec echo are dropped.
+        This is the form the determinism regression tests compare.
+        """
+        data = self.to_dict()
+        del data["wall_time_seconds"]
+        for field_name in EXECUTION_ONLY_FIELDS:
+            data["spec"].pop(field_name, None)
+        return json.dumps(data, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

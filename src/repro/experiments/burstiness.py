@@ -16,7 +16,7 @@ every burst length.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.stats import mean
 from ..analysis.tables import format_series
@@ -25,13 +25,51 @@ from ..layering.layers import ExponentialLayerScheme
 from ..protocols import make_protocol
 from ..simulator.engine import LayeredSessionSimulator
 from ..simulator.loss import BernoulliLoss, GilbertElliottLoss, LossProcess, NoLoss
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["BurstinessResult", "run_burstiness", "DEFAULT_BURST_LENGTHS", "gilbert_for_average_loss"]
+__all__ = [
+    "BurstinessSpec",
+    "BurstinessResult",
+    "run_burstiness",
+    "DEFAULT_BURST_LENGTHS",
+    "gilbert_for_average_loss",
+]
 
 PROTOCOLS = ("coordinated", "deterministic", "uncoordinated")
 
 #: Mean burst lengths to sweep; 1 reduces to the Bernoulli model.
 DEFAULT_BURST_LENGTHS = (1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class BurstinessSpec(ExperimentSpec):
+    """Spec for the Gilbert–Elliott burstiness ablation."""
+
+    burst_lengths: Optional[Sequence[float]] = None
+    average_loss_rate: float = 0.05
+    shared_loss_rate: float = 0.0001
+    num_receivers: Optional[int] = None
+    duration_units: Optional[int] = None
+    repetitions: Optional[int] = None
+    base_seed: int = 0
+    protocols: Optional[Sequence[str]] = None
+
+
+_PRESETS = {
+    "reduced": {
+        "burst_lengths": DEFAULT_BURST_LENGTHS,
+        "num_receivers": 40,
+        "duration_units": 1000,
+        "repetitions": 2,
+    },
+    "paper": {
+        "burst_lengths": DEFAULT_BURST_LENGTHS,
+        "num_receivers": 100,
+        "duration_units": 2000,
+        "repetitions": 5,
+    },
+}
 
 
 def gilbert_for_average_loss(average_loss: float, mean_burst_length: float) -> LossProcess:
@@ -98,6 +136,7 @@ def run_burstiness(
     repetitions: int = 2,
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
+    engine: str = "batched",
 ) -> BurstinessResult:
     """Sweep the fan-out loss burst length at a fixed average loss rate."""
     result = BurstinessResult(
@@ -123,9 +162,58 @@ def run_burstiness(
                     independent_loss=independent,
                     scheme=ExponentialLayerScheme(8),
                     duration_units=duration_units,
+                    engine=engine,
                 )
                 run = simulator.run(seed=base_seed + repetition)
                 redundancies.append(run.redundancy)
             curve.append(mean(redundancies))
         result.redundancy[protocol_name] = curve
     return result
+
+
+def _run(spec: BurstinessSpec) -> BurstinessResult:
+    """Run the burstiness sweep described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    return run_burstiness(
+        burst_lengths=tuple(spec.burst_lengths),
+        average_loss_rate=spec.average_loss_rate,
+        shared_loss_rate=spec.shared_loss_rate,
+        num_receivers=spec.num_receivers,
+        duration_units=spec.duration_units,
+        repetitions=spec.repetitions,
+        base_seed=spec.base_seed,
+        protocols=tuple(spec.protocols) if spec.protocols is not None else PROTOCOLS,
+        engine=spec.engine,
+    )
+
+
+def _records(result: BurstinessResult) -> List[Dict[str, object]]:
+    return [
+        {
+            "section": "redundancy vs burst length",
+            "protocol": protocol,
+            "mean_burst_length": burst_length,
+            "redundancy": value,
+        }
+        for protocol, curve in result.redundancy.items()
+        for burst_length, value in zip(result.burst_lengths, curve)
+    ]
+
+
+def _verdict(result: BurstinessResult) -> Verdict:
+    ok = result.ordering_preserved
+    return Verdict(
+        ok, "protocol ordering robust to burstiness" if ok else "shape differs"
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="burstiness",
+        title="Extension: bursty loss",
+        spec_cls=BurstinessSpec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

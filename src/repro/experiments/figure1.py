@@ -16,8 +16,15 @@ from ..analysis.tables import format_table
 from ..core import Allocation, check_all_properties, max_min_fair_allocation
 from ..network import Network, figure1_network
 from ..network.topologies import FIGURE1_EXPECTED_RATES
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["Figure1Result", "run_figure1"]
+__all__ = ["Figure1Spec", "Figure1Result", "run_figure1"]
+
+
+@dataclass(frozen=True)
+class Figure1Spec(ExperimentSpec):
+    """Spec for Figure 1 — a deterministic example, identical at both scales."""
 
 
 @dataclass
@@ -56,8 +63,9 @@ class Figure1Result:
         return "\n\n".join([receiver_table, link_table, property_table])
 
 
-def run_figure1() -> Figure1Result:
+def run_figure1(spec: Figure1Spec = Figure1Spec()) -> Figure1Result:
     """Compute the Figure 1 multi-rate max-min fair allocation and properties."""
+    del spec  # deterministic closed-form example; no tunable parameters
     network = figure1_network()
     allocation = max_min_fair_allocation(network)
     link_rates: Dict[str, Tuple[float, ...]] = {}
@@ -73,3 +81,40 @@ def run_figure1() -> Figure1Result:
         session_link_rates=link_rates,
         properties={name: report.holds for name, report in reports.items()},
     )
+
+
+def _records(result: Figure1Result) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = [
+        {
+            "section": "receiver rates",
+            "receiver": result.network.receiver(rid).name,
+            "paper_rate": expected,
+            "measured_rate": result.receiver_rates[rid],
+        }
+        for rid, expected in sorted(result.expected_rates.items())
+    ]
+    rows.extend(
+        {"section": "session link rates", "link": name, "rates": list(rates)}
+        for name, rates in sorted(result.session_link_rates.items())
+    )
+    rows.extend(
+        {"section": "fairness properties", "property": name, "holds": holds}
+        for name, holds in result.properties.items()
+    )
+    return rows
+
+
+def _verdict(result: Figure1Result) -> Verdict:
+    return Verdict(result.matches_paper, "matches paper" if result.matches_paper else "MISMATCH")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure1",
+        title="Figure 1 (sample network)",
+        spec_cls=Figure1Spec,
+        runner=run_figure1,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

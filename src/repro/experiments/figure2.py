@@ -15,7 +15,7 @@ each case.  The paper's statements reproduced here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..analysis.tables import format_table
 from ..core import (
@@ -26,8 +26,15 @@ from ..core import (
 )
 from ..network import Network, figure2_network
 from ..network.topologies import FIGURE2_EXPECTED_MULTI_RATE, FIGURE2_EXPECTED_SINGLE_RATE
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["Figure2Result", "run_figure2"]
+__all__ = ["Figure2Spec", "Figure2Result", "run_figure2"]
+
+
+@dataclass(frozen=True)
+class Figure2Spec(ExperimentSpec):
+    """Spec for Figure 2 — a deterministic example, identical at both scales."""
 
 
 @dataclass
@@ -86,8 +93,9 @@ class Figure2Result:
         return "\n\n".join([rate_table, property_table])
 
 
-def run_figure2() -> Figure2Result:
+def run_figure2(spec: Figure2Spec = Figure2Spec()) -> Figure2Result:
     """Compute both variants of the Figure 2 example."""
+    del spec  # deterministic closed-form example; no tunable parameters
     single_network = figure2_network(single_rate=True)
     multi_network = figure2_network(single_rate=False)
     single_allocation = max_min_fair_allocation(single_network)
@@ -108,3 +116,44 @@ def run_figure2() -> Figure2Result:
         expected_single_rate=dict(FIGURE2_EXPECTED_SINGLE_RATE),
         expected_multi_rate=dict(FIGURE2_EXPECTED_MULTI_RATE),
     )
+
+
+def _records(result: Figure2Result) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = [
+        {
+            "section": "receiver rates",
+            "receiver": result.single_rate_network.receiver(rid).name,
+            "paper_single_rate": result.expected_single_rate[rid],
+            "measured_single_rate": result.single_rate_allocation.rate(rid),
+            "expected_multi_rate": result.expected_multi_rate[rid],
+            "measured_multi_rate": result.multi_rate_allocation.rate(rid),
+        }
+        for rid in sorted(result.expected_single_rate)
+    ]
+    rows.extend(
+        {
+            "section": "fairness properties",
+            "property": name,
+            "single_rate_holds": result.single_rate_properties[name],
+            "multi_rate_holds": result.multi_rate_properties[name],
+        }
+        for name in result.single_rate_properties
+    )
+    return rows
+
+
+def _verdict(result: Figure2Result) -> Verdict:
+    ok = result.single_rate_matches_paper and result.multi_rate_is_more_max_min_fair
+    return Verdict(ok, "matches paper" if ok else "MISMATCH")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure2",
+        title="Figure 2 (single-rate limitations)",
+        spec_cls=Figure2Spec,
+        runner=run_figure2,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

@@ -10,14 +10,21 @@ max-min fair rates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..analysis.tables import format_table
 from ..core import Allocation, max_min_fair_allocation
 from ..network import Network, figure3a_network, figure3b_network
 from ..network.topologies import FIGURE3A_EXPECTED, FIGURE3B_EXPECTED
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["RemovalOutcome", "Figure3Result", "run_figure3"]
+__all__ = ["Figure3Spec", "RemovalOutcome", "Figure3Result", "run_figure3"]
+
+
+@dataclass(frozen=True)
+class Figure3Spec(ExperimentSpec):
+    """Spec for Figure 3 — a deterministic example, identical at both scales."""
 
 #: Receiver removed in both examples: ``r3,2`` (session 2, index 1).
 REMOVED_RECEIVER: Tuple[int, int] = (2, 1)
@@ -97,9 +104,44 @@ def _run_example(
     )
 
 
-def run_figure3() -> Figure3Result:
+def run_figure3(spec: Figure3Spec = Figure3Spec()) -> Figure3Result:
     """Compute the before/after allocations for both Figure 3 examples."""
+    del spec  # deterministic closed-form example; no tunable parameters
     return Figure3Result(
         example_a=_run_example("Figure 3(a)", figure3a_network(), FIGURE3A_EXPECTED),
         example_b=_run_example("Figure 3(b)", figure3b_network(), FIGURE3B_EXPECTED),
     )
+
+
+def _records(result: Figure3Result) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for outcome in (result.example_a, result.example_b):
+        for rid in sorted(outcome.expected_before):
+            removed = rid not in outcome.expected_after
+            rows.append(
+                {
+                    "section": outcome.name,
+                    "receiver": outcome.network.receiver(rid).name,
+                    "before": outcome.before.rate(rid),
+                    "after": None if removed else outcome.after.rate(rid),
+                    "removed": removed,
+                }
+            )
+    return rows
+
+
+def _verdict(result: Figure3Result) -> Verdict:
+    ok = result.demonstrates_both_directions
+    return Verdict(ok, "matches paper" if ok else "MISMATCH")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure3",
+        title="Figure 3 (receiver removal)",
+        spec_cls=Figure3Spec,
+        runner=run_figure3,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

@@ -12,7 +12,7 @@ the receiver-perspective properties continue to hold.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from ..analysis.tables import format_table
 from ..core import (
@@ -25,11 +25,20 @@ from ..core import (
 )
 from ..network import Network, figure4_network
 from ..network.topologies import FIGURE4_EXPECTED_RATES
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["Figure4Result", "run_figure4"]
+__all__ = ["Figure4Spec", "Figure4Result", "run_figure4"]
 
 #: The shared link of the Figure 4 topology (``l4``) by link id.
 SHARED_LINK_ID = 3
+
+
+@dataclass(frozen=True)
+class Figure4Spec(ExperimentSpec):
+    """Spec for Figure 4: the redundancy applied to ``S1`` on the shared link."""
+
+    redundancy: float = 2.0
 
 
 @dataclass
@@ -80,10 +89,10 @@ class Figure4Result:
         return "\n\n".join([rate_table, link_table, property_table])
 
 
-def run_figure4(redundancy: float = 2.0) -> Figure4Result:
-    """Compute the Figure 4 allocation with the given redundancy on the shared link."""
+def _run(spec: Figure4Spec) -> Figure4Result:
+    """Compute the Figure 4 allocation described by ``spec``."""
     network = figure4_network().with_link_rate_functions(
-        {0: constant_redundancy(redundancy, min_receivers=2)}
+        {0: constant_redundancy(spec.redundancy, min_receivers=2)}
     )
     allocation = max_min_fair_allocation(network)
     reports = check_all_properties(allocation)
@@ -96,3 +105,59 @@ def run_figure4(redundancy: float = 2.0) -> Figure4Result:
         shared_link_rates=shared_rates,
         shared_link_redundancy=allocation.link_redundancy(0, SHARED_LINK_ID),
     )
+
+
+def run_figure4(redundancy: float = 2.0) -> Figure4Result:
+    """Compute the Figure 4 allocation with the given redundancy on the shared link.
+
+    Back-compat wrapper over :class:`Figure4Spec`; prefer
+    ``get_experiment("figure4").run(redundancy=...)`` for the typed envelope.
+    """
+    return _run(Figure4Spec(redundancy=redundancy))
+
+
+def _records(result: Figure4Result) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = [
+        {
+            "section": "receiver rates",
+            "receiver": result.network.receiver(rid).name,
+            "paper_rate": expected,
+            "measured_rate": result.allocation.rate(rid),
+        }
+        for rid, expected in sorted(result.expected_rates.items())
+    ]
+    rows.extend(
+        {
+            "section": "shared link rates",
+            "session": result.network.session(sid).name,
+            "rate_on_l4": rate,
+        }
+        for sid, rate in sorted(result.shared_link_rates.items())
+    )
+    rows.extend(
+        {"section": "fairness properties", "property": name, "holds": holds}
+        for name, holds in result.properties.items()
+    )
+    rows.append(
+        {
+            "section": "summary",
+            "shared_link_redundancy": result.shared_link_redundancy,
+        }
+    )
+    return rows
+
+
+def _verdict(result: Figure4Result) -> Verdict:
+    return Verdict(result.matches_paper, "matches paper" if result.matches_paper else "MISMATCH")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure4",
+        title="Figure 4 (redundancy vs session fairness)",
+        spec_cls=Figure4Spec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

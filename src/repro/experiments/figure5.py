@@ -25,11 +25,36 @@ from ..layering.random_joins import (
     one_fast_rest_slow,
     redundancy_upper_bound,
 )
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["Figure5Result", "run_figure5", "DEFAULT_RECEIVER_COUNTS"]
+__all__ = ["Figure5Spec", "Figure5Result", "run_figure5", "DEFAULT_RECEIVER_COUNTS"]
 
 #: Logarithmic receiver-count sweep matching the paper's 1..100 x-axis.
 DEFAULT_RECEIVER_COUNTS = (1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 70, 100)
+
+
+@dataclass(frozen=True)
+class Figure5Spec(ExperimentSpec):
+    """Spec for Figure 5: receiver-count sweep of the random-join closed form.
+
+    ``receiver_counts=None`` uses the paper's 1..100 log sweep at either
+    scale; ``simulate`` additionally cross-checks every point against the
+    Monte-Carlo quantum model.
+    """
+
+    receiver_counts: Optional[Sequence[int]] = None
+    transmission_rate: float = 1.0
+    simulate: bool = False
+    packets_per_quantum: int = 100
+    num_quanta: int = 200
+    seed: int = 0
+
+
+_PRESETS = {
+    "reduced": {"receiver_counts": DEFAULT_RECEIVER_COUNTS},
+    "paper": {"receiver_counts": DEFAULT_RECEIVER_COUNTS},
+}
 
 
 @dataclass
@@ -53,6 +78,46 @@ class Figure5Result:
         )
 
 
+def _run(spec: Figure5Spec) -> Figure5Result:
+    """Evaluate the Figure 5 curves described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    receiver_counts = tuple(spec.receiver_counts)
+    transmission_rate = spec.transmission_rate
+    curves = figure5_curves(receiver_counts, transmission_rate)
+    bounds = {}
+    for name, params in FIGURE5_CONFIGURATIONS.items():
+        rates = one_fast_rest_slow(max(receiver_counts), params["fast"], params["slow"])
+        bounds[name] = redundancy_upper_bound(rates, transmission_rate)
+
+    simulated: Optional[Dict[str, List[float]]] = None
+    if spec.simulate:
+        simulated = {}
+        rng = random.Random(spec.seed)
+        model = QuantumModel(
+            transmission_rate=spec.packets_per_quantum, quantum=1.0
+        )
+        for name, params in FIGURE5_CONFIGURATIONS.items():
+            points = []
+            for count in receiver_counts:
+                rates = {
+                    index: rate * spec.packets_per_quantum / transmission_rate
+                    for index, rate in enumerate(
+                        one_fast_rest_slow(count, params["fast"], params["slow"])
+                    )
+                }
+                points.append(
+                    model.simulate_random_join_redundancy(rates, spec.num_quanta, rng)
+                )
+            simulated[name] = points
+
+    return Figure5Result(
+        receiver_counts=receiver_counts,
+        curves=curves,
+        upper_bounds=bounds,
+        simulated=simulated,
+    )
+
+
 def run_figure5(
     receiver_counts: Sequence[int] = DEFAULT_RECEIVER_COUNTS,
     transmission_rate: float = 1.0,
@@ -66,35 +131,52 @@ def run_figure5(
     When ``simulate`` is true, each analytical point is re-estimated with the
     Monte-Carlo quantum model (``packets_per_quantum`` packets per quantum,
     ``num_quanta`` quanta), which is slower but validates the closed form.
+    Back-compat wrapper over :class:`Figure5Spec`.
     """
-    curves = figure5_curves(receiver_counts, transmission_rate)
-    bounds = {}
-    for name, params in FIGURE5_CONFIGURATIONS.items():
-        rates = one_fast_rest_slow(max(receiver_counts), params["fast"], params["slow"])
-        bounds[name] = redundancy_upper_bound(rates, transmission_rate)
-
-    simulated: Optional[Dict[str, List[float]]] = None
-    if simulate:
-        simulated = {}
-        rng = random.Random(seed)
-        model = QuantumModel(
-            transmission_rate=packets_per_quantum, quantum=1.0
+    return _run(
+        Figure5Spec(
+            receiver_counts=tuple(receiver_counts),
+            transmission_rate=transmission_rate,
+            simulate=simulate,
+            packets_per_quantum=packets_per_quantum,
+            num_quanta=num_quanta,
+            seed=seed,
         )
-        for name, params in FIGURE5_CONFIGURATIONS.items():
-            points = []
-            for count in receiver_counts:
-                rates = {
-                    index: rate * packets_per_quantum / transmission_rate
-                    for index, rate in enumerate(
-                        one_fast_rest_slow(count, params["fast"], params["slow"])
-                    )
-                }
-                points.append(model.simulate_random_join_redundancy(rates, num_quanta, rng))
-            simulated[name] = points
-
-    return Figure5Result(
-        receiver_counts=tuple(receiver_counts),
-        curves=curves,
-        upper_bounds=bounds,
-        simulated=simulated,
     )
+
+
+def _records(result: Figure5Result) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for name, values in result.curves.items():
+        for index, (count, value) in enumerate(zip(result.receiver_counts, values)):
+            row: Dict[str, object] = {
+                "section": "redundancy curves",
+                "configuration": name,
+                "receivers": count,
+                "redundancy": value,
+            }
+            if result.simulated is not None:
+                row["simulated_redundancy"] = result.simulated[name][index]
+            rows.append(row)
+    rows.extend(
+        {"section": "upper bounds", "configuration": name, "bound": bound}
+        for name, bound in result.upper_bounds.items()
+    )
+    return rows
+
+
+def _verdict(result: Figure5Result) -> Verdict:
+    ok = result.respects_upper_bounds
+    return Verdict(ok, "bounded as predicted" if ok else "MISMATCH")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure5",
+        title="Figure 5 (random-join redundancy)",
+        spec_cls=Figure5Spec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

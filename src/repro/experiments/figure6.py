@@ -16,19 +16,61 @@ and the algorithm agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_series
 from ..core import bottleneck_fair_rate, max_min_fair_allocation, normalized_fair_rate
 from ..network.topologies import shared_bottleneck_with_redundancy
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["Figure6Result", "run_figure6", "DEFAULT_REDUNDANCIES", "DEFAULT_FRACTIONS"]
+__all__ = [
+    "Figure6Spec",
+    "Figure6Result",
+    "run_figure6",
+    "DEFAULT_REDUNDANCIES",
+    "DEFAULT_FRACTIONS",
+]
 
 #: Redundancy sweep of the paper's x-axis.
 DEFAULT_REDUNDANCIES = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
 
 #: The m/n ratios plotted in Figure 6.
 DEFAULT_FRACTIONS = (0.01, 0.05, 0.1, 1.0)
+
+#: Tolerance below which the formula and the water-filling solver agree.
+CROSS_CHECK_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Figure6Spec(ExperimentSpec):
+    """Spec for Figure 6: redundancy/fraction grids and cross-check sizes.
+
+    At paper scale the water-filling cross-check networks grow from 20 to
+    100 sessions; the closed-form curves are scale-independent.
+    """
+
+    redundancies: Optional[Sequence[float]] = None
+    fractions: Optional[Sequence[float]] = None
+    cross_check_sessions: Optional[int] = None
+    cross_check_redundancies: Optional[Sequence[float]] = None
+    capacity: float = 1.0
+
+
+_PRESETS = {
+    "reduced": {
+        "redundancies": DEFAULT_REDUNDANCIES,
+        "fractions": DEFAULT_FRACTIONS,
+        "cross_check_sessions": 20,
+        "cross_check_redundancies": (1.0, 2.0, 5.0, 10.0),
+    },
+    "paper": {
+        "redundancies": DEFAULT_REDUNDANCIES,
+        "fractions": DEFAULT_FRACTIONS,
+        "cross_check_sessions": 100,
+        "cross_check_redundancies": (1.0, 2.0, 5.0, 10.0),
+    },
+}
 
 
 @dataclass
@@ -52,20 +94,14 @@ class Figure6Result:
         return max(abs(expected - measured) for *_rest, expected, measured in self.cross_checks)
 
 
-def run_figure6(
-    redundancies: Sequence[float] = DEFAULT_REDUNDANCIES,
-    fractions: Sequence[float] = DEFAULT_FRACTIONS,
-    cross_check_sessions: int = 20,
-    cross_check_redundancies: Sequence[float] = (1.0, 2.0, 5.0, 10.0),
-    capacity: float = 1.0,
-) -> Figure6Result:
-    """Evaluate the Figure 6 curves and verify them against the water-filling solver.
-
-    ``cross_check_sessions`` controls the size of the concrete bottleneck
-    networks built for verification (with ``m = max(1, n/10)`` redundant
-    sessions, mirroring the "small fraction of multi-rate sessions" regime
-    the paper argues for).
-    """
+def _run(spec: Figure6Spec) -> Figure6Result:
+    """Evaluate the Figure 6 curves and cross-checks described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    redundancies = tuple(spec.redundancies)
+    fractions = tuple(spec.fractions)
+    cross_check_sessions = spec.cross_check_sessions
+    cross_check_redundancies = tuple(spec.cross_check_redundancies)
+    capacity = spec.capacity
     curves: Dict[float, List[float]] = {}
     for fraction in fractions:
         curves[fraction] = [
@@ -93,3 +129,73 @@ def run_figure6(
         curves=curves,
         cross_checks=cross_checks,
     )
+
+
+def run_figure6(
+    redundancies: Sequence[float] = DEFAULT_REDUNDANCIES,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    cross_check_sessions: int = 20,
+    cross_check_redundancies: Sequence[float] = (1.0, 2.0, 5.0, 10.0),
+    capacity: float = 1.0,
+) -> Figure6Result:
+    """Evaluate the Figure 6 curves and verify them against the water-filling solver.
+
+    ``cross_check_sessions`` controls the size of the concrete bottleneck
+    networks built for verification (with ``m = max(1, n/10)`` redundant
+    sessions, mirroring the "small fraction of multi-rate sessions" regime
+    the paper argues for).  Back-compat wrapper over :class:`Figure6Spec`.
+    """
+    return _run(
+        Figure6Spec(
+            redundancies=tuple(redundancies),
+            fractions=tuple(fractions),
+            cross_check_sessions=cross_check_sessions,
+            cross_check_redundancies=tuple(cross_check_redundancies),
+            capacity=capacity,
+        )
+    )
+
+
+def _records(result: Figure6Result) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = [
+        {
+            "section": "normalised fair rate",
+            "fraction_multi_rate": fraction,
+            "redundancy": redundancy,
+            "normalized_rate": value,
+        }
+        for fraction, values in result.curves.items()
+        for redundancy, value in zip(result.redundancies, values)
+    ]
+    rows.extend(
+        {
+            "section": "water-filling cross-checks",
+            "sessions": sessions,
+            "redundant_sessions": redundant,
+            "redundancy": redundancy,
+            "formula_rate": expected,
+            "water_filling_rate": measured,
+        }
+        for sessions, redundant, redundancy, expected, measured in result.cross_checks
+    )
+    return rows
+
+
+def _verdict(result: Figure6Result) -> Verdict:
+    error = result.cross_check_max_error
+    return Verdict(
+        error <= CROSS_CHECK_TOLERANCE,
+        f"formula vs water-filling max error {error:.2e}",
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure6",
+        title="Figure 6 (redundancy vs fair rate)",
+        spec_cls=Figure6Spec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

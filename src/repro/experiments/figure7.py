@@ -11,17 +11,35 @@ coordination lowers redundancy for every split.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_series
 from ..protocols.markov import TwoReceiverMarkovModel
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["Figure7Result", "run_figure7", "DEFAULT_SPLITS"]
+__all__ = ["Figure7Spec", "Figure7Result", "run_figure7", "DEFAULT_SPLITS"]
 
 #: How the fixed independent-loss budget is split between the two receivers.
 DEFAULT_SPLITS = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0)
 
 PROTOCOLS = ("uncoordinated", "deterministic", "coordinated")
+
+
+@dataclass(frozen=True)
+class Figure7Spec(ExperimentSpec):
+    """Spec for Figure 7(a): loss-split grid and Markov model parameters."""
+
+    splits: Optional[Sequence[float]] = None
+    total_independent_loss: float = 0.04
+    shared_loss_rate: float = 0.0001
+    num_layers: int = 8
+
+
+_PRESETS = {
+    "reduced": {"splits": DEFAULT_SPLITS},
+    "paper": {"splits": DEFAULT_SPLITS},
+}
 
 
 @dataclass
@@ -48,31 +66,84 @@ class Figure7Result:
         return all(abs(self.peak_split(protocol) - 0.5) <= 0.13 for protocol in self.redundancy)
 
 
-def run_figure7(
-    splits: Sequence[float] = DEFAULT_SPLITS,
-    total_independent_loss: float = 0.04,
-    shared_loss_rate: float = 0.0001,
-    num_layers: int = 8,
-) -> Figure7Result:
+def _run(spec: Figure7Spec) -> Figure7Result:
     """Analyse the two-receiver star for every protocol and loss split."""
+    spec = spec.resolved(_PRESETS)
+    splits = tuple(spec.splits)
     redundancy: Dict[str, List[float]] = {name: [] for name in PROTOCOLS}
     mean_levels: Dict[str, List[Tuple[float, float]]] = {name: [] for name in PROTOCOLS}
     for protocol in PROTOCOLS:
         for split in splits:
             model = TwoReceiverMarkovModel(
                 protocol=protocol,
-                shared_loss_rate=shared_loss_rate,
-                loss_rate_one=split * total_independent_loss,
-                loss_rate_two=(1.0 - split) * total_independent_loss,
-                num_layers=num_layers,
+                shared_loss_rate=spec.shared_loss_rate,
+                loss_rate_one=split * spec.total_independent_loss,
+                loss_rate_two=(1.0 - split) * spec.total_independent_loss,
+                num_layers=spec.num_layers,
             )
             analysis = model.analyze()
             redundancy[protocol].append(analysis.redundancy)
             mean_levels[protocol].append(analysis.mean_levels)
     return Figure7Result(
-        splits=tuple(splits),
-        total_independent_loss=total_independent_loss,
-        shared_loss_rate=shared_loss_rate,
+        splits=splits,
+        total_independent_loss=spec.total_independent_loss,
+        shared_loss_rate=spec.shared_loss_rate,
         redundancy=redundancy,
         mean_levels=mean_levels,
     )
+
+
+def run_figure7(
+    splits: Sequence[float] = DEFAULT_SPLITS,
+    total_independent_loss: float = 0.04,
+    shared_loss_rate: float = 0.0001,
+    num_layers: int = 8,
+) -> Figure7Result:
+    """Analyse the two-receiver star for every protocol and loss split.
+
+    Back-compat wrapper over :class:`Figure7Spec`.
+    """
+    return _run(
+        Figure7Spec(
+            splits=tuple(splits),
+            total_independent_loss=total_independent_loss,
+            shared_loss_rate=shared_loss_rate,
+            num_layers=num_layers,
+        )
+    )
+
+
+def _records(result: Figure7Result) -> List[Dict[str, object]]:
+    return [
+        {
+            "section": "redundancy vs loss split",
+            "protocol": protocol,
+            "split_to_r1": split,
+            "redundancy": value,
+            "mean_level_r1": result.mean_levels[protocol][index][0],
+            "mean_level_r2": result.mean_levels[protocol][index][1],
+        }
+        for protocol in result.redundancy
+        for index, (split, value) in enumerate(
+            zip(result.splits, result.redundancy[protocol])
+        )
+    ]
+
+
+def _verdict(result: Figure7Result) -> Verdict:
+    ok = result.equal_loss_is_worst
+    return Verdict(
+        ok, "equal loss rates give the highest redundancy" if ok else "MISMATCH"
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure7",
+        title="Figure 7(a) Markov analysis",
+        spec_cls=Figure7Spec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

@@ -33,9 +33,13 @@ from ..analysis.tables import format_series
 from ..protocols import make_protocol
 from ..simulator.metrics import RedundancyMeasurement
 from ..simulator.star import star_redundancy, star_redundancy_group, uniform_star
+from .api import ExperimentSpec, Verdict
 from .parallel import parallel_map
+from .registry import Experiment, register
 
 __all__ = [
+    "Figure8Spec",
+    "Figure8PanelSpec",
     "Figure8Point",
     "Figure8Panel",
     "Figure8Result",
@@ -53,6 +57,56 @@ DEFAULT_INDEPENDENT_LOSS_RATES = (0.005, 0.02, 0.05, 0.08, 0.1)
 
 #: The paper's full x-axis.
 PAPER_INDEPENDENT_LOSS_RATES = tuple(round(0.01 * i, 3) for i in range(0, 11))
+
+#: Scale presets shared by :class:`Figure8Spec` and :class:`Figure8PanelSpec`.
+_PRESETS = {
+    "reduced": {
+        "independent_loss_rates": DEFAULT_INDEPENDENT_LOSS_RATES,
+        "num_receivers": 60,
+        "duration_units": 1200,
+        "repetitions": 3,
+    },
+    "paper": {
+        "independent_loss_rates": PAPER_INDEPENDENT_LOSS_RATES,
+        "num_receivers": 100,
+        "duration_units": 2000,
+        "repetitions": 5,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Figure8Spec(ExperimentSpec):
+    """Spec for the two-panel Figure 8 protocol-redundancy sweep.
+
+    Fields left at ``None`` resolve to the scale preset: reduced runs 60
+    receivers x 1200 units x 3 repetitions over a 5-point loss grid; paper
+    runs 100 x 2000 x 5 over the full 0..0.1 grid.  ``jobs`` fans the
+    (protocol, loss-rate) points across worker processes with identical
+    results.
+    """
+
+    independent_loss_rates: Optional[Sequence[float]] = None
+    num_receivers: Optional[int] = None
+    duration_units: Optional[int] = None
+    repetitions: Optional[int] = None
+    base_seed: int = 0
+    low_shared_loss: float = 0.0001
+    high_shared_loss: float = 0.05
+
+
+@dataclass(frozen=True)
+class Figure8PanelSpec(ExperimentSpec):
+    """Spec for a single Figure 8 panel at one fixed shared loss rate."""
+
+    shared_loss_rate: float = 0.05
+    independent_loss_rates: Optional[Sequence[float]] = None
+    num_receivers: Optional[int] = None
+    num_layers: int = 8
+    duration_units: Optional[int] = None
+    repetitions: Optional[int] = None
+    base_seed: int = 0
+    protocols: Optional[Sequence[str]] = None
 
 
 @dataclass
@@ -277,3 +331,100 @@ def run_figure8(
             engine=engine,
         ),
     )
+
+
+def _run_spec(spec: Figure8Spec) -> Figure8Result:
+    """Run both Figure 8 panels as described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    return run_figure8(
+        independent_loss_rates=tuple(spec.independent_loss_rates),
+        num_receivers=spec.num_receivers,
+        duration_units=spec.duration_units,
+        repetitions=spec.repetitions,
+        base_seed=spec.base_seed,
+        low_shared_loss=spec.low_shared_loss,
+        high_shared_loss=spec.high_shared_loss,
+        jobs=spec.jobs,
+        engine=spec.engine,
+    )
+
+
+def _panel_records(panel: Figure8Panel, section: str) -> List[Dict[str, object]]:
+    return [
+        {
+            "section": section,
+            "shared_loss_rate": panel.shared_loss_rate,
+            "protocol": point.protocol,
+            "independent_loss_rate": point.independent_loss_rate,
+            "redundancy": point.redundancy,
+            "mean_receiver_rate": point.measurement.mean_receiver_rate,
+            "runs": list(point.measurement.redundancies),
+        }
+        for point in panel.points
+    ]
+
+
+def _records(result: Figure8Result) -> List[Dict[str, object]]:
+    return _panel_records(result.low_shared_loss, "panel (a): low shared loss") + (
+        _panel_records(result.high_shared_loss, "panel (b): high shared loss")
+    )
+
+
+def _verdict(result: Figure8Result) -> Verdict:
+    ok = (
+        result.low_shared_loss.coordinated_is_lowest
+        and result.low_shared_loss.max_redundancy("coordinated") < 2.5
+    )
+    return Verdict(ok, "coordinated protocol lowest; below 2.5" if ok else "shape differs")
+
+
+def _run_panel_spec(spec: Figure8PanelSpec) -> Figure8Panel:
+    """Run one Figure 8 panel as described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    return run_figure8_panel(
+        shared_loss_rate=spec.shared_loss_rate,
+        independent_loss_rates=tuple(spec.independent_loss_rates),
+        num_receivers=spec.num_receivers,
+        num_layers=spec.num_layers,
+        duration_units=spec.duration_units,
+        repetitions=spec.repetitions,
+        base_seed=spec.base_seed,
+        protocols=tuple(spec.protocols) if spec.protocols is not None else PROTOCOLS,
+        jobs=spec.jobs,
+        engine=spec.engine,
+    )
+
+
+def _panel_only_records(panel: Figure8Panel) -> List[Dict[str, object]]:
+    return _panel_records(panel, f"shared loss {panel.shared_loss_rate:g}")
+
+
+def _panel_verdict(panel: Figure8Panel) -> Verdict:
+    ok = panel.coordinated_is_lowest
+    return Verdict(ok, "coordinated protocol lowest" if ok else "shape differs")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="figure8",
+        title="Figure 8 (protocol redundancy)",
+        spec_cls=Figure8Spec,
+        runner=_run_spec,
+        to_records=_records,
+        judge=_verdict,
+    )
+)
+
+#: Single-panel variant: not part of the default sweep (``figure8`` already
+#: covers both panels) but invocable by key for targeted shared-loss studies.
+PANEL_EXPERIMENT = register(
+    Experiment(
+        key="figure8_panel",
+        title="Figure 8 single panel (one shared loss rate)",
+        spec_cls=Figure8PanelSpec,
+        runner=_run_panel_spec,
+        to_records=_panel_only_records,
+        judge=_panel_verdict,
+        default=False,
+    )
+)

@@ -12,14 +12,23 @@ averages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.tables import format_table
 from ..core import max_min_fair_allocation
 from ..layering.fixed import section3_nonexistence_example
 from ..network.topologies import single_bottleneck_network
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["FixedLayerResult", "run_fixed_layers"]
+__all__ = ["FixedLayersSpec", "FixedLayerResult", "run_fixed_layers"]
+
+
+@dataclass(frozen=True)
+class FixedLayersSpec(ExperimentSpec):
+    """Spec for the Section 3 fixed-layer example: the bottleneck capacity."""
+
+    capacity: float = 1.0
 
 
 @dataclass
@@ -72,6 +81,11 @@ class FixedLayerResult:
         )
 
 
+def _run(spec: FixedLayersSpec) -> FixedLayerResult:
+    """Enumerate the fixed-layer example at the spec's capacity."""
+    return run_fixed_layers(capacity=spec.capacity)
+
+
 def run_fixed_layers(capacity: float = 1.0) -> FixedLayerResult:
     """Enumerate the paper's fixed-layer example and contrast with the fluid rates."""
     feasible, max_min = section3_nonexistence_example(capacity)
@@ -83,3 +97,36 @@ def run_fixed_layers(capacity: float = 1.0) -> FixedLayerResult:
         max_min_fair=max_min,
         unconstrained_fair_rates=allocation.ordered_vector(),
     )
+
+
+def _records(result: FixedLayerResult) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = [
+        {"section": "feasible fixed-layer allocations", "a1": a, "a2": b}
+        for a, b in result.feasible_allocations
+    ]
+    rows.append(
+        {
+            "section": "summary",
+            "max_min_fair_exists": result.max_min_fair is not None,
+            "max_min_fair": list(result.max_min_fair) if result.max_min_fair else None,
+            "unconstrained_fair_rates": list(result.unconstrained_fair_rates),
+        }
+    )
+    return rows
+
+
+def _verdict(result: FixedLayerResult) -> Verdict:
+    ok = result.no_max_min_fair_exists
+    return Verdict(ok, "no max-min fair allocation exists" if ok else "MISMATCH")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="fixed_layers",
+        title="Section 3 fixed-layer example",
+        spec_cls=FixedLayersSpec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

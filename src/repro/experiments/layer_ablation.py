@@ -11,15 +11,31 @@ layer counts and checks both halves of that statement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.tables import format_series
 from ..errors import ExperimentError
 from ..layering.random_joins import layer_count_ablation, one_fast_rest_slow, uniform_rates
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["LayerAblationResult", "run_layer_ablation", "DEFAULT_LAYER_COUNTS"]
+__all__ = ["LayerAblationSpec", "LayerAblationResult", "run_layer_ablation", "DEFAULT_LAYER_COUNTS"]
 
 DEFAULT_LAYER_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class LayerAblationSpec(ExperimentSpec):
+    """Spec for the layer-count ablation (paper scale sweeps more counts)."""
+
+    layer_counts: Optional[Sequence[int]] = None
+    max_rate: float = 1.0
+
+
+_PRESETS = {
+    "reduced": {"layer_counts": DEFAULT_LAYER_COUNTS},
+    "paper": {"layer_counts": (1, 2, 4, 8, 16, 32)},
+}
 
 #: Receiver-rate populations studied (transmission budget 1.0).
 DEFAULT_POPULATIONS = {
@@ -83,3 +99,41 @@ def run_layer_ablation(
         max_rate=max_rate,
         redundancy=redundancy,
     )
+
+
+def _run(spec: LayerAblationSpec) -> LayerAblationResult:
+    """Run the layer-count ablation described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    return run_layer_ablation(
+        layer_counts=tuple(spec.layer_counts), max_rate=spec.max_rate
+    )
+
+
+def _records(result: LayerAblationResult) -> List[Dict[str, object]]:
+    return [
+        {
+            "section": "redundancy by layer count",
+            "population": name,
+            "layers": count,
+            "redundancy": values[count],
+        }
+        for name, values in result.redundancy.items()
+        for count in result.layer_counts
+    ]
+
+
+def _verdict(result: LayerAblationResult) -> Verdict:
+    ok = result.never_worse_than_single_layer
+    return Verdict(ok, "more layers never increase redundancy" if ok else "MISMATCH")
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="layer_ablation",
+        title="Ablation: layer count",
+        spec_cls=LayerAblationSpec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

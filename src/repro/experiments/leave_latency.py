@@ -15,7 +15,7 @@ redundancy rises with latency while receiver rates stay essentially flat.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.stats import mean
 from ..analysis.tables import format_series
@@ -24,10 +24,42 @@ from ..layering.layers import ExponentialLayerScheme
 from ..protocols import make_protocol
 from ..simulator.engine import LayeredSessionSimulator
 from ..simulator.loss import BernoulliLoss, NoLoss
+from .api import ExperimentSpec, Verdict
+from .registry import Experiment, register
 
-__all__ = ["LeaveLatencyResult", "run_leave_latency", "DEFAULT_LATENCIES"]
+__all__ = ["LeaveLatencySpec", "LeaveLatencyResult", "run_leave_latency", "DEFAULT_LATENCIES"]
 
 DEFAULT_LATENCIES = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class LeaveLatencySpec(ExperimentSpec):
+    """Spec for the leave-latency extension experiment."""
+
+    latencies: Optional[Sequence[float]] = None
+    protocol: str = "coordinated"
+    independent_loss_rate: float = 0.05
+    shared_loss_rate: float = 0.0001
+    num_receivers: Optional[int] = None
+    duration_units: Optional[int] = None
+    repetitions: Optional[int] = None
+    base_seed: int = 0
+
+
+_PRESETS = {
+    "reduced": {
+        "latencies": DEFAULT_LATENCIES,
+        "num_receivers": 40,
+        "duration_units": 1000,
+        "repetitions": 2,
+    },
+    "paper": {
+        "latencies": DEFAULT_LATENCIES,
+        "num_receivers": 100,
+        "duration_units": 2000,
+        "repetitions": 5,
+    },
+}
 
 
 @dataclass
@@ -75,6 +107,7 @@ def run_leave_latency(
     duration_units: int = 1000,
     repetitions: int = 2,
     base_seed: int = 0,
+    engine: str = "batched",
 ) -> LeaveLatencyResult:
     """Sweep the leave latency and measure shared-link redundancy."""
     if any(latency < 0 for latency in latencies):
@@ -100,6 +133,7 @@ def run_leave_latency(
                 scheme=ExponentialLayerScheme(8),
                 duration_units=duration_units,
                 leave_latency=latency,
+                engine=engine,
             )
             run = simulator.run(seed=base_seed + repetition)
             redundancies.append(run.redundancy)
@@ -107,3 +141,51 @@ def run_leave_latency(
         result.redundancy.append(mean(redundancies))
         result.mean_receiver_rate.append(mean(rates))
     return result
+
+
+def _run(spec: LeaveLatencySpec) -> LeaveLatencyResult:
+    """Run the leave-latency sweep described by ``spec``."""
+    spec = spec.resolved(_PRESETS)
+    return run_leave_latency(
+        latencies=tuple(spec.latencies),
+        protocol_name=spec.protocol,
+        independent_loss_rate=spec.independent_loss_rate,
+        shared_loss_rate=spec.shared_loss_rate,
+        num_receivers=spec.num_receivers,
+        duration_units=spec.duration_units,
+        repetitions=spec.repetitions,
+        base_seed=spec.base_seed,
+        engine=spec.engine,
+    )
+
+
+def _records(result: LeaveLatencyResult) -> List[Dict[str, object]]:
+    return [
+        {
+            "section": "redundancy vs leave latency",
+            "protocol": result.protocol,
+            "leave_latency": latency,
+            "redundancy": result.redundancy[index],
+            "mean_receiver_rate": result.mean_receiver_rate[index],
+        }
+        for index, latency in enumerate(result.latencies)
+    ]
+
+
+def _verdict(result: LeaveLatencyResult) -> Verdict:
+    ok = result.redundancy_increases_with_latency
+    return Verdict(
+        ok, "longer leave latency increases redundancy" if ok else "shape differs"
+    )
+
+
+EXPERIMENT = register(
+    Experiment(
+        key="leave_latency",
+        title="Extension: leave latency",
+        spec_cls=LeaveLatencySpec,
+        runner=_run,
+        to_records=_records,
+        judge=_verdict,
+    )
+)

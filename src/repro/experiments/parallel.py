@@ -9,6 +9,10 @@ executor on top of :class:`concurrent.futures.ProcessPoolExecutor`:
 * :func:`parallel_map` — apply a picklable function to a list of argument
   tuples, preserving input order; ``jobs=1`` (the default everywhere)
   degrades to a plain loop in-process, so serial behaviour is unchanged.
+  Experiment-level fan-out (:func:`repro.experiments.runner.run_specs`)
+  rides on this: each worker receives a plain ``(key, spec)`` pair and
+  resolves the registered experiment after import, so only frozen spec
+  dataclasses — never closures — cross the process boundary.
 * :func:`task_seeds` — the canonical per-task seed schedule
   (``base_seed + index``), shared by serial and parallel paths so that the
   two produce identical results.

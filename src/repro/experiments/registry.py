@@ -1,0 +1,238 @@
+"""The experiment registry: one uniform entry per paper artefact.
+
+Each experiment module registers a single :class:`Experiment` describing how
+to run it from a spec (:meth:`Experiment.run`), how its result is judged
+against the paper (:meth:`Experiment.verdict`), and how its data points
+serialise (the record rows inside :class:`~repro.experiments.api.ExperimentResult`).
+The runner, the parallel executor, and the ``python -m repro`` CLI all
+iterate this registry — workers are handed a plain ``(key, spec)`` pair and
+resolve the experiment here, so nothing but dataclasses ever crosses a
+process boundary.
+
+>>> from repro.experiments.registry import get_experiment
+>>> result = get_experiment("figure1").run()
+>>> result.verdict.ok
+True
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+from ..errors import ExperimentError
+from .api import ExperimentResult, ExperimentSpec, Verdict
+
+__all__ = [
+    "Experiment",
+    "register",
+    "get_experiment",
+    "experiment_keys",
+    "all_experiments",
+    "select_experiments",
+]
+
+#: Modules that register experiments, in canonical execution order.  Loaded
+#: lazily on first registry access so importing :mod:`repro.experiments.api`
+#: alone stays cheap and cycle-free.
+_EXPERIMENT_MODULES: Tuple[str, ...] = (
+    "repro.experiments.figure1",
+    "repro.experiments.figure2",
+    "repro.experiments.figure3",
+    "repro.experiments.figure4",
+    "repro.experiments.figure5",
+    "repro.experiments.figure6",
+    "repro.experiments.fixed_layers",
+    "repro.experiments.figure7",
+    "repro.experiments.figure8",
+    "repro.experiments.layer_ablation",
+    "repro.experiments.loss_correlation",
+    "repro.experiments.mixed_sessions",
+    "repro.experiments.active_nodes",
+    "repro.experiments.leave_latency",
+    "repro.experiments.burstiness",
+)
+
+#: Canonical execution order of the built-in experiment keys (paper figures
+#: first, then ablations and extensions).  Keys registered by third parties
+#: sort after these, in registration order.
+_CANONICAL_KEY_ORDER: Tuple[str, ...] = (
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "fixed_layers",
+    "figure7",
+    "figure8",
+    "figure8_panel",
+    "layer_ablation",
+    "loss_correlation",
+    "mixed_sessions",
+    "active_nodes",
+    "leave_latency",
+    "burstiness",
+)
+
+_REGISTRY: Dict[str, "Experiment"] = {}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: key, title, spec class, and behaviour.
+
+    ``runner`` produces the experiment's rich in-memory payload (the
+    module's result dataclass) from a spec; ``to_records`` flattens that
+    payload into JSON-safe record rows; ``judge`` checks the paper's
+    qualitative claim.  :meth:`run` composes the three into the uniform
+    :class:`~repro.experiments.api.ExperimentResult` envelope.
+
+    ``default`` marks experiments included in the full-suite sweeps
+    (``run_all`` / ``python -m repro run all`` / ``verify``); non-default
+    entries (e.g. the single-panel ``figure8_panel``) remain invocable by
+    key.
+    """
+
+    key: str
+    title: str
+    spec_cls: Type[ExperimentSpec]
+    runner: Callable[[ExperimentSpec], Any]
+    to_records: Callable[[Any], Sequence[Mapping[str, Any]]]
+    judge: Callable[[Any], Verdict]
+    default: bool = True
+
+    def make_spec(self, **overrides: Any) -> ExperimentSpec:
+        """Build this experiment's spec from keyword overrides."""
+        return self.spec_cls(**overrides)
+
+    def run(self, spec: Optional[ExperimentSpec] = None, **overrides: Any) -> ExperimentResult:
+        """Execute the experiment and wrap the outcome in a typed envelope.
+
+        Pass a prebuilt ``spec`` or spec-field ``overrides`` (not both).
+        The envelope carries the spec echo, the record rows, the verdict,
+        the simulator's RNG scheme version, and the wall time; the rich
+        payload object rides along in-memory as ``result.payload``.
+        """
+        from ..simulator.engine import RNG_SCHEME_VERSION
+
+        if spec is None:
+            spec = self.make_spec(**overrides)
+        elif overrides:
+            raise ExperimentError("pass either a spec or field overrides, not both")
+        if not isinstance(spec, self.spec_cls):
+            raise ExperimentError(
+                f"experiment {self.key!r} expects a {self.spec_cls.__name__}, "
+                f"got {type(spec).__name__}"
+            )
+        start = time.perf_counter()
+        payload = self.runner(spec)
+        wall_time = time.perf_counter() - start
+        return ExperimentResult(
+            key=self.key,
+            spec=spec,
+            records=tuple(dict(record) for record in self.to_records(payload)),
+            verdict=self.judge(payload),
+            rng_scheme_version=RNG_SCHEME_VERSION,
+            wall_time_seconds=wall_time,
+            payload=payload,
+        )
+
+    def verdict(self, result: ExperimentResult) -> Verdict:
+        """The verdict for a result of this experiment.
+
+        Recomputed from the rich payload when the result was produced
+        in-process; for deserialised results the stored verdict is
+        authoritative (the payload does not survive serialisation).
+        """
+        if result.key != self.key:
+            raise ExperimentError(
+                f"result key {result.key!r} does not belong to experiment {self.key!r}"
+            )
+        if result.payload is not None:
+            return self.judge(result.payload)
+        return result.verdict
+
+
+def register(experiment: Experiment) -> Experiment:
+    """Add an experiment to the registry (module-import time); returns it.
+
+    Duplicate keys are rejected so two modules can never silently shadow
+    each other's entries.
+    """
+    existing = _REGISTRY.get(experiment.key)
+    if existing is not None and existing is not experiment:
+        raise ExperimentError(f"experiment key {experiment.key!r} registered twice")
+    _REGISTRY[experiment.key] = experiment
+    return experiment
+
+
+def _load() -> None:
+    """Import every experiment module so its ``register`` call has run."""
+    for module_name in _EXPERIMENT_MODULES:
+        importlib.import_module(module_name)
+
+
+def get_experiment(key: str) -> Experiment:
+    """Look up one experiment by registry key (raises on unknown keys)."""
+    _load()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment key {key!r}; valid: {experiment_keys(default_only=False)}"
+        ) from None
+
+
+def experiment_keys(default_only: bool = True) -> List[str]:
+    """Registered keys in execution order.
+
+    ``default_only`` (the default) lists the experiments that make up the
+    full-suite sweep; pass ``False`` to include standalone entries such as
+    ``figure8_panel``.
+    """
+    return [e.key for e in all_experiments(default_only=default_only)]
+
+
+def all_experiments(default_only: bool = True) -> List[Experiment]:
+    """Registered experiments in execution order (see :func:`experiment_keys`)."""
+    _load()
+    registered = list(_REGISTRY.values())
+    position = {key: index for index, key in enumerate(_CANONICAL_KEY_ORDER)}
+    ordered = sorted(
+        range(len(registered)),
+        key=lambda index: (
+            position.get(registered[index].key, len(_CANONICAL_KEY_ORDER)),
+            index,
+        ),
+    )
+    return [
+        registered[index]
+        for index in ordered
+        if registered[index].default or not default_only
+    ]
+
+
+def select_experiments(keys: Optional[Sequence[str]] = None) -> List[Experiment]:
+    """Resolve a key subset to experiments, preserving registry order.
+
+    ``None`` (or an empty sequence) selects the default suite.  Named keys
+    may include non-default entries like ``figure8_panel``; unknown keys
+    raise :class:`KeyError` listing the valid ones.  Shared by
+    :func:`repro.experiments.runner.run_all` and the ``python -m repro``
+    CLI so both validate and order selections identically.
+    """
+    if not keys:
+        return all_experiments()
+    valid = [experiment.key for experiment in all_experiments(default_only=False)]
+    unknown = sorted(set(keys) - set(valid))
+    if unknown:
+        raise KeyError(f"unknown experiment keys {unknown}; valid: {valid}")
+    wanted = set(keys)
+    return [
+        experiment
+        for experiment in all_experiments(default_only=False)
+        if experiment.key in wanted
+    ]

@@ -1,12 +1,17 @@
-"""Run every experiment and print the regenerated tables.
+"""Run registered experiments and aggregate their typed results.
 
-``python -m repro.experiments.runner`` regenerates all figures of the paper
-(and the ablations) at the default reduced scale and prints each as a table,
-together with a one-line verdict on whether the paper's qualitative claim is
-reproduced.  Use ``--full`` for the paper-scale Figure 8 sweep (slower) and
-``--jobs N`` to fan the experiments across ``N`` worker processes (every
-experiment carries its own fixed seeds, so the results and verdicts are
-identical to the serial run).
+This module is the execution layer over
+:mod:`repro.experiments.registry`: :func:`run_specs` executes a list of
+``(key, spec)`` pairs (optionally across worker processes — workers are
+handed only the key and the picklable spec and resolve the experiment from
+the registry themselves), and :func:`run_all` is the historical entry point
+returning ``(title, result, verdict-string)`` triples for every registered
+experiment.
+
+``python -m repro.experiments.runner`` remains the legacy flag-style CLI
+(``--full``, ``--jobs``, ``--only``, ``--engine``); the primary command-line
+surface is the subcommand CLI in :mod:`repro.__main__`
+(``python -m repro list | run | verify``).
 """
 
 from __future__ import annotations
@@ -14,128 +19,43 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from .active_nodes import run_active_nodes
-from .burstiness import run_burstiness
-from .figure1 import run_figure1
-from .figure2 import run_figure2
-from .figure3 import run_figure3
-from .figure4 import run_figure4
-from .figure5 import run_figure5
-from .figure6 import run_figure6
-from .figure7 import run_figure7
-from .figure8 import PAPER_INDEPENDENT_LOSS_RATES, run_figure8
-from .fixed_layers import run_fixed_layers
-from .layer_ablation import run_layer_ablation
-from .leave_latency import run_leave_latency
-from .loss_correlation import run_loss_correlation
-from .mixed_sessions import run_mixed_sessions
+from .api import ExperimentResult, ExperimentSpec
 from .parallel import parallel_map
+from .registry import experiment_keys, get_experiment, select_experiments
 
-__all__ = ["run_all", "main", "EXPERIMENT_KEYS"]
-
-
-def _run_figure8_scaled(full_scale: bool, jobs: int = 1, engine: str = "batched"):
-    # Figure 8 dominates the full-scale run, so it additionally fans its
-    # (protocol, loss-rate) points across workers; with jobs=1 this is the
-    # plain serial sweep (with the batched engine stacking each protocol's
-    # points into one scan).
-    if not full_scale:
-        return run_figure8(jobs=jobs, engine=engine)
-    return run_figure8(
-        independent_loss_rates=PAPER_INDEPENDENT_LOSS_RATES,
-        num_receivers=100,
-        duration_units=2000,
-        repetitions=5,
-        jobs=jobs,
-        engine=engine,
-    )
+__all__ = ["run_specs", "run_all", "main", "EXPERIMENT_KEYS"]
 
 
-#: key -> (display name, runner(full_scale, jobs, engine) -> result, verdict(result) -> str).
-#: Workers are handed only the registry *key* (via ``_run_experiment_by_key``)
-#: and resolve the runner after importing this module, so the entries
-#: themselves never need to be pickled.
-_EXPERIMENTS: List[Tuple[str, str, Callable, Callable]] = [
-    ("figure1", "Figure 1 (sample network)",
-     lambda full, jobs, engine: run_figure1(),
-     lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
-    ("figure2", "Figure 2 (single-rate limitations)",
-     lambda full, jobs, engine: run_figure2(),
-     lambda r: "matches paper" if (r.single_rate_matches_paper and r.multi_rate_is_more_max_min_fair)
-     else "MISMATCH"),
-    ("figure3", "Figure 3 (receiver removal)",
-     lambda full, jobs, engine: run_figure3(),
-     lambda r: "matches paper" if r.demonstrates_both_directions else "MISMATCH"),
-    ("figure4", "Figure 4 (redundancy vs session fairness)",
-     lambda full, jobs, engine: run_figure4(),
-     lambda r: "matches paper" if r.matches_paper else "MISMATCH"),
-    ("figure5", "Figure 5 (random-join redundancy)",
-     lambda full, jobs, engine: run_figure5(),
-     lambda r: "bounded as predicted" if r.respects_upper_bounds else "MISMATCH"),
-    ("figure6", "Figure 6 (redundancy vs fair rate)",
-     lambda full, jobs, engine: run_figure6(),
-     lambda r: f"formula vs water-filling max error {r.cross_check_max_error:.2e}"),
-    ("fixed_layers", "Section 3 fixed-layer example",
-     lambda full, jobs, engine: run_fixed_layers(),
-     lambda r: "no max-min fair allocation exists" if r.no_max_min_fair_exists else "MISMATCH"),
-    ("figure7", "Figure 7(a) Markov analysis",
-     lambda full, jobs, engine: run_figure7(),
-     lambda r: "equal loss rates give the highest redundancy"
-     if r.equal_loss_is_worst else "MISMATCH"),
-    ("figure8", "Figure 8 (protocol redundancy)",
-     _run_figure8_scaled,
-     lambda r: "coordinated protocol lowest; below 2.5"
-     if (r.low_shared_loss.coordinated_is_lowest
-         and r.low_shared_loss.max_redundancy("coordinated") < 2.5)
-     else "shape differs"),
-    ("layer_ablation", "Ablation: layer count",
-     lambda full, jobs, engine: run_layer_ablation(),
-     lambda r: "more layers never increase redundancy"
-     if r.never_worse_than_single_layer else "MISMATCH"),
-    ("loss_correlation", "Ablation: loss correlation",
-     lambda full, jobs, engine: run_loss_correlation(),
-     lambda r: "correlated loss lowers redundancy"
-     if r.all_protocols_benefit_from_correlation else "shape differs"),
-    ("mixed_sessions", "Ablation: mixed session types (Lemma 3)",
-     lambda full, jobs, engine: run_mixed_sessions(),
-     lambda r: "ordering monotone and Theorem 2 holds"
-     if (r.ordering_is_monotone and r.theorem2_holds_throughout) else "MISMATCH"),
-    ("active_nodes", "Extension: active-node coordination",
-     lambda full, jobs, engine: run_active_nodes(),
-     lambda r: "redundancy of one is feasible"
-     if (r.active_node_redundancy_near_one and r.active_node_is_lowest)
-     else "shape differs"),
-    ("leave_latency", "Extension: leave latency",
-     lambda full, jobs, engine: run_leave_latency(),
-     lambda r: "longer leave latency increases redundancy"
-     if r.redundancy_increases_with_latency else "shape differs"),
-    ("burstiness", "Extension: bursty loss",
-     lambda full, jobs, engine: run_burstiness(),
-     lambda r: "protocol ordering robust to burstiness"
-     if r.ordering_preserved else "shape differs"),
-]
-
-#: Keys accepted by ``run_all(only=...)``, in execution order.
-EXPERIMENT_KEYS: Tuple[str, ...] = tuple(key for key, _, _, _ in _EXPERIMENTS)
+#: Keys of the default experiment suite accepted by ``run_all(only=...)``,
+#: in execution order (standalone entries like ``figure8_panel`` are also
+#: accepted but not listed here; see ``experiment_keys(default_only=False)``).
+EXPERIMENT_KEYS: Tuple[str, ...] = tuple(experiment_keys())
 
 
-def _run_experiment_by_key(key: str, full_scale: bool, jobs: int, engine: str = "batched"):
-    """Execute one experiment by registry key (picklable worker entry point).
+def _run_task(key: str, spec: ExperimentSpec) -> ExperimentResult:
+    """Worker entry point: run one registered experiment from its spec.
 
-    Returns ``(result, elapsed_seconds)``; timing happens in the worker so
-    the per-experiment breakdown survives the multi-process path.  ``jobs``
-    reaches the runners that can fan out internally (Figure 8's point sweep,
-    which dominates the full-scale run), as does the simulation ``engine``
-    selection.
+    Picklable by construction — workers receive only the ``(key, spec)``
+    pair and resolve the experiment from the registry after import, so no
+    callables cross the process boundary.  Wall time is measured inside
+    :meth:`~repro.experiments.registry.Experiment.run`, so per-experiment
+    timings survive the multi-process path.
     """
-    for candidate, _name, runner, _verdict in _EXPERIMENTS:
-        if candidate == key:
-            start = time.time()
-            result = runner(full_scale, jobs, engine)
-            return result, time.time() - start
-    raise KeyError(f"unknown experiment key {key!r}")
+    return get_experiment(key).run(spec)
+
+
+def run_specs(
+    tasks: Sequence[Tuple[str, ExperimentSpec]],
+    jobs: int = 1,
+) -> List[ExperimentResult]:
+    """Run ``(key, spec)`` pairs, preserving order; fan out over ``jobs``.
+
+    Every spec carries fixed seeds, so results are identical for any
+    ``jobs`` value (only the envelope's wall times differ).
+    """
+    return parallel_map(_run_task, list(tasks), jobs=jobs)
 
 
 def run_all(
@@ -144,12 +64,20 @@ def run_all(
     only: Optional[Sequence[str]] = None,
     engine: str = "batched",
 ) -> List[Tuple[str, object, str]]:
-    """Run every experiment; return (name, result, verdict) triples.
+    """Run every registered experiment; return (title, result, verdict) triples.
+
+    The historical aggregate entry point: ``result`` is each experiment's
+    rich payload object (``Figure1Result``, ...) and the verdict string
+    carries a trailing ``(<elapsed>s)`` timing suffix.  For the typed
+    envelopes use :func:`run_specs` or the registry directly.
 
     Parameters
     ----------
     full_scale:
-        Run Figure 8 at paper scale (100 receivers, full loss sweep).
+        Run Figure 8 at paper scale (100 receivers, full loss sweep); the
+        other experiments stay at reduced scale, matching the historical
+        ``--full`` behaviour.  For a uniform paper-scale sweep build the
+        specs explicitly (``python -m repro run all --scale paper``).
     jobs:
         Number of worker processes.  ``1`` (the default) runs everything
         in-process; larger values fan the experiments out via
@@ -165,28 +93,28 @@ def run_all(
         (default) or ``"reference"``.  Results are identical; only the
         runtime differs.
     """
-    if only is not None:
-        unknown = sorted(set(only) - set(EXPERIMENT_KEYS))
-        if unknown:
-            raise KeyError(f"unknown experiment keys {unknown}; valid: {list(EXPERIMENT_KEYS)}")
-        selected = [entry for entry in _EXPERIMENTS if entry[0] in set(only)]
-    else:
-        selected = list(_EXPERIMENTS)
-
-    outcomes = parallel_map(
-        _run_experiment_by_key,
-        [(key, full_scale, jobs, engine) for key, _, _, _ in selected],
-        jobs=jobs,
-    )
+    if only is not None and not list(only):
+        return []
+    experiments = select_experiments(only)
+    tasks = []
+    for experiment in experiments:
+        scale = "paper" if (full_scale and experiment.key == "figure8") else "reduced"
+        tasks.append((experiment.key, experiment.make_spec(scale=scale, jobs=jobs, engine=engine)))
+    results = run_specs(tasks, jobs=jobs)
     # Verdict format matches the original runner: "<verdict> (<elapsed>s)".
     # The timing suffix is the only jobs-dependent part of the output.
     return [
-        (name, result, f"{verdict(result)} ({elapsed:.1f}s)")
-        for (_key, name, _runner, verdict), (result, elapsed) in zip(selected, outcomes)
+        (
+            experiment.title,
+            result.payload,
+            f"{result.verdict.summary} ({result.wall_time_seconds:.1f}s)",
+        )
+        for experiment, result in zip(experiments, results)
     ]
 
 
 def main(argv: List[str] | None = None) -> int:
+    """Legacy flag-style CLI (``--full``/``--jobs``/``--only``/``--engine``)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--full",
@@ -202,7 +130,7 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument(
         "--only",
         nargs="*",
-        choices=EXPERIMENT_KEYS,
+        choices=list(experiment_keys(default_only=False)),
         default=None,
         help="run only the named experiments",
     )

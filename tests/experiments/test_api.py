@@ -1,0 +1,259 @@
+"""The unified experiment API: specs, registry, typed results, round-trips.
+
+Every registered experiment must produce an
+:class:`~repro.experiments.api.ExperimentResult` that survives a lossless
+JSON round-trip (``from_dict(to_dict()) == result``), echo its spec and the
+RNG scheme version, and agree with the historical ``run_*`` wrappers.  The
+simulation-heavy experiments run at reduced scale with small grid overrides
+so the whole module stays fast.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    get_experiment,
+    experiment_keys,
+    run_figure4,
+    run_figure6,
+    run_figure7,
+    run_mixed_sessions,
+)
+from repro.experiments.api import (
+    RESULT_SCHEMA_VERSION,
+    ExperimentResult,
+    ExperimentSpec,
+    Verdict,
+)
+from repro.experiments.figure8 import Figure8Spec
+from repro.simulator import RNG_SCHEME_VERSION
+
+#: Reduced-scale spec overrides keeping the simulation-backed experiments
+#: small enough for the tier-1 suite; theory experiments need none.
+FAST_OVERRIDES = {
+    "figure8": dict(
+        independent_loss_rates=(0.02, 0.08),
+        num_receivers=8,
+        duration_units=200,
+        repetitions=2,
+    ),
+    "figure8_panel": dict(
+        independent_loss_rates=(0.02, 0.08),
+        num_receivers=8,
+        duration_units=200,
+        repetitions=2,
+    ),
+    "active_nodes": dict(
+        independent_loss_rates=(0.05,),
+        num_receivers=10,
+        duration_units=200,
+        repetitions=2,
+    ),
+    "burstiness": dict(
+        burst_lengths=(1.0, 4.0), num_receivers=10, duration_units=200, repetitions=2
+    ),
+    "leave_latency": dict(
+        latencies=(0.0, 2.0), num_receivers=10, duration_units=200, repetitions=2
+    ),
+    "loss_correlation": dict(
+        correlated_fractions=(0.0, 1.0),
+        num_receivers=10,
+        duration_units=200,
+        repetitions=2,
+    ),
+}
+
+ALL_KEYS = experiment_keys(default_only=False)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """One reduced-scale result per registered experiment (computed once)."""
+    return {
+        key: get_experiment(key).run(scale="reduced", **FAST_OVERRIDES.get(key, {}))
+        for key in ALL_KEYS
+    }
+
+
+class TestRegistry:
+    def test_sixteen_experiments_registered(self):
+        assert len(ALL_KEYS) == 16
+        assert len(set(ALL_KEYS)) == 16
+
+    def test_default_suite_excludes_standalone_panel(self):
+        default = experiment_keys()
+        assert "figure8_panel" not in default
+        assert "figure8" in default
+        assert len(default) == 15
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("not-an-experiment")
+
+    def test_spec_or_overrides_not_both(self):
+        experiment = get_experiment("figure1")
+        with pytest.raises(ExperimentError):
+            experiment.run(experiment.make_spec(), scale="paper")
+
+    def test_wrong_spec_class_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("figure1").run(Figure8Spec())
+
+
+class TestSpec:
+    def test_scale_validated(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(scale="gigantic")
+
+    def test_engine_validated(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(engine="warp-drive")
+
+    def test_jobs_validated(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec(jobs=0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSpec.from_dict({"scale": "reduced", "bogus": 1})
+
+    def test_replace_revalidates(self):
+        spec = ExperimentSpec()
+        with pytest.raises(ExperimentError):
+            spec.replace(scale="nope")
+
+    def test_round_trip_restores_tuples(self):
+        spec = Figure8Spec(independent_loss_rates=(0.02, 0.08))
+        rebuilt = Figure8Spec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.independent_loss_rates == (0.02, 0.08)
+
+
+@pytest.mark.parametrize("key", ALL_KEYS)
+class TestEnvelope:
+    def test_json_round_trip_is_lossless(self, results, key):
+        result = results[key]
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert ExperimentResult.from_json(result.to_json()) == result
+
+    def test_envelope_metadata(self, results, key):
+        result = results[key]
+        assert result.key == key
+        assert result.rng_scheme_version == RNG_SCHEME_VERSION
+        assert result.wall_time_seconds >= 0.0
+        assert result.records, "every experiment must emit records"
+        assert isinstance(result.verdict, Verdict)
+        assert result.verdict.ok, f"{key} should reproduce the paper at reduced scale"
+        data = result.to_dict()
+        assert data["schema_version"] == RESULT_SCHEMA_VERSION
+        assert data["spec"]["scale"] == "reduced"
+
+    def test_records_are_json_safe(self, results, key):
+        # json.dumps with allow_nan=False raises on anything non-portable.
+        text = json.dumps(list(results[key].records), allow_nan=False)
+        assert json.loads(text) == list(results[key].records)
+
+    def test_table_renders_from_records(self, results, key):
+        rebuilt = ExperimentResult.from_dict(results[key].to_dict())
+        assert rebuilt.payload is None
+        assert rebuilt.table().strip()
+
+    def test_experiment_verdict_method(self, results, key):
+        experiment = get_experiment(key)
+        result = results[key]
+        assert experiment.verdict(result) == result.verdict
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert experiment.verdict(rebuilt) == result.verdict
+
+
+class TestWrapperEquivalence:
+    """The historical run_* wrappers return the same results as the registry."""
+
+    def test_figure4(self, results):
+        wrapper = run_figure4()
+        assert type(results["figure4"].payload) is type(wrapper)
+        assert wrapper.matches_paper
+        assert results["figure4"].records == tuple(
+            get_experiment("figure4").to_records(wrapper)
+        )
+
+    def test_figure6(self, results):
+        wrapper = run_figure6()
+        assert results["figure6"].records == tuple(
+            get_experiment("figure6").to_records(wrapper)
+        )
+
+    def test_figure7(self, results):
+        wrapper = run_figure7()
+        assert results["figure7"].records == tuple(
+            get_experiment("figure7").to_records(wrapper)
+        )
+
+    def test_mixed_sessions(self, results):
+        wrapper = run_mixed_sessions()
+        assert results["mixed_sessions"].records == tuple(
+            get_experiment("mixed_sessions").to_records(wrapper)
+        )
+
+    def test_all_payload_types_match_wrapper_return_annotations(self, results):
+        # Every payload is the module's documented result dataclass.
+        import repro.experiments as experiments
+
+        expected = {
+            "figure1": experiments.Figure1Result,
+            "figure2": experiments.Figure2Result,
+            "figure3": experiments.Figure3Result,
+            "figure4": experiments.Figure4Result,
+            "figure5": experiments.Figure5Result,
+            "figure6": experiments.Figure6Result,
+            "figure7": experiments.Figure7Result,
+            "figure8": experiments.Figure8Result,
+            "figure8_panel": experiments.Figure8Panel,
+            "fixed_layers": experiments.FixedLayerResult,
+            "layer_ablation": experiments.LayerAblationResult,
+            "loss_correlation": experiments.LossCorrelationResult,
+            "mixed_sessions": experiments.MixedSessionsResult,
+            "active_nodes": experiments.ActiveNodeResult,
+            "leave_latency": experiments.LeaveLatencyResult,
+            "burstiness": experiments.BurstinessResult,
+        }
+        for key, result in results.items():
+            assert type(result.payload) is expected[key], key
+
+
+class TestDeterminism:
+    def test_figure8_serial_vs_jobs2_byte_identical_json(self):
+        """Serial and jobs=2 runs of the same figure8 workload match byte-for-byte."""
+        overrides = FAST_OVERRIDES["figure8"]
+        experiment = get_experiment("figure8")
+        serial = experiment.run(scale="reduced", jobs=1, **overrides)
+        parallel = experiment.run(scale="reduced", jobs=2, **overrides)
+        assert serial.canonical_json() == parallel.canonical_json()
+        # The full envelope still differs only in wall time and the jobs echo.
+        assert serial.records == parallel.records
+        assert serial.verdict == parallel.verdict
+
+    def test_repeated_run_byte_identical(self):
+        experiment = get_experiment("figure7")
+        first = experiment.run()
+        second = experiment.run()
+        assert first.canonical_json() == second.canonical_json()
+
+
+class TestSpecEcho:
+    def test_explicit_overrides_echoed_not_resolved(self, results):
+        spec_echo = results["figure8"].to_dict()["spec"]
+        assert spec_echo["num_receivers"] == 8
+        assert spec_echo["independent_loss_rates"] == [0.02, 0.08]
+
+    def test_preset_fields_stay_none_in_echo(self):
+        result = get_experiment("layer_ablation").run()
+        assert result.to_dict()["spec"]["layer_counts"] is None
+        rebuilt = ExperimentResult.from_dict(result.to_dict())
+        assert rebuilt.spec == result.spec

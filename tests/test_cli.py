@@ -1,61 +1,208 @@
-"""Smoke tests for the command-line surface.
+"""Tests for the ``python -m repro`` subcommand CLI.
 
-Cheap, CI-friendly checks that the documented entry points parse their
-arguments and describe themselves: ``python -m repro --help`` (the
-top-level experiment runner) and its ``repro.experiments.runner`` alias.
-The full experiment sweep is exercised by the experiment tests; these only
-guard the CLI wiring.
+Covers the documented surface: ``list`` (text and JSON), ``run`` with the
+typed JSON result envelope (spec echo, RNG scheme version, lossless
+``from_dict`` round-trip), ``--out`` files, ``--set`` spec overrides,
+``verify`` exit codes, and the legacy flag-style
+``repro.experiments.runner`` entry point.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import subprocess
 import sys
 
 import pytest
 
-from repro.experiments.runner import EXPERIMENT_KEYS, main
+from repro.experiments.api import ExperimentResult
+from repro.experiments.runner import EXPERIMENT_KEYS, main as legacy_main
+from repro.__main__ import main
+
+#: Fast figure8 overrides for subprocess runs (reduced scale, tiny grids).
+FIGURE8_SET_FLAGS = [
+    "--set", "independent_loss_rates=[0.02,0.08]",
+    "--set", "num_receivers=8",
+    "--set", "duration_units=200",
+    "--set", "repetitions=2",
+]
 
 
 def _run_cli(*args: str) -> subprocess.CompletedProcess:
-    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
     env = dict(os.environ)
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
     return subprocess.run(
         [sys.executable, "-m", "repro", *args],
         capture_output=True,
         text=True,
         env=env,
-        timeout=120,
+        timeout=300,
     )
 
 
-def test_module_help_exits_cleanly():
-    completed = _run_cli("--help")
-    assert completed.returncode == 0
-    assert "--full" in completed.stdout
-    assert "--jobs" in completed.stdout
-    assert "--engine" in completed.stdout
-    assert "--only" in completed.stdout
+class TestHelp:
+    def test_top_level_help_lists_subcommands(self):
+        completed = _run_cli("--help")
+        assert completed.returncode == 0
+        for command in ("list", "run", "verify"):
+            assert command in completed.stdout
+
+    def test_run_help_documents_flags(self):
+        completed = _run_cli("run", "--help")
+        assert completed.returncode == 0
+        for flag in ("--scale", "--jobs", "--engine", "--format", "--out", "--set"):
+            assert flag in completed.stdout
+
+    def test_no_subcommand_is_an_error(self):
+        completed = _run_cli()
+        assert completed.returncode != 0
 
 
-def test_module_help_lists_experiments():
-    completed = _run_cli("--help")
-    for key in ("figure8", "figure1", "leave_latency"):
-        assert key in completed.stdout
+class TestList:
+    def test_list_shows_every_experiment(self):
+        completed = _run_cli("list")
+        assert completed.returncode == 0
+        for key in ("figure1", "figure8", "figure8_panel", "leave_latency"):
+            assert key in completed.stdout
+
+    def test_list_json_is_machine_readable(self):
+        completed = _run_cli("list", "--format", "json")
+        assert completed.returncode == 0
+        listing = json.loads(completed.stdout)
+        keys = {entry["key"] for entry in listing}
+        assert len(listing) == 16
+        assert {"figure8", "figure8_panel"} <= keys
+        by_key = {entry["key"]: entry for entry in listing}
+        assert by_key["figure8_panel"]["default"] is False
+        assert "scale" in by_key["figure8"]["spec_fields"]
 
 
-def test_runner_rejects_unknown_experiment():
-    completed = _run_cli("--only", "not-an-experiment")
-    assert completed.returncode != 0
+class TestRun:
+    def test_run_figure8_json_round_trips(self):
+        completed = _run_cli("run", "figure8", "--format", "json", *FIGURE8_SET_FLAGS)
+        assert completed.returncode == 0, completed.stderr
+        # Output is always a JSON array, one envelope per requested key.
+        documents = json.loads(completed.stdout)
+        assert isinstance(documents, list) and len(documents) == 1
+        data = documents[0]
+        # Spec echo and RNG scheme version ride in the envelope.
+        assert data["key"] == "figure8"
+        assert data["spec"]["scale"] == "reduced"
+        assert data["spec"]["num_receivers"] == 8
+        assert data["rng_scheme_version"] >= 3
+        assert data["verdict"]["ok"] is True
+        # Lossless round-trip through the typed result class.
+        result = ExperimentResult.from_dict(data)
+        assert result.to_dict() == data
+        assert list(result.records) == data["records"]
+
+    def test_run_text_prints_tables_and_verdicts(self):
+        completed = _run_cli("run", "figure1", "figure6")
+        assert completed.returncode == 0
+        assert "Figure 1 (sample network): matches paper" in completed.stdout
+        assert "receiver" in completed.stdout
+        assert "total wall time" in completed.stdout
+
+    def test_run_out_writes_envelope_files(self, tmp_path):
+        completed = _run_cli(
+            "run", "figure4", "--format", "json", "--out", str(tmp_path)
+        )
+        assert completed.returncode == 0
+        written = json.loads((tmp_path / "figure4.json").read_text())
+        assert ExperimentResult.from_dict(written).key == "figure4"
+
+    def test_run_rejects_unknown_key(self):
+        completed = _run_cli("run", "not-an-experiment")
+        assert completed.returncode != 0
+        assert "unknown experiment" in completed.stderr
+
+    def test_run_rejects_unknown_spec_field(self):
+        completed = _run_cli("run", "figure1", "--set", "bogus=1")
+        assert completed.returncode != 0
+        assert "unknown spec field" in completed.stderr
+
+    def test_run_rejects_unknown_engine(self):
+        completed = _run_cli("run", "figure1", "--engine", "warp-drive")
+        assert completed.returncode != 0
+
+    def test_main_callable_in_process(self, capsys):
+        assert main(["run", "figure1", "--format", "json"]) == 0
+        [data] = json.loads(capsys.readouterr().out)
+        assert data["key"] == "figure1"
+        assert data["verdict"]["ok"] is True
+
+    def test_set_may_override_common_flags(self, capsys):
+        # --set scale=... is an accepted spelling of --scale (the override wins).
+        assert main(["run", "figure1", "--format", "json", "--set", "scale=paper"]) == 0
+        [data] = json.loads(capsys.readouterr().out)
+        assert data["spec"]["scale"] == "paper"
+
+    def test_set_applies_where_declared_across_mixed_selection(self, capsys):
+        # figure1's spec has no repetitions field; figure8_panel's does — a
+        # sweep-wide override applies where it exists instead of aborting.
+        assert main([
+            "run", "figure1", "figure8_panel", "--format", "json",
+            "--set", "repetitions=2",
+            "--set", "num_receivers=8",
+            "--set", "duration_units=200",
+            "--set", "independent_loss_rates=[0.02,0.08]",
+        ]) == 0
+        documents = json.loads(capsys.readouterr().out)
+        by_key = {document["key"]: document for document in documents}
+        assert set(by_key) == {"figure1", "figure8_panel"}
+        assert by_key["figure8_panel"]["spec"]["repetitions"] == 2
+        assert "repetitions" not in by_key["figure1"]["spec"]
+
+    def test_all_combines_with_standalone_keys_and_validates(self):
+        from repro.__main__ import _select
+
+        keys = [experiment.key for experiment in _select(["all", "figure8_panel"])]
+        assert "figure8_panel" in keys
+        assert "figure1" in keys
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            _select(["all", "bogus"])
 
 
-def test_main_rejects_unknown_engine():
-    with pytest.raises(SystemExit):
-        main(["--engine", "warp-drive"])
+class TestVerify:
+    def test_verify_subset_exits_zero_on_match(self):
+        completed = _run_cli("verify", "figure1", "figure2", "figure3")
+        assert completed.returncode == 0
+        assert "figure1: ok" in completed.stdout
+        assert "3 experiments reproduce" in completed.stdout
+
+    def test_verify_reports_mismatch_with_exit_code(self, capsys, monkeypatch):
+        from repro.experiments import registry as registry_module
+        from repro.experiments.api import Verdict
+
+        experiment = registry_module.get_experiment("figure1")
+        broken = registry_module.Experiment(
+            key="figure1",
+            title=experiment.title,
+            spec_cls=experiment.spec_cls,
+            runner=experiment.runner,
+            to_records=experiment.to_records,
+            judge=lambda payload: Verdict(False, "forced mismatch"),
+        )
+        monkeypatch.setitem(registry_module._REGISTRY, "figure1", broken)
+        assert main(["verify", "figure1"]) == 1
+        out = capsys.readouterr().out
+        assert "figure1: MISMATCH" in out
 
 
-def test_experiment_keys_are_unique_and_nonempty():
-    assert len(EXPERIMENT_KEYS) == len(set(EXPERIMENT_KEYS))
-    assert "figure8" in EXPERIMENT_KEYS
+class TestLegacyRunner:
+    def test_legacy_main_runs_a_subset(self, capsys):
+        assert legacy_main(["--only", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "matches paper" in out
+
+    def test_legacy_main_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            legacy_main(["--engine", "warp-drive"])
+
+    def test_experiment_keys_are_unique_and_nonempty(self):
+        assert len(EXPERIMENT_KEYS) == len(set(EXPERIMENT_KEYS))
+        assert "figure8" in EXPERIMENT_KEYS
