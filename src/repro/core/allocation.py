@@ -16,7 +16,7 @@ The class is immutable; derived builders (:meth:`Allocation.with_rate`,
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
 
 from ..errors import AllocationError
 from ..network.network import LinkRateFunction, Network

@@ -14,7 +14,7 @@ readable message.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from ..errors import InfeasibleAllocationError
 from ..network.network import Network

@@ -23,7 +23,7 @@ are considered equal.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 from ..errors import AllocationError
 from .allocation import Allocation, DEFAULT_TOLERANCE

@@ -25,7 +25,7 @@ provided for completeness on unicast networks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..network.network import Network
 from ..network.session import ReceiverId

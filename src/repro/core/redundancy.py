@@ -30,7 +30,7 @@ observed link rate.
 from __future__ import annotations
 
 import math
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from ..errors import AllocationError
 

@@ -27,7 +27,7 @@ unless one of them is capped by its session's maximum desired rate).
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional
 
 from ..errors import AllocationError, FairnessComputationError
 from ..network.network import LinkRateFunction, Network

@@ -27,7 +27,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import ExperimentError
 
@@ -220,6 +220,22 @@ class ExperimentResult:
     wall_time_seconds: float
     payload: Any = field(default=None, compare=False, repr=False)
 
+    @property
+    def matches_current_rng_scheme(self) -> bool:
+        """Whether this build can reproduce the envelope's numbers.
+
+        Seeded results are only reproducible within one random-stream
+        layout (``repro.simulator.engine.RNG_SCHEME_VERSION``); an
+        envelope recorded under another scheme version — e.g. a scheme-3
+        baseline replayed on the scheme-4 counter-based Philox streams —
+        is statistically comparable but will not match byte-for-byte, so
+        determinism checks against :meth:`canonical_json` must gate on
+        this first.
+        """
+        from ..simulator.engine import RNG_SCHEME_VERSION
+
+        return self.rng_scheme_version == RNG_SCHEME_VERSION
+
     def table(self) -> str:
         """Render :attr:`records` as aligned plain-text tables."""
         from ..analysis.tables import format_records
@@ -273,7 +289,10 @@ class ExperimentResult:
         Two runs of the same workload produce byte-identical canonical JSON
         regardless of ``jobs``, ``engine``, or machine speed — the wall time
         and the :data:`EXECUTION_ONLY_FIELDS` of the spec echo are dropped.
-        This is the form the determinism regression tests compare.
+        This is the form the determinism regression tests compare.  The
+        RNG scheme version stays *in* the canonical form deliberately:
+        envelopes from different stream layouts are never byte-comparable
+        (see :attr:`matches_current_rng_scheme`).
         """
         data = self.to_dict()
         del data["wall_time_seconds"]

@@ -24,6 +24,7 @@ from ..errors import ExperimentError
 from ..layering.layers import ExponentialLayerScheme
 from ..protocols import make_protocol
 from ..simulator.engine import LayeredSessionSimulator
+from ..simulator.rng import spawn_run_entropy
 from ..simulator.loss import BernoulliLoss, GilbertElliottLoss, LossProcess, NoLoss
 from .api import ExperimentSpec, Verdict
 from .registry import Experiment, register
@@ -144,6 +145,7 @@ def run_burstiness(
         burst_lengths=tuple(burst_lengths),
         num_receivers=num_receivers,
     )
+    seeds = spawn_run_entropy(base_seed, repetitions)
     for protocol_name in protocols:
         curve: List[float] = []
         for burst_length in burst_lengths:
@@ -164,7 +166,7 @@ def run_burstiness(
                     duration_units=duration_units,
                     engine=engine,
                 )
-                run = simulator.run(seed=base_seed + repetition)
+                run = simulator.run(seed=seeds[repetition])
                 redundancies.append(run.redundancy)
             curve.append(mean(redundancies))
         result.redundancy[protocol_name] = curve

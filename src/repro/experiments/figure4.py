@@ -20,8 +20,6 @@ from ..core import (
     check_all_properties,
     constant_redundancy,
     max_min_fair_allocation,
-    per_receiver_link_fairness,
-    per_session_link_fairness,
 )
 from ..network import Network, figure4_network
 from ..network.topologies import FIGURE4_EXPECTED_RATES

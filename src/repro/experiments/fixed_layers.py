@@ -12,7 +12,7 @@ averages.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import format_table
 from ..core import max_min_fair_allocation

@@ -23,6 +23,7 @@ from ..errors import ExperimentError
 from ..layering.layers import ExponentialLayerScheme
 from ..protocols import make_protocol
 from ..simulator.engine import LayeredSessionSimulator
+from ..simulator.rng import spawn_run_entropy
 from ..simulator.loss import BernoulliLoss, NoLoss
 from .api import ExperimentSpec, Verdict
 from .registry import Experiment, register
@@ -119,6 +120,7 @@ def run_leave_latency(
         shared_loss_rate=shared_loss_rate,
         num_receivers=num_receivers,
     )
+    seeds = spawn_run_entropy(base_seed, repetitions)
     for latency in latencies:
         redundancies = []
         rates = []
@@ -135,7 +137,7 @@ def run_leave_latency(
                 leave_latency=latency,
                 engine=engine,
             )
-            run = simulator.run(seed=base_seed + repetition)
+            run = simulator.run(seed=seeds[repetition])
             redundancies.append(run.redundancy)
             rates.append(run.mean_receiver_rate)
         result.redundancy.append(mean(redundancies))

@@ -18,7 +18,7 @@ allocation.  The properties verified:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.tables import format_table
 from ..core import (

@@ -13,9 +13,9 @@ executor on top of :class:`concurrent.futures.ProcessPoolExecutor`:
   rides on this: each worker receives a plain ``(key, spec)`` pair and
   resolves the registered experiment after import, so only frozen spec
   dataclasses — never closures — cross the process boundary.
-* :func:`task_seeds` — the canonical per-task seed schedule
-  (``base_seed + index``), shared by serial and parallel paths so that the
-  two produce identical results.
+* :func:`task_seeds` — the canonical per-task seed schedule: one spawned
+  ``SeedSequence`` child per task (RNG scheme 4), shared by serial and
+  parallel paths so that the two produce identical results.
 * :func:`run_star_repetitions` — fan the repetitions of one modified-star
   redundancy measurement across workers.
 
@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, List, Sequence, Tuple
 
 from ..errors import SimulationError
+from ..simulator.rng import spawn_run_entropy
 
 __all__ = ["default_jobs", "parallel_map", "task_seeds", "run_star_repetitions"]
 
@@ -43,14 +44,21 @@ def default_jobs() -> int:
 
 
 def task_seeds(base_seed: int, num_tasks: int) -> List[int]:
-    """The per-task seed schedule: ``base_seed + index``.
+    """The per-task seed schedule: one ``SeedSequence.spawn`` child per task.
 
     Matches :func:`repro.simulator.metrics.replicate`, so replicated runs
     produce the same seeds whether executed serially or in parallel.
+    Through RNG scheme 3 this was ``base_seed + index``, under which two
+    sweeps with nearby base seeds silently shared most of their replicate
+    streams (base 0 and base 1 overlap in all but one seed); scheme 4
+    derives each task's 128-bit seed by spawning children of
+    ``SeedSequence(base_seed)``, so the schedules of *any* two distinct
+    base seeds are pairwise disjoint with overwhelming probability (and a
+    schedule is a prefix of every longer schedule for the same base).
     """
     if num_tasks < 1:
         raise SimulationError(f"num_tasks must be positive, got {num_tasks}")
-    return [base_seed + index for index in range(num_tasks)]
+    return spawn_run_entropy(base_seed, num_tasks)
 
 
 def parallel_map(
@@ -94,9 +102,9 @@ def run_star_repetitions(
     """Replicate a star simulation across workers; returns results in seed order.
 
     Equivalent to :func:`repro.simulator.metrics.replicate` over a freshly
-    built simulator per run, with the same ``base_seed + index`` seed
-    schedule.  ``protocol_name`` (rather than a protocol instance) keeps the
-    task payload picklable and gives every worker a fresh protocol.
+    built simulator per run, with the same :func:`task_seeds` schedule.
+    ``protocol_name`` (rather than a protocol instance) keeps the task
+    payload picklable and gives every worker a fresh protocol.
     """
     seeds = task_seeds(base_seed, repetitions)
     return parallel_map(

@@ -17,7 +17,7 @@ layers reduce redundancy (the Appendix E observation).
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..errors import LayeringError
 from .layers import LayerScheme

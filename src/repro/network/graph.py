@@ -15,7 +15,7 @@ provided for interoperability (e.g. drawing, alternative routing).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx

@@ -14,8 +14,7 @@ Section 2 is used by the fairness algorithms.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import NetworkModelError
 from .graph import NetworkGraph

@@ -21,8 +21,7 @@ session ``i`` crossing link ``j``) and ``R_j`` (all receivers crossing link
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Sequence, Set, Tuple
 
 from ..errors import RoutingError
 from .graph import NetworkGraph

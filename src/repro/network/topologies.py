@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..errors import NetworkModelError
 from .graph import NetworkGraph

@@ -48,6 +48,7 @@ class ActiveNodeProtocol(LayeredProtocol):
 
     name = "active-node"
     supports_batched_units = True
+    needs_dense_losses = True
 
     def __init__(
         self,

@@ -21,7 +21,7 @@ can update an entire session per packet.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -71,6 +71,14 @@ class LayeredProtocol(abc.ABC):
     #: leave this false.
     supports_stacked_runs: bool = False
 
+    #: Whether the protocol's batched path reads the dense per-packet loss
+    #: matrices (``UnitChunk.shared_lost`` / ``independent_lost``).  The
+    #: generic event scan only needs the combined ``receivable`` matrix,
+    #: which the engine builds by scattering sparse loss positions;
+    #: protocols that inspect raw loss outcomes (the active-node group
+    #: drain) set this true and get the dense arrays materialised.
+    needs_dense_losses: bool = False
+
     def stacking_key(self) -> tuple:
         """Identity for run stacking: two protocol instances may drive
         blocks of the same batched session only when their keys match.
@@ -102,6 +110,20 @@ class LayeredProtocol(abc.ABC):
     def _reset_state(self) -> None:
         """Hook for subclasses to (re)initialise their per-receiver arrays."""
 
+    def bind_run_streams(self, streams: Sequence, receivers_per_run: int) -> None:
+        """Attach the runs' counter-based random streams (RNG scheme 4).
+
+        Called by the simulation engine after :meth:`reset`, once per run
+        (or once with every stacked run's streams, in receiver-block
+        order).  ``streams`` holds one
+        :class:`repro.simulator.rng.RunStreams` per run.  The default does
+        nothing — only protocols that consume per-receiver randomness (the
+        Uncoordinated protocol's join draws) materialise streams from it;
+        protocols used outside an engine run simply never receive the call
+        and fall back to drawing from the generator passed to
+        :meth:`reset`.
+        """
+
     def _require_ready(self) -> np.random.Generator:
         if self._rng is None or self.scheme is None:
             raise ProtocolError(
@@ -110,7 +132,7 @@ class LayeredProtocol(abc.ABC):
         return self._rng
 
     # ------------------------------------------------------------------
-    # per-unit randomness (RNG scheme >= 3)
+    # per-unit randomness
     # ------------------------------------------------------------------
     def begin_unit(
         self,
@@ -118,15 +140,17 @@ class LayeredProtocol(abc.ABC):
         num_packets: int,
         num_receivers: Optional[int] = None,
     ) -> None:
-        """Pre-sample the protocol's randomness for one time unit.
+        """Pre-sample per-unit protocol randomness (reference engine only).
 
-        Called by *both* engines once per unit, immediately after the unit's
-        loss outcomes are sampled, so the random stream a seeded run
-        consumes is identical regardless of the engine.  ``num_receivers``
-        overrides the drawn block's width when the batched engine stacks
-        several runs (each run's generator draws for its own block).  The
-        default draws nothing; the Uncoordinated protocol draws its
-        per-packet join uniforms here.
+        Called by the per-packet reference loop once per unit with the
+        run's dedicated protocol stream, immediately after the unit's loss
+        outcomes are sampled.  The batched engine does **not** call this
+        hook (since RNG scheme 4 it samples no per-unit protocol
+        randomness): a subclass that pre-samples draws here must leave
+        ``supports_batched_units`` false so every engine setting routes it
+        to the reference loop; batched protocols take their randomness
+        from the counter streams delivered by :meth:`bind_run_streams`.
+        The default draws nothing, as do all built-in protocols.
         """
 
     def begin_chunk(
@@ -137,10 +161,10 @@ class LayeredProtocol(abc.ABC):
     ) -> None:
         """Prepare per-chunk scratch state (batched engine only).
 
-        Called by the batched engine before the :meth:`begin_unit` calls of
-        a chunk's units; protocols that pre-sample per-unit draws for the
-        scan size their chunk buffers here.  ``num_runs`` tells them how
-        many stacked run blocks each unit's draws arrive in.
+        Called by the batched engine before each chunk's loss sampling;
+        protocols with per-chunk scratch buffers size them here.
+        ``num_runs`` tells them how many stacked run blocks the chunk's
+        receiver rows are laid out in.
         """
 
     # ------------------------------------------------------------------
@@ -206,9 +230,14 @@ class LayeredProtocol(abc.ABC):
     def scan_congested(self, receivers: np.ndarray) -> None:
         """Per-receiver congestion events (mirror of :meth:`on_congestion`)."""
 
-    def scan_joined(self, receivers: np.ndarray) -> None:
+    def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
         """Per-receiver completed joins (mirror of :meth:`on_join`,
-        collapsed with the join packet's own reception)."""
+        collapsed with the join packet's own reception).
+        ``levels_receivers`` holds the receivers' post-join levels."""
+
+    def scan_left(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
+        """Per-receiver completed leaves (mirror of :meth:`on_leave`);
+        ``levels_receivers`` holds the receivers' post-leave levels."""
 
     # ------------------------------------------------------------------
     # per-packet hooks
@@ -252,6 +281,13 @@ class LayeredProtocol(abc.ABC):
 
     def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
         """Receivers in the mask completed a join (their level already raised)."""
+
+    def on_leave(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        """Receivers in the mask completed a leave (their level already
+        lowered).  Distinct from :meth:`on_congestion`, which fires for
+        every observed congestion event whether or not a layer is dropped;
+        protocols that re-arm per-level randomness (the Uncoordinated
+        next-join countdown) do so here."""
 
     # ------------------------------------------------------------------
     # shared helpers

@@ -175,7 +175,7 @@ class CoordinatedProtocol(LayeredProtocol):
     def scan_congested(self, receivers: np.ndarray) -> None:
         self._received_since_event[receivers] = 0
 
-    def scan_joined(self, receivers: np.ndarray) -> None:
+    def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
         self._received_since_event[receivers] = 0
 
     @property

@@ -62,8 +62,18 @@ class DeterministicProtocol(LayeredProtocol):
         # window need the (small) cumulative scan.
         counters = self._received_since_event[act]
         thresholds = self.join_threshold(levels_act)
-        totals = received.sum(axis=1, dtype=np.int64)
-        reachable = (counters + totals >= thresholds) & (levels_act < chunk.num_layers)
+        # The visible column count bounds the receptions a row can add, so
+        # rows whose counter deficit exceeds it are pruned before the
+        # (much costlier) per-row reception counts.
+        maybe = (counters + received.shape[1] >= thresholds) & (
+            levels_act < chunk.num_layers
+        )
+        if not maybe.any():
+            return None
+        midx = np.nonzero(maybe)[0]
+        totals = np.zeros(act.size, dtype=np.int64)
+        totals[midx] = received[midx].sum(axis=1, dtype=np.int64)
+        reachable = maybe & (counters + totals >= thresholds)
         if not reachable.any():
             return None
         ridx = np.nonzero(reachable)[0]
@@ -83,7 +93,7 @@ class DeterministicProtocol(LayeredProtocol):
     def scan_congested(self, receivers: np.ndarray) -> None:
         self._received_since_event[receivers] = 0
 
-    def scan_joined(self, receivers: np.ndarray) -> None:
+    def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
         self._received_since_event[receivers] = 0
 
     @property

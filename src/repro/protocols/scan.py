@@ -7,10 +7,10 @@ coupling — which layers the shared link carries — affects measurement, not
 protocol state, because a packet some receiver is subscribed to is always
 carried).  The scan below exploits that:
 
-* loss outcomes (and the Uncoordinated protocol's join draws) are
-  pre-sampled for a whole *chunk* of time units, which is possible because
-  the ``RNG_SCHEME_VERSION >= 2`` stream draws them for every scheduled
-  packet regardless of simulation state;
+* loss outcomes are pre-sampled for a whole *chunk* of time units from the
+  run's counter-based streams (``RNG_SCHEME_VERSION >= 4``), which is
+  possible because the loss draws cover every scheduled packet regardless
+  of simulation state;
 * each receiver's trajectory through the chunk is a sparse sequence of
   *events* (congestion-driven leaves/counter resets and joins) separated by
   stretches of plain packet reception;
@@ -29,9 +29,18 @@ layers no higher than the highest subscription among active receivers, and
 to a bounded window ahead of the scan front, so per-iteration work tracks
 the event spacing rather than the chunk size.
 
+The high-correlated-loss regime (Figure 8(b)) additionally rides a **fused
+event drain**: a synchronized (shared-loss) event congests many receivers
+at the same column, and the scan drains all of them in a single iteration
+— one vectorised pass applies every receiver's bulk reception credit and
+congestion reaction at once — after which only the window *segment past
+the drained column* is recomputed, with first-congestion candidates cached
+for the untouched rows.  Per-event cost therefore tracks the segment
+between synchronized events instead of the full receiver x window matrix.
+
 The scan produces results bit-for-bit identical to the per-packet reference
-engine; ``tests/simulator/test_engine_equivalence.py`` holds the proof
-obligations.
+engine for any window size or chunk size;
+``tests/simulator/test_engine_equivalence.py`` holds the proof obligations.
 """
 
 from __future__ import annotations
@@ -62,13 +71,16 @@ class UnitChunk:
     layers:
         Layer of every packet column (the unit pattern, tiled).
     shared_lost / independent_lost:
-        Pre-sampled loss outcomes: ``(n,)`` for the shared link and
+        Dense pre-sampled loss outcomes: ``(n,)`` for the shared link and
         receiver-major ``(num_receivers, n)`` for the fan-out links.  When
         several runs are stacked into one chunk, ``shared_lost`` holds one
-        row per run and ``receivable`` carries the combined outcome.
+        row per run.  Only materialised for protocols that declare
+        ``needs_dense_losses`` (the active-node group drain); the generic
+        scan reads ``receivable`` alone, which the engine scatters from
+        sparse loss positions.
     receivable:
-        Optional pre-combined reception outcome (``~shared & ~independent``
-        per receiver row); computed from the loss arrays when absent.
+        Pre-combined reception outcome (``~shared & ~independent`` per
+        receiver row); computed from the dense loss arrays when absent.
     cols_for_level:
         ``cols_for_level[l]`` lists the packet columns with ``layer <= l``
         — the packets a level-``l`` receiver can observe.
@@ -95,8 +107,8 @@ class UnitChunk:
     packets_per_unit: int
     num_layers: int
     layers: np.ndarray
-    shared_lost: np.ndarray
-    independent_lost: np.ndarray
+    shared_lost: Optional[np.ndarray]
+    independent_lost: Optional[np.ndarray]
     cols_for_level: Sequence[np.ndarray]
     observed_before: np.ndarray
     sync_cols: np.ndarray
@@ -153,25 +165,27 @@ def scan_chunk(
     :meth:`~repro.protocols.base.LayeredProtocol.scan_boundary` (join
     detection under frozen state) plus the bookkeeping mirrors
     :meth:`~repro.protocols.base.LayeredProtocol.scan_bulk_received`,
-    :meth:`~repro.protocols.base.LayeredProtocol.scan_congested` and
+    :meth:`~repro.protocols.base.LayeredProtocol.scan_congested`,
+    :meth:`~repro.protocols.base.LayeredProtocol.scan_left` and
     :meth:`~repro.protocols.base.LayeredProtocol.scan_joined`.
     """
-    n = chunk.num_packets
     num_receivers = levels.size
-    window = chunk.scan_window or n
 
     # Receiver-local reception outcome if subscribed: neither link lost it.
     receivable = chunk.receivable
     if receivable is None:
         receivable = ~chunk.independent_lost & ~chunk.shared_lost[None, :]
-    # Narrow dtypes keep the broadcast comparisons below memory-light.
-    layers = chunk.layers.astype(np.int16, copy=False)
 
     received_counts = np.zeros(num_receivers, dtype=np.int64)
     ev_cols: List[np.ndarray] = []
     ev_rec: List[np.ndarray] = []
     ev_old: List[np.ndarray] = []
     ev_new: List[np.ndarray] = []
+
+    n = chunk.num_packets
+    window = chunk.scan_window or n
+    # Narrow dtypes keep the broadcast comparisons below memory-light.
+    layers = chunk.layers.astype(np.int16, copy=False)
 
     everyone = np.arange(num_receivers)
     pos = np.zeros(num_receivers, dtype=np.int32)
@@ -199,8 +213,15 @@ def scan_chunk(
                 continue
 
         num_cols = cols.size
-        layer_row = layers[cols][None, :]
-        ok = receivable[:, cols]
+        if int(cols[-1]) - int(cols[0]) + 1 == num_cols:
+            # Contiguous column range (every layer observable): slice views
+            # instead of fancy-index copies.
+            span = slice(int(cols[0]), int(cols[-1]) + 1)
+            layer_row = layers[span][None, :]
+            ok = receivable[:, span]
+        else:
+            layer_row = layers[cols][None, :]
+            ok = receivable[:, cols]
         sub = layer_row <= levels.astype(np.int16)[:, None]
         recv = sub & ok
         cong = sub ^ recv  # subscribed and not received = congested
@@ -218,11 +239,14 @@ def scan_chunk(
             has_join, e_join = join
 
         # ---- drain the window's events, touching only changed rows ------
+        # First-congestion candidates are cached and refreshed only for the
+        # rows each iteration changed, so per-iteration work tracks the hit
+        # set instead of the full receiver x window matrix.
         iota = np.arange(num_cols, dtype=np.int32)
         truncate_at = -1
+        e_cong = cong.argmax(axis=1)
+        has_cong = cong[everyone, e_cong]
         while True:
-            e_cong = cong.argmax(axis=1)
-            has_cong = cong[everyone, e_cong]
             has_event = has_cong | has_join
             if not has_event.any():
                 break
@@ -252,11 +276,12 @@ def scan_chunk(
                     ev_old.append(levels[lidx])
                     levels[lidx] -= 1
                     ev_new.append(levels[lidx])
+                    protocol.scan_left(lidx, levels[lidx])
             jidx = hit[~hit_cong]
             if jidx.size:
                 # The join-triggering packet was itself received.
                 received_counts[jidx] += 1
-                protocol.scan_joined(jidx)
+                protocol.scan_joined(jidx, levels[jidx] + 1)
                 join_cols = event_cols[~hit_cong]
                 ev_cols.append(join_cols.astype(np.int64))
                 ev_rec.append(jidx)
@@ -281,20 +306,40 @@ def scan_chunk(
                 # next (wider) window re-examines everything beyond.
                 window_end = int(pos[hit].min())
                 break
-            # Refresh the changed rows (subscription, consumed prefix).
-            sub_hit = layer_row <= levels[hit].astype(np.int16)[:, None]
-            recv_hit = sub_hit & ok[hit]
+            # ---- fused segment refresh ------------------------------
+            # Every hit row's scan resumes at or beyond the earliest
+            # drained column, so only the window segment past it is
+            # recomputed.  Synchronized (shared-loss) events — where most
+            # rows drain the same column at once — therefore cost one
+            # short vectorised segment pass instead of a full-window
+            # recomputation per event generation.
+            resume = int(np.searchsorted(cols, int(pos[hit].min())))
+            recv[hit, :resume] = False
+            cong[hit, :resume] = False
+            if resume == num_cols:
+                # The drained column closed the window for these rows.
+                has_cong[hit] = False
+                has_join[hit] = False
+                continue
+            sub_hit = layer_row[:, resume:] <= levels[hit].astype(np.int16)[:, None]
+            recv_hit = sub_hit & ok[hit, resume:]
             cong_hit = sub_hit ^ recv_hit
-            valid_hit = cols[None, :] >= pos[hit][:, None]
+            valid_hit = cols[None, resume:] >= pos[hit][:, None]
             recv_hit &= valid_hit
             cong_hit &= valid_hit
-            recv[hit] = recv_hit
-            cong[hit] = cong_hit
-            join = protocol.scan_first_join(chunk, cols, hit, levels[hit], recv_hit, pos[hit], fresh=False)
+            recv[hit, resume:] = recv_hit
+            cong[hit, resume:] = cong_hit
+            segment_cong = cong_hit.argmax(axis=1)
+            e_cong[hit] = resume + segment_cong
+            has_cong[hit] = cong_hit[np.arange(hit.size), segment_cong]
+            join = protocol.scan_first_join(
+                chunk, cols[resume:], hit, levels[hit], recv_hit, pos[hit], fresh=False
+            )
             if join is None:
                 has_join[hit] = False
             else:
-                has_join[hit], e_join[hit] = join
+                has_join[hit], segment_join = join
+                e_join[hit] = resume + segment_join
 
         # ---- close the window: bulk everyone to its end ------------------
         if truncate_at >= 0:

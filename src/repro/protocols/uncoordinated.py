@@ -8,117 +8,178 @@ a join/leave event and the next join matches the paper's ``2^(2(i-1))``
 parameterisation.  Because each receiver draws independently, receivers that
 see identical loss patterns still drift apart in their layer subscriptions,
 which is what drives this protocol's higher redundancy in Figure 8.
+
+**Counter-based draws (RNG scheme 4).**  Between two join/leave events a
+receiver's level — and hence its per-received-packet join probability
+``q = 2^(-2(i-1))`` — is constant, so the number of received packets up to
+and including the next join is geometrically distributed.  Since scheme 4
+each receiver owns a counter-based Philox stream
+(:class:`repro.simulator.rng.ReceiverDrawStreams`) and consumes exactly one
+uniform per join/leave event, inverted through the geometric CDF into a
+*next-join countdown* of received packets.  The process law is identical to
+per-packet Bernoulli draws (geometric memorylessness), both engines agree
+bit for bit on the event sequence and therefore on every draw, and the
+batched scan materialises draws proportional to the event density instead
+of scheme 3's uniform for every ``receiver x scheduled packet``.  When the
+protocol is driven directly — outside an engine run, with no streams
+bound — :meth:`on_packet_received` falls back to drawing fresh per-packet
+uniforms from the generator passed to :meth:`reset`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from ..simulator.packets import Packet
+    from ..simulator.rng import ReceiverDrawStreams
 from ..errors import ProtocolError
 from .base import LayeredProtocol
 
 __all__ = ["UncoordinatedProtocol"]
 
+#: Next-join countdown of receivers at the top level (they cannot join, so
+#: no draw is consumed for them until a leave re-arms the countdown); large
+#: enough that per-reception decrements can never reach zero.
+_TOP_LEVEL_SENTINEL = np.int64(2) ** 62
+
 
 class UncoordinatedProtocol(LayeredProtocol):
-    """Random, memoryless joins; leaves on every congestion event.
-
-    Since ``RNG_SCHEME_VERSION >= 3`` the per-packet join uniforms are
-    pre-sampled once per time unit in :meth:`begin_unit` (one
-    receiver-major ``(receivers, packets)`` draw), so the per-packet
-    reference path and the batched scan read the same numbers from the
-    same stream.
-    When the protocol is driven directly — outside an engine run, with no
-    unit loaded — :meth:`on_packet_received` falls back to drawing fresh
-    uniforms per packet.
-    """
+    """Random, memoryless joins; leaves on every congestion event."""
 
     name = "uncoordinated"
     supports_batched_units = True
     supports_stacked_runs = True
 
     def _reset_state(self) -> None:
-        self._unit_draws = None
-        self._chunk_buffer = None
-        self._chunk_draw_exponents = None
-        self._chunk_runs = 1
-        self._fill_count = 0
+        self._streams: Optional["ReceiverDrawStreams"] = None
+        self._countdown = np.full(self.num_receivers, _TOP_LEVEL_SENTINEL)
+        # log(1 - q_l) per level (index 0 unused); level 1 has q = 1, whose
+        # -inf divisor maps any draw to countdown 1 without special-casing.
+        assert self.scheme is not None
+        levels = np.arange(self.scheme.num_layers + 1, dtype=np.float64)
+        levels[0] = 1.0  # index 0 unused; keep the table free of NaNs
+        with np.errstate(divide="ignore"):
+            self._log_miss = np.log1p(-self.join_probability_per_packet(levels))
 
-    def begin_unit(self, rng, num_packets, num_receivers=None):
-        count = self.num_receivers if num_receivers is None else num_receivers
-        if self._chunk_buffer is None:
-            self._unit_draws = rng.random((count, num_packets))
-            return
-        # Batched path: draw straight into this chunk's pre-sized buffer.
-        # Units arrive in order, with one block per stacked run inside each
-        # unit (the engine's sampling order).
-        unit = self._fill_count // self._chunk_runs
-        run = self._fill_count % self._chunk_runs
-        block = self._chunk_buffer[
-            run * count:(run + 1) * count,
-            unit * num_packets:(unit + 1) * num_packets,
+    def bind_run_streams(self, streams, receivers_per_run: int) -> None:
+        from ..simulator.rng import ReceiverDrawStreams
+
+        seeds = [
+            seed
+            for run_streams in streams
+            for seed in run_streams.join_stream_seeds()
         ]
-        block[...] = rng.random((count, num_packets))
-        self._unit_draws = block
-        self._fill_count += 1
+        self._streams = ReceiverDrawStreams(seeds)
+        # Every receiver starts at level 1; arm its first countdown.
+        rows = np.arange(self._streams.num_rows)
+        self._countdown = np.full(rows.size, _TOP_LEVEL_SENTINEL)
+        self._rearm(rows, np.ones(rows.size, dtype=np.int64))
 
-    def begin_chunk(self, num_runs: int = 1, num_units: int = 1, packets_per_unit: int = 0) -> None:
-        shape = (self.num_receivers, num_units * packets_per_unit)
-        if self._chunk_buffer is None or self._chunk_buffer.shape != shape:
-            self._chunk_buffer = np.empty(shape)
-        self._chunk_draw_exponents = None
-        self._chunk_runs = num_runs
-        self._fill_count = 0
+    def _rearm(self, rows: np.ndarray, levels_rows: np.ndarray) -> None:
+        """Draw fresh next-join countdowns for rows after a level change.
 
+        Rows at the top level consume no draw and get the sentinel; the
+        rest consume one uniform each from their own stream, inverted
+        through the geometric CDF: ``T = max(1, ceil(log(1-U)/log(1-q)))``
+        received packets until (and including) the joining one.
+        """
+        assert self.scheme is not None
+        top = self.scheme.num_layers
+        below = levels_rows < top
+        self._countdown[rows[~below]] = _TOP_LEVEL_SENTINEL
+        rows = rows[below]
+        if rows.size == 0:
+            return
+        draws = self._streams.take(rows)
+        pulls = np.ceil(np.log1p(-draws) / self._log_miss[levels_rows[below]])
+        self._countdown[rows] = np.maximum(
+            1, np.minimum(pulls, float(_TOP_LEVEL_SENTINEL))
+        ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # per-packet hooks (reference engine / direct drive)
+    # ------------------------------------------------------------------
     def on_packet_received(
         self,
         received: np.ndarray,
         levels: np.ndarray,
-        packet: Packet,
+        packet: "Packet",
     ) -> np.ndarray:
         rng = self._require_ready()
         if not received.any():
             return np.zeros_like(received)
-        probabilities = self.join_probability_per_packet(levels)
-        if self._unit_draws is not None:
-            draws = self._unit_draws[:, packet.sequence % self._unit_draws.shape[1]]
-        else:
-            draws = rng.random(self.num_receivers)
-        return received & (draws < probabilities)
+        if self._streams is None:
+            # Direct drive without engine streams: memoryless per-packet
+            # uniforms, exactly the paper's formulation.
+            probabilities = self.join_probability_per_packet(levels)
+            return received & (rng.random(levels.size) < probabilities)
+        self._countdown[received] -= 1
+        return received & (self._countdown <= 0)
+
+    def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        if self._streams is not None:
+            rows = np.nonzero(receivers)[0]
+            self._rearm(rows, levels[rows])
+
+    def on_leave(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        if self._streams is not None:
+            rows = np.nonzero(receivers)[0]
+            self._rearm(rows, levels[rows])
 
     # ------------------------------------------------------------------
     # batched-scan hooks
     # ------------------------------------------------------------------
     def scan_first_join(self, chunk, cols, act, levels_act, received, pos, fresh=True):
-        if self._chunk_draw_exponents is None:
-            if self._chunk_buffer is None:
-                raise ProtocolError(
-                    "uncoordinated batched scan needs begin_chunk()/begin_unit() "
-                    "to pre-sample its join draws"
-                )
-            # The join thresholds 2^(-2(i-1)) are exact binary powers, so
-            # ``draw < threshold`` depends only on the draw's IEEE-754
-            # exponent: ``draw < 2^(-2(i-1))`` iff its biased exponent is at
-            # most ``1022 - 2(i-1)``.  Storing the exponent field therefore
-            # reproduces the float comparisons bit for bit while turning
-            # the per-window test into a cheap int16 comparison (zeros and
-            # subnormals have exponent 0 and clear every level's bar).
-            self._chunk_draw_exponents = (
-                self._chunk_buffer.view(np.uint64) >> np.uint64(52)
-            ).astype(np.int16)
-        if act.size == self.num_receivers:
-            exponents = self._chunk_draw_exponents[:, cols]
-        else:
-            exponents = self._chunk_draw_exponents[act[:, None], cols[None, :]]
-        # Fold the top-level clamp into the bar: exponent fields are
-        # non-negative, so a negative bar never matches.
-        bars = np.where(
-            levels_act < chunk.num_layers, 1024 - 2 * levels_act, -1
-        ).astype(np.int16)
-        candidates = received & (exponents <= bars[:, None])
-        first = candidates.argmax(axis=1)
-        return candidates[np.arange(act.size), first], first
+        if self._streams is None:
+            raise ProtocolError(
+                "uncoordinated batched scan needs bind_run_streams() to "
+                "attach its per-receiver draw streams"
+            )
+        countdown = self._countdown[act]
+        # A row cannot join unless its countdown fits in the visible
+        # columns, which prunes the per-row reception counts to the few
+        # candidate rows (top-level sentinels never pass).
+        maybe = countdown <= received.shape[1]
+        if not bool(maybe.any()):
+            return None
+        has_join = np.zeros(act.size, dtype=bool)
+        midx = np.nonzero(maybe)[0]
+        counts = received[midx].sum(axis=1, dtype=np.int64)
+        has_join[midx] = countdown[midx] <= counts
+        if not bool(has_join[midx].any()):
+            return None
+        # The joining packet is each row's countdown-th visible reception.
+        # Countdown 1 — every level-1 receiver, and the overwhelmingly
+        # common case at low levels — is just the first reception; only the
+        # rare deeper countdowns need a cumulative scan.
+        index = np.zeros(act.size, dtype=np.int64)
+        candidates = np.nonzero(has_join)[0]
+        first = candidates[countdown[candidates] == 1]
+        if first.size:
+            index[first] = received[first].argmax(axis=1)
+        deeper = candidates[countdown[candidates] > 1]
+        if deeper.size:
+            part = received[deeper]
+            running = part.cumsum(axis=1, dtype=np.int64)
+            index[deeper] = (
+                (running == countdown[deeper][:, None]) & part
+            ).argmax(axis=1)
+        return has_join, index
+
+    def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
+        self._countdown[receivers] -= counts
+
+    def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
+        self._rearm(receivers, levels_receivers)
+
+    def scan_left(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
+        self._rearm(receivers, levels_receivers)
+
+    @property
+    def next_join_countdown(self) -> np.ndarray:
+        """Per-receiver received packets remaining until the next join
+        (engine runs only; top-level receivers hold a large sentinel)."""
+        return self._countdown.copy()

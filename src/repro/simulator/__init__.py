@@ -7,6 +7,8 @@
 * :mod:`~repro.simulator.engine` — the time-unit-batched simulation of a
   session on a modified star (with the per-packet reference loop as
   ``engine="reference"``), measuring shared-link redundancy;
+* :mod:`~repro.simulator.rng` — counter-based Philox streams (RNG scheme
+  4): per-run stream families and per-receiver draw streams;
 * :mod:`~repro.simulator.star` — Figure 7 experiment configurations;
 * :mod:`~repro.simulator.metrics` — replication and summary statistics.
 """
@@ -27,6 +29,7 @@ from .metrics import (
     summarize_redundancy,
 )
 from .packets import Packet, PacketSchedule
+from .rng import ReceiverDrawStreams, RunStreams, spawn_run_entropy
 from .star import (
     StarExperimentConfig,
     build_simulator,
@@ -54,6 +57,9 @@ __all__ = [
     "summarize_redundancy",
     "Packet",
     "PacketSchedule",
+    "ReceiverDrawStreams",
+    "RunStreams",
+    "spawn_run_entropy",
     "StarExperimentConfig",
     "build_simulator",
     "simulate_star",

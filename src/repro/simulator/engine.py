@@ -43,24 +43,27 @@ protocols are receiver-local and the random stream is pre-sampled
 state-independently.  Protocols that do not implement the batched hooks
 transparently fall back to the reference loop.
 
-**Batched randomness (RNG scheme 3).**  All randomness is pre-sampled *per
-time unit* in a fixed layout — shared-link loss outcomes (one draw per
-scheduled packet), per-receiver independent losses (receiver-major), then
-the protocol's own draws
-(:meth:`repro.protocols.base.LayeredProtocol.begin_unit`; only the
-Uncoordinated protocol draws, one uniform per receiver and packet).
-Scheme 2 introduced the per-unit loss pre-sampling; scheme 3 moved the
-Uncoordinated join draws into the same per-unit layout (they were
-previously drawn on demand per received packet) and flipped the
-independent-loss layout from packet-major to receiver-major, so seeded
-results differ from ``RNG_SCHEME_VERSION < 3`` releases — a deliberate,
-version-bumped change.  Statistically the processes are unchanged for
-memoryless (Bernoulli) losses; stateful processes such as Gilbert–Elliott
-advance once per scheduled packet, i.e. burst state evolves with link time
-rather than with the subset of packets that happened to be contested.  A
-*single* stateful process shared by all receivers now walks the unit's
-packets receiver by receiver; per-receiver process lists (the supported
-way to model bursty fan-out links) are unaffected.
+**Counter-based randomness (RNG scheme 4).**  Every run derives a family
+of independent Philox streams from one ``SeedSequence`` (see
+:mod:`repro.simulator.rng`): shared-link loss outcomes, independent
+(fan-out) loss outcomes, and protocol randomness each live in their own
+counter-keyed stream, and the Uncoordinated protocol's join uniforms are
+keyed per receiver and consumed one draw per packet the receiver actually
+receives.  Separating the streams removes the per-unit interleaving of
+schemes 2/3: the batched engine samples whole chunks of each loss stream
+in single calls, while the reference loop samples unit by unit from the
+same streams — bit-identical by the split-invariance of the memoryless
+processes (stateful processes such as Gilbert–Elliott stay unit-granular
+in both engines).  Per-receiver join-draw streams are what let the batched
+scan materialise only the draws its receivers reach instead of the full
+receiver x scheduled-packet matrix.  Scheme 2 introduced per-unit loss
+pre-sampling, scheme 3 pre-sampled the Uncoordinated join draws
+receiver-major per unit, and scheme 4 is the counter-based layout
+described here; seeded results are reproducible within a scheme version
+(and across engines, chunk sizes and process counts) but differ across
+versions — deliberate, version-bumped changes.  Statistically the
+processes are unchanged; Gilbert–Elliott burst state still advances once
+per scheduled packet, i.e. with link time.
 """
 
 from __future__ import annotations
@@ -76,6 +79,7 @@ from ..protocols.base import LayeredProtocol
 from ..protocols.scan import UnitChunk
 from .loss import BernoulliLoss, LossProcess, NoLoss
 from .packets import PacketSchedule
+from .rng import RunStreams
 
 __all__ = [
     "SessionSimulationResult",
@@ -87,17 +91,43 @@ __all__ = [
 ]
 
 #: Version of the random-stream layout.  Bumped to 2 when loss sampling
-#: switched from per-packet draws to per-unit pre-sampled arrays, and to 3
-#: when the Uncoordinated protocol's join draws joined the per-unit layout;
-#: seeded results are reproducible within a version (and across engines)
-#: but differ across versions.
-RNG_SCHEME_VERSION = 3
+#: switched from per-packet draws to per-unit pre-sampled arrays, to 3 when
+#: the Uncoordinated protocol's join draws joined the per-unit layout, and
+#: to 4 for the counter-based Philox scheme (independent per-run streams
+#: for shared loss / independent loss / protocol draws, per-receiver join
+#: draws consumed per received packet, single-precision Bernoulli arrays,
+#: and ``SeedSequence.spawn``-derived replicate seeds); seeded results are
+#: reproducible within a version (and across engines) but differ across
+#: versions.
+RNG_SCHEME_VERSION = 4
 
 #: Valid ``engine=`` arguments: the time-unit-batched event scan (default)
 #: and the per-packet reference loop it is equivalent to.
 ENGINES = ("batched", "reference")
 
 IndependentLoss = Union[LossProcess, Sequence[LossProcess]]
+
+
+class _RunContext:
+    """One run's counter-based streams plus its private loss-process state.
+
+    Loss processes are copied per run (:meth:`LossProcess.copy` returns a
+    fresh-state instance), so every seeded run consumes its processes from
+    a clean slate: results depend only on the seed, and a run stacked into
+    a batched group samples bit for bit what it would sample solo.
+    """
+
+    __slots__ = ("streams", "shared_loss", "per_receiver_loss")
+
+    def __init__(
+        self,
+        streams: RunStreams,
+        shared_loss: LossProcess,
+        per_receiver_loss: List[LossProcess],
+    ) -> None:
+        self.streams = streams
+        self.shared_loss = shared_loss
+        self.per_receiver_loss = per_receiver_loss
 
 
 @dataclass
@@ -144,10 +174,17 @@ class SessionSimulationResult:
 
     @property
     def redundancy(self) -> float:
-        """Redundancy of the session on the shared link (Definition 3)."""
+        """Redundancy of the session on the shared link (Definition 3).
+
+        Degenerate runs where no receiver decoded a single measured packet
+        follow a documented convention: if the shared link nevertheless
+        carried packets the redundancy is ``inf`` (everything the link
+        carried was wasted), and only a run where the link also carried
+        nothing reports the vacuous ideal ``1.0``.
+        """
         efficient = self.max_receiver_rate
         if efficient <= 0:
-            return 1.0
+            return 1.0 if self.shared_link_packets == 0 else float("inf")
         return self.shared_link_rate / efficient
 
     def summary(self) -> str:
@@ -258,28 +295,127 @@ class LayeredSessionSimulator:
             return np.full(self.num_receivers, self._per_receiver_loss[0].average_loss_rate)
         return np.array([p.average_loss_rate for p in self._per_receiver_loss])
 
+    def _make_run_context(self, seed) -> "_RunContext":
+        """One run's random streams plus fresh per-run loss-process state.
+
+        The loss processes are copied per run (``LossProcess.copy`` resets
+        state), so a seeded run's outcome depends only on its seed — never
+        on earlier runs' consumption of a shared stateful process — and
+        stacked runs sample exactly what their solo runs would.
+        """
+        streams = RunStreams(
+            seed,
+            self.num_receivers,
+            per_receiver_independent=len(self._per_receiver_loss) > 1,
+        )
+        return _RunContext(
+            streams,
+            self.shared_loss.copy(),
+            [process.copy() for process in self._per_receiver_loss],
+        )
+
     def _sample_unit_losses(
-        self, rng: np.random.Generator, num_packets: int
+        self, context: "_RunContext", num_packets: int
     ) -> tuple:
         """Pre-sample one time unit's loss outcomes in bulk.
 
         Returns ``(shared, independent)`` with ``shared`` of shape
         ``(num_packets,)`` and ``independent`` receiver-major of shape
-        ``(num_receivers, num_packets)``.  A single independent-loss
-        process is sampled receiver-major (receiver by receiver, packet by
-        packet within a receiver) since RNG scheme 3, matching the layout
-        the batched scan consumes directly.
+        ``(num_receivers, num_packets)``.  Each quantity is drawn from its
+        own stream (RNG scheme 4): the shared link from the context's
+        shared stream, a single independent-loss process receiver-major
+        within the unit from the independent stream, and per-receiver
+        process lists from one spawned stream per receiver.
         """
-        shared = self.shared_loss.sample_array(rng, num_packets)
-        if len(self._per_receiver_loss) == 1:
-            independent = self._per_receiver_loss[0].sample_array(
-                rng, num_packets * self.num_receivers
+        streams = context.streams
+        shared = context.shared_loss.sample_array(streams.shared_rng, num_packets)
+        if len(context.per_receiver_loss) == 1:
+            independent = context.per_receiver_loss[0].sample_array(
+                streams.independent_rng, num_packets * self.num_receivers
             ).reshape(self.num_receivers, num_packets)
         else:
             independent = np.stack(
-                [p.sample_array(rng, num_packets) for p in self._per_receiver_loss]
+                [
+                    process.sample_array(rng, num_packets)
+                    for process, rng in zip(
+                        context.per_receiver_loss, streams.independent_rngs
+                    )
+                ]
             )
         return shared, independent
+
+    @staticmethod
+    def _chunk_positions(process, rng, num_units: int, stride: int) -> np.ndarray:
+        """Loss positions over ``num_units`` consecutive blocks of ``stride``.
+
+        Split-invariant processes yield the whole span in one call;
+        stateful ones are consumed block by block — exactly the words the
+        reference loop's per-unit sampling reads from the same stream, so
+        seeded results are engine- and chunk-size-independent.
+        """
+        if process.splittable:
+            return process.sample_positions(rng, num_units * stride)
+        parts = []
+        for unit in range(num_units):
+            positions = process.sample_positions(rng, stride)
+            if positions.size:
+                parts.append(positions + unit * stride)
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+    def _scatter_chunk_losses(
+        self,
+        context: "_RunContext",
+        num_units: int,
+        packets_per_unit: int,
+        receivable_block: np.ndarray,
+        shared_dense: Optional[np.ndarray],
+        independent_dense: Optional[np.ndarray],
+    ) -> None:
+        """Apply one chunk's loss outcomes for this run (batched engine).
+
+        Losses are sparse, so the engine samples their *positions* and
+        clears them out of the pre-set ``receivable`` matrix instead of
+        materialising dense per-packet outcome matrices; the dense forms
+        are only filled in for protocols that declare
+        ``needs_dense_losses``.
+        """
+        n = num_units * packets_per_unit
+        receivers = self.num_receivers
+        streams = context.streams
+        shared_cols = self._chunk_positions(
+            context.shared_loss, streams.shared_rng, num_units, packets_per_unit
+        )
+        if shared_cols.size:
+            receivable_block[:, shared_cols] = False
+            if shared_dense is not None:
+                shared_dense[shared_cols] = True
+        if len(context.per_receiver_loss) == 1:
+            flat = self._chunk_positions(
+                context.per_receiver_loss[0],
+                streams.independent_rng,
+                num_units,
+                packets_per_unit * receivers,
+            )
+            if flat.size:
+                # Flattened (unit, receiver, packet) order -> (row, column).
+                unit_index, remainder = np.divmod(flat, receivers * packets_per_unit)
+                row, packet = np.divmod(remainder, packets_per_unit)
+                column = unit_index * packets_per_unit + packet
+                receivable_block[row, column] = False
+                if independent_dense is not None:
+                    independent_dense[row, column] = True
+        else:
+            pairs = zip(context.per_receiver_loss, streams.independent_rngs)
+            for row, (process, rng) in enumerate(pairs):
+                columns = self._chunk_positions(
+                    process, rng, num_units, packets_per_unit
+                )
+                if columns.size:
+                    receivable_block[row, columns] = False
+                    if independent_dense is not None:
+                        independent_dense[row, columns] = True
 
     # ------------------------------------------------------------------
     # simulation
@@ -288,13 +424,17 @@ class LayeredSessionSimulator:
         """Simulate one run and return its measurements.
 
         The engine selected at construction does the work; both engines
-        consume the same random stream and return identical results.
+        consume the same counter-based random streams and return identical
+        results.
         """
-        rng = np.random.default_rng(seed)
-        self.protocol.reset(self.num_receivers, self.scheme, rng)
+        context = self._make_run_context(seed)
+        self.protocol.reset(
+            self.num_receivers, self.scheme, context.streams.protocol_rng
+        )
+        self.protocol.bind_run_streams([context.streams], self.num_receivers)
         if self.engine == "batched" and self.protocol.supports_batched_units:
-            return self._run_batched([(self, rng)])[0]
-        return self._run_reference(rng)
+            return self._run_batched([(self, context)])[0]
+        return self._run_reference(context)
 
     def run_many(self, seeds: Sequence[Optional[int]]) -> List[SessionSimulationResult]:
         """Simulate one run per seed; equals ``[run(s) for s in seeds]`` bit for bit.
@@ -318,14 +458,19 @@ class LayeredSessionSimulator:
         )
         if not stacked:
             return [self.run(seed=seed) for seed in seeds]
-        rngs = [np.random.default_rng(seed) for seed in seeds]
-        self.protocol.reset(self.num_receivers * len(rngs), self.scheme, rngs[0])
-        return self._run_batched([(self, rng) for rng in rngs])
+        contexts = [self._make_run_context(seed) for seed in seeds]
+        self.protocol.reset(
+            self.num_receivers * len(contexts), self.scheme, contexts[0].streams.protocol_rng
+        )
+        self.protocol.bind_run_streams(
+            [context.streams for context in contexts], self.num_receivers
+        )
+        return self._run_batched([(self, context) for context in contexts])
 
     # ------------------------------------------------------------------
     # reference engine: one packet at a time
     # ------------------------------------------------------------------
-    def _run_reference(self, rng: np.random.Generator) -> SessionSimulationResult:
+    def _run_reference(self, context: "_RunContext") -> SessionSimulationResult:
         num_layers = self.scheme.num_layers
         levels = np.ones(self.num_receivers, dtype=np.int64)
 
@@ -349,9 +494,9 @@ class LayeredSessionSimulator:
                 max_level_sum += float(max_level)
             unit_packets = self.schedule.unit_packets(unit)
             shared_lost, independent_lost = self._sample_unit_losses(
-                rng, len(unit_packets)
+                context, len(unit_packets)
             )
-            self.protocol.begin_unit(rng, len(unit_packets))
+            self.protocol.begin_unit(context.streams.protocol_rng, len(unit_packets))
             for packet_index, packet in enumerate(unit_packets):
                 if track_advertised:
                     pending = (advertised > levels) & (advert_expiry <= packet.time)
@@ -396,6 +541,7 @@ class LayeredSessionSimulator:
                             advert_expiry[leavers] = packet.time + self.leave_latency
                         np.subtract(levels, 1, out=levels, where=leavers)
                         max_level = int(levels.max())
+                        self.protocol.on_leave(leavers, levels)
 
                 if received is not None and received.any():
                     if measuring:
@@ -432,9 +578,9 @@ class LayeredSessionSimulator:
     # batched engine: one chunk of time units at a time
     # ------------------------------------------------------------------
     def _run_batched(
-        self, runs: List[Tuple["LayeredSessionSimulator", np.random.Generator]]
+        self, runs: List[Tuple["LayeredSessionSimulator", "_RunContext"]]
     ) -> List[SessionSimulationResult]:
-        """Chunked engine: one independently-seeded run per (simulator, rng).
+        """Chunked engine: one independently-seeded run per (simulator, context).
 
         Multiple runs are stacked as receiver blocks of one wide session —
         each block driven by its own generator and loss processes, so the
@@ -463,44 +609,65 @@ class LayeredSessionSimulator:
             chunk = self._assemble_chunk(runs, start_unit, num_units, track_advertised)
             start_levels = levels.copy()
             result = self.protocol.step_chunk(chunk, levels)
-            if num_runs == 1:
-                blocks = [
-                    (
-                        slice(0, receivers),
+            if measuring:
+                receiver_packets += result.received.reshape(num_runs, receivers)
+                # Accumulate the unit-start statistics in unit order, with
+                # the same floats the reference loop adds (the per-run
+                # reductions run over each run's contiguous receiver block,
+                # so the values equal the solo runs' bit for bit).
+                boundary = _unit_start_levels(
+                    chunk,
+                    start_levels,
+                    result.event_cols,
+                    result.event_receivers,
+                    result.event_old_levels,
+                    result.event_new_levels,
+                ).reshape(chunk.num_units, num_runs, receivers)
+                means = boundary.mean(axis=2)
+                maxes = boundary.max(axis=2)
+                for index in range(chunk.num_units):
+                    for run in range(num_runs):
+                        level_sum[run] += float(means[index, run])
+                        max_level_sum[run] += float(maxes[index, run])
+                if not track_advertised:
+                    carried = _carried_packets_group(
+                        chunk,
+                        start_levels,
                         result.event_cols,
                         result.event_receivers,
                         result.event_old_levels,
                         result.event_new_levels,
+                        num_runs,
+                        receivers,
                     )
-                ]
-            else:
-                run_of_event = result.event_receivers // receivers
-                blocks = []
-                for run in range(num_runs):
-                    mine = run_of_event == run
-                    blocks.append(
+                    for run in range(num_runs):
+                        shared_link_packets[run] += int(carried[run])
+            if track_advertised:
+                if num_runs == 1:
+                    blocks = [
                         (
-                            slice(run * receivers, (run + 1) * receivers),
-                            result.event_cols[mine],
-                            result.event_receivers[mine] - run * receivers,
-                            result.event_old_levels[mine],
-                            result.event_new_levels[mine],
+                            slice(0, receivers),
+                            result.event_cols,
+                            result.event_receivers,
+                            result.event_old_levels,
+                            result.event_new_levels,
                         )
-                    )
-            for run, (block, event_cols, event_receivers, event_old, event_new) in enumerate(blocks):
-                if measuring:
-                    receiver_packets[run] += result.received[block]
-                    # Accumulate the unit-start statistics in unit order,
-                    # with the same floats the reference loop adds.
-                    boundary = _unit_start_levels(
-                        chunk, start_levels[block], event_cols, event_receivers, event_old, event_new
-                    )
-                    means = boundary.mean(axis=1)
-                    maxes = boundary.max(axis=1)
-                    for index in range(chunk.num_units):
-                        level_sum[run] += float(means[index])
-                        max_level_sum[run] += float(maxes[index])
-                if track_advertised:
+                    ]
+                else:
+                    run_of_event = result.event_receivers // receivers
+                    blocks = []
+                    for run in range(num_runs):
+                        mine = run_of_event == run
+                        blocks.append(
+                            (
+                                slice(run * receivers, (run + 1) * receivers),
+                                result.event_cols[mine],
+                                result.event_receivers[mine] - run * receivers,
+                                result.event_old_levels[mine],
+                                result.event_new_levels[mine],
+                            )
+                        )
+                for run, (block, event_cols, event_receivers, event_old, event_new) in enumerate(blocks):
                     carried = self._advertised_carriage(
                         chunk,
                         start_levels[block],
@@ -514,10 +681,6 @@ class LayeredSessionSimulator:
                     )
                     if measuring:
                         shared_link_packets[run] += carried
-                elif measuring:
-                    shared_link_packets[run] += _carried_packets(
-                        chunk, start_levels[block], event_cols, event_old, event_new
-                    )
 
         return [
             SessionSimulationResult(
@@ -536,7 +699,7 @@ class LayeredSessionSimulator:
                 independent_loss_rates=simulator._independent_loss_rates(),
                 leave_latency=self.leave_latency,
             )
-            for run, (simulator, _rng) in enumerate(runs)
+            for run, (simulator, _context) in enumerate(runs)
         ]
 
     def _chunk_plan(self) -> List[Tuple[int, int, bool]]:
@@ -557,18 +720,18 @@ class LayeredSessionSimulator:
 
     def _assemble_chunk(
         self,
-        runs: List[Tuple["LayeredSessionSimulator", np.random.Generator]],
+        runs: List[Tuple["LayeredSessionSimulator", "_RunContext"]],
         start_unit: int,
         num_units: int,
         with_times: bool,
     ) -> UnitChunk:
         """Pre-sample one chunk's randomness and package it for the scan.
 
-        Sampling happens unit by unit in the exact order of the reference
-        loop (losses, then the protocol's :meth:`begin_unit` draws), so both
-        engines read the same numbers from a seeded stream.  With several
-        generators (stacked runs), each samples its own block within every
-        unit, preserving each run's solo stream.
+        Each run's loss outcomes come from its own counter-based streams
+        (RNG scheme 4): split-invariant processes are drawn for the whole
+        chunk in one call, stateful ones unit by unit — either way the
+        values equal what the reference loop reads from the same streams,
+        and stacked runs preserve each run's solo stream exactly.
         """
         packets_per_unit = self.schedule.packets_per_unit
         static = self._chunk_static.get(num_units)
@@ -594,19 +757,25 @@ class LayeredSessionSimulator:
         receivers = self.num_receivers
         self.protocol.begin_chunk(num_runs, num_units, packets_per_unit)
         num_packets = num_units * packets_per_unit
-        shared_lost = np.empty((num_runs, num_packets), dtype=bool)
-        independent_lost = np.empty((receivers * num_runs, num_packets), dtype=bool)
-        for relative in range(num_units):
-            low = relative * packets_per_unit
-            for run, (simulator, rng) in enumerate(runs):
-                shared, independent = simulator._sample_unit_losses(rng, packets_per_unit)
-                self.protocol.begin_unit(rng, packets_per_unit, num_receivers=receivers)
-                shared_lost[run, low:low + packets_per_unit] = shared
-                independent_lost[run * receivers:(run + 1) * receivers, low:low + packets_per_unit] = independent
-        receivable = ~independent_lost
-        for run in range(num_runs):
-            receivable[run * receivers:(run + 1) * receivers] &= ~shared_lost[run][None, :]
-        shared_for_chunk = shared_lost[0] if num_runs == 1 else shared_lost
+        receivable = np.ones((receivers * num_runs, num_packets), dtype=bool)
+        dense = self.protocol.needs_dense_losses
+        shared_lost = np.zeros((num_runs, num_packets), dtype=bool) if dense else None
+        independent_lost = (
+            np.zeros((receivers * num_runs, num_packets), dtype=bool) if dense else None
+        )
+        for run, (simulator, context) in enumerate(runs):
+            block = slice(run * receivers, (run + 1) * receivers)
+            simulator._scatter_chunk_losses(
+                context,
+                num_units,
+                packets_per_unit,
+                receivable[block],
+                shared_lost[run] if dense else None,
+                independent_lost[block] if dense else None,
+            )
+        shared_for_chunk = None
+        if dense:
+            shared_for_chunk = shared_lost[0] if num_runs == 1 else shared_lost
 
         # Mirror PacketSchedule.sync_levels_for_unit: level i may join at
         # units that are positive multiples of 2^(i-1).
@@ -643,11 +812,14 @@ class LayeredSessionSimulator:
             sync_ok=sync_ok,
             times=times,
             scan_window=max(
-                packets_per_unit,
+                32,
                 min(
                     self.scan_window_units * packets_per_unit,
                     # Keep one window's matrices cache-sized however many
-                    # runs are stacked (purely a performance knob).
+                    # runs are stacked (purely a performance knob).  Wide
+                    # stacks run sub-unit windows: the correlated-loss
+                    # regime packs events densely enough that short, hot
+                    # windows beat unit-wide matrices.
                     32768 // max(1, receivers * num_runs),
                 ),
             ),
@@ -804,45 +976,74 @@ def _max_level_per_packet(
     return width - 1 - (occupancy[:, ::-1] > 0).argmax(axis=1)
 
 
-def _carried_packets(
+def _carried_packets_group(
     chunk: UnitChunk,
     start_levels: np.ndarray,
     event_cols: np.ndarray,
+    event_receivers: np.ndarray,
     event_old: np.ndarray,
     event_new: np.ndarray,
-) -> int:
-    """Packets of the chunk carried by the shared link (no leave latency).
+    num_runs: int,
+    receivers: int,
+) -> np.ndarray:
+    """Per-run packets of the chunk carried by the shared link (no latency).
 
     The carried level is piecewise constant between level-change events, so
-    the count is a handful of lookups into the chunk's static
+    each run's count is a handful of lookups into the chunk's static
     ``observed_before`` prefix table — one segment per distinct event
-    column — instead of per-packet work.
+    column — instead of per-packet work.  All runs' segment structures are
+    built in one keyed sort/bincount pass (run-major keys), leaving only a
+    tiny per-run loop over its own segments.
     """
     n = chunk.num_packets
     table = chunk.observed_before
-    if event_cols.size == 0:
-        return int(table[int(start_levels.max()), n])
     width = chunk.num_layers + 1
-    order = np.argsort(event_cols, kind="stable")
-    boundaries = np.unique(event_cols[order])
-    segment_of = np.searchsorted(boundaries, event_cols)
+    start_tops = start_levels.reshape(num_runs, receivers).max(axis=1)
+    counts = table[start_tops, n].astype(np.int64)
+    if event_cols.size == 0:
+        return counts
+    event_runs = event_receivers // receivers
+    key = event_runs * np.int64(n + 1) + event_cols
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    fresh = np.empty(sorted_key.size, dtype=bool)
+    fresh[0] = True
+    np.not_equal(sorted_key[1:], sorted_key[:-1], out=fresh[1:])
+    segment_of = np.empty(sorted_key.size, dtype=np.int64)
+    segment_of[order] = np.cumsum(fresh) - 1
+    segment_keys = sorted_key[fresh]
+    segment_runs = segment_keys // (n + 1)
+    segment_cols = segment_keys % (n + 1)
+    num_segments = segment_keys.size
     flat = np.concatenate(
         (segment_of * width + event_old, segment_of * width + event_new)
     )
     weights = np.concatenate(
         (np.full(event_cols.size, -1.0), np.full(event_cols.size, 1.0))
     )
-    deltas = np.bincount(flat, weights=weights, minlength=boundaries.size * width)
-    occupancy = (
-        np.bincount(start_levels, minlength=width)[None, :]
-        + deltas.reshape(boundaries.size, width).cumsum(axis=0)
-    )
-    tops = np.concatenate(
-        ([int(start_levels.max())], width - 1 - (occupancy[:, ::-1] > 0).argmax(axis=1))
-    )
-    edges = np.concatenate(([0], boundaries + 1, [n]))
-    spans = table[tops, np.minimum(edges[1:], n)] - table[tops, edges[:-1]]
-    return int(spans.sum())
+    deltas = np.bincount(
+        flat, weights=weights, minlength=num_segments * width
+    ).reshape(num_segments, width)
+    start_occupancy = np.bincount(
+        np.arange(num_runs).repeat(receivers) * width + start_levels,
+        minlength=num_runs * width,
+    ).reshape(num_runs, width)
+    run_bounds = np.searchsorted(segment_runs, np.arange(num_runs + 1))
+    for run in range(num_runs):
+        low, high = int(run_bounds[run]), int(run_bounds[run + 1])
+        if low == high:
+            continue  # no events: the start-top count already stands
+        occupancy = start_occupancy[run][None, :] + deltas[low:high].cumsum(axis=0)
+        tops = np.concatenate(
+            (
+                [int(start_tops[run])],
+                width - 1 - (occupancy[:, ::-1] > 0).argmax(axis=1),
+            )
+        )
+        edges = np.concatenate(([0], segment_cols[low:high] + 1, [n]))
+        spans = table[tops, np.minimum(edges[1:], n)] - table[tops, edges[:-1]]
+        counts[run] = int(spans.sum())
+    return counts
 
 
 def simulate_session_group(
@@ -889,9 +1090,14 @@ def simulate_session_group(
             for simulator, seed_list in zip(simulators, seeds)
         ]
     runs = [
-        (simulator, np.random.default_rng(seed)) for simulator, seed in flat
+        (simulator, simulator._make_run_context(seed)) for simulator, seed in flat
     ]
-    lead.protocol.reset(lead.num_receivers * len(runs), lead.scheme, runs[0][1])
+    lead.protocol.reset(
+        lead.num_receivers * len(runs), lead.scheme, runs[0][1].streams.protocol_rng
+    )
+    lead.protocol.bind_run_streams(
+        [context.streams for _simulator, context in runs], lead.num_receivers
+    )
     flat_results = lead._run_batched(runs)
     grouped: List[List[SessionSimulationResult]] = []
     cursor = 0

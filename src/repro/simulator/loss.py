@@ -14,9 +14,6 @@ exercised by the loss-correlation ablation but not needed for Figure 8.
 
 from __future__ import annotations
 
-import random
-from typing import Optional
-
 import numpy as np
 
 from ..errors import SimulationError
@@ -29,10 +26,19 @@ class LossProcess:
 
     Implementations may be stateful (e.g. Gilbert–Elliott), so a separate
     instance must be used per link.  ``sample`` draws a single outcome;
-    ``sample_array`` draws ``n`` independent outcomes at once (used for the
+    ``sample_array`` draws ``n`` consecutive outcomes at once (used for the
     per-receiver fan-out links which are mutually independent but share a
     random generator).
     """
+
+    #: Whether ``sample_array`` is *split-invariant*: drawing ``n1 + n2``
+    #: outcomes in one call consumes the generator exactly like two calls of
+    #: ``n1`` and ``n2`` and produces the same values.  Memoryless processes
+    #: (Bernoulli) are; block-sampling stateful processes (Gilbert–Elliott)
+    #: are not.  The batched engine samples split-invariant processes one
+    #: chunk at a time and everything else unit by unit, which keeps seeded
+    #: results identical across engines and chunk sizes (RNG scheme 4).
+    splittable: bool = False
 
     def sample(self, rng: np.random.Generator) -> bool:
         raise NotImplementedError
@@ -40,6 +46,18 @@ class LossProcess:
     def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Default: ``n`` independent draws of :meth:`sample`."""
         return np.array([self.sample(rng) for _ in range(n)], dtype=bool)
+
+    def sample_positions(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Indices of the lost packets among the next ``n`` outcomes.
+
+        Consumes the generator exactly like :meth:`sample_array` (the
+        default literally wraps it), so the two forms are interchangeable
+        mid-stream.  Sparse-friendly processes (Bernoulli) override this
+        natively and implement :meth:`sample_array` on top, letting the
+        batched engine scatter a handful of loss positions instead of
+        materialising dense outcome matrices.
+        """
+        return np.nonzero(self.sample_array(rng, n))[0]
 
     @property
     def average_loss_rate(self) -> float:
@@ -54,11 +72,16 @@ class LossProcess:
 class NoLoss(LossProcess):
     """A lossless link."""
 
+    splittable = True
+
     def sample(self, rng: np.random.Generator) -> bool:
         return False
 
     def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
         return np.zeros(n, dtype=bool)
+
+    def sample_positions(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.zeros(0, dtype=np.int64)
 
     @property
     def average_loss_rate(self) -> float:
@@ -72,7 +95,30 @@ class NoLoss(LossProcess):
 
 
 class BernoulliLoss(LossProcess):
-    """Independent per-packet loss with fixed probability ``p``."""
+    """Independent per-packet loss with fixed probability ``p``.
+
+    Since RNG scheme 4 ``sample_array`` samples the *gaps* between losses
+    (geometrically distributed with parameter ``p``, drawn in fixed-size
+    batches) instead of one uniform per packet, so the generator work is
+    proportional to the number of losses rather than the number of
+    scheduled packets — the dominant RNG cost of the Figure-8 sweeps
+    through scheme 3.  The construction is the exact Bernoulli process:
+    inter-loss gaps of a Bernoulli(p) sequence are i.i.d. geometric, and
+    the in-progress gap carries across calls as process state, making the
+    call sequence split-invariant bit for bit (the i-th gap batch holds
+    the same values however the packets are partitioned into calls).
+    ``copy()`` (used by the engines once per run) resets the carried gap.
+    Single draws through ``sample`` use a plain uniform and a different
+    stream position; the engines only ever consume the array form.
+    """
+
+    splittable = True
+
+    #: Gaps drawn per refill.  Part of the scheme-4 stream layout: the
+    #: batch size must not depend on the caller's array sizes, or the two
+    #: engines' (differently-granular) calls would consume the stream
+    #: differently.
+    _GAP_BATCH = 2048
 
     def __init__(self, probability: float) -> None:
         if not 0.0 <= probability <= 1.0:
@@ -80,16 +126,36 @@ class BernoulliLoss(LossProcess):
                 f"loss probability must lie in [0, 1], got {probability}"
             )
         self.probability = float(probability)
+        # Upcoming loss indices relative to the next packet, and the last
+        # queued index (-1 before the first draw).
+        self._pending = np.zeros(0, dtype=np.int64)
+        self._frontier = -1
 
     def sample(self, rng: np.random.Generator) -> bool:
         if self.probability == 0.0:
             return False
         return bool(rng.random() < self.probability)
 
-    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_positions(self, rng: np.random.Generator, n: int) -> np.ndarray:
         if self.probability == 0.0:
-            return np.zeros(n, dtype=bool)
-        return rng.random(n) < self.probability
+            return np.zeros(0, dtype=np.int64)
+        frontier = self._frontier
+        queue = [self._pending]
+        while frontier < n:
+            gaps = np.cumsum(rng.geometric(self.probability, self._GAP_BATCH))
+            gaps += frontier
+            queue.append(gaps)
+            frontier = int(gaps[-1])
+        positions = queue[0] if len(queue) == 1 else np.concatenate(queue)
+        cut = int(np.searchsorted(positions, n))
+        self._pending = positions[cut:] - n
+        self._frontier = frontier - n
+        return positions[:cut]
+
+    def sample_array(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        out = np.zeros(n, dtype=bool)
+        out[self.sample_positions(rng, n)] = True
+        return out
 
     @property
     def average_loss_rate(self) -> float:

@@ -15,6 +15,7 @@ from typing import Callable, List, Optional, Sequence
 from ..analysis.stats import SummaryStatistics, summarize
 from ..errors import SimulationError
 from .engine import SessionSimulationResult
+from .rng import spawn_run_entropy
 
 __all__ = ["RedundancyMeasurement", "replicate", "measure_redundancy", "summarize_redundancy"]
 
@@ -64,7 +65,7 @@ def replicate(
     """
     if repetitions < 1:
         raise SimulationError(f"repetitions must be positive, got {repetitions}")
-    seeds = [base_seed + index for index in range(repetitions)]
+    seeds = spawn_run_entropy(base_seed, repetitions)
     if run_many is not None:
         return run_many(seeds)
     return [run(seed) for seed in seeds]

@@ -26,6 +26,7 @@ from ..protocols.base import LayeredProtocol
 from .engine import LayeredSessionSimulator, SessionSimulationResult, simulate_session_group
 from .loss import BernoulliLoss, LossProcess, NoLoss
 from .metrics import RedundancyMeasurement, measure_redundancy, summarize_redundancy
+from .rng import spawn_run_entropy
 
 __all__ = [
     "StarExperimentConfig",
@@ -186,6 +187,6 @@ def star_redundancy_group(
         build_simulator(protocol, config, engine=engine)
         for protocol, config in zip(protocols, configs)
     ]
-    seeds = [[base_seed + index for index in range(repetitions)]] * len(simulators)
+    seeds = [spawn_run_entropy(base_seed, repetitions)] * len(simulators)
     grouped = simulate_session_group(simulators, seeds)
     return [summarize_redundancy(results) for results in grouped]

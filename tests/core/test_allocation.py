@@ -8,7 +8,6 @@ import pytest
 
 from repro.core import Allocation, constant_redundancy, max_min_fair_allocation
 from repro.errors import AllocationError
-from repro.network import figure1_network
 
 
 @pytest.fixture

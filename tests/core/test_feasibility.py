@@ -12,7 +12,7 @@ from repro.core import (
     max_min_fair_allocation,
 )
 from repro.errors import InfeasibleAllocationError
-from repro.network import NetworkGraph, Network, Session, SessionType, figure1_network
+from repro.network import NetworkGraph, Network, Session, SessionType
 
 
 class TestFeasibility:

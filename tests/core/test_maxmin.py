@@ -7,7 +7,6 @@ import math
 import pytest
 
 from repro.core import (
-    Allocation,
     MaxMinTrace,
     check_all_properties,
     constant_redundancy,
@@ -19,8 +18,6 @@ from repro.network import (
     Network,
     Session,
     SessionType,
-    figure1_network,
-    figure2_network,
     single_bottleneck_network,
 )
 from repro.network.topologies import (

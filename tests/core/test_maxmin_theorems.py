@@ -16,8 +16,7 @@ statements of Section 2 using randomised tree networks:
 
 from __future__ import annotations
 
-import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (

@@ -257,3 +257,18 @@ class TestSpecEcho:
         assert result.to_dict()["spec"]["layer_counts"] is None
         rebuilt = ExperimentResult.from_dict(result.to_dict())
         assert rebuilt.spec == result.spec
+
+
+class TestRngSchemeEcho:
+    def test_fresh_results_match_current_scheme(self):
+        result = get_experiment("figure1").run()
+        assert result.rng_scheme_version == RNG_SCHEME_VERSION
+        assert result.matches_current_rng_scheme
+
+    def test_foreign_scheme_is_flagged(self):
+        result = get_experiment("figure1").run()
+        stale = dataclasses.replace(result, rng_scheme_version=RNG_SCHEME_VERSION - 1)
+        assert not stale.matches_current_rng_scheme
+        # ... but stays in the canonical form: cross-scheme envelopes must
+        # never compare byte-identical.
+        assert f'"rng_scheme_version": {RNG_SCHEME_VERSION - 1}' in stale.canonical_json()

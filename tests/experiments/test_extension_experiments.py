@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ExperimentError, SimulationError
+from repro.errors import ExperimentError
 from repro.experiments import (
     gilbert_for_average_loss,
     run_active_nodes,

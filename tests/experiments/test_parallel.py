@@ -41,8 +41,20 @@ class TestParallelMap:
 
 
 class TestTaskSeeds:
-    def test_schedule_matches_replicate_convention(self):
-        assert task_seeds(5, 3) == [5, 6, 7]
+    def test_schedule_is_deterministic_and_prefix_stable(self):
+        assert task_seeds(5, 3) == task_seeds(5, 3)
+        assert task_seeds(5, 3) == task_seeds(5, 8)[:3]
+
+    def test_entries_pairwise_distinct_across_nearby_base_seeds(self):
+        # The scheme-4 guarantee: spawn-derived schedules never collide,
+        # even for adjacent base seeds (the pre-scheme-4 ``base_seed +
+        # index`` schedule overlapped in all but one entry here).
+        pool = [seed for base in range(8) for seed in task_seeds(base, 16)]
+        assert len(set(pool)) == len(pool)
+
+    def test_entropy_is_wide(self):
+        # 128-bit spawned entropy, not small sequential integers.
+        assert all(seed > 2 ** 64 for seed in task_seeds(0, 4))
 
     def test_rejects_empty_schedule(self):
         with pytest.raises(SimulationError):

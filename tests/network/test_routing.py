@@ -8,7 +8,6 @@ from repro.errors import RoutingError
 from repro.network import (
     ExplicitRouting,
     NetworkGraph,
-    Network,
     Session,
     SessionType,
     ShortestPathRouting,

@@ -9,7 +9,6 @@ import pytest
 
 from repro.errors import NetworkModelError
 from repro.network import (
-    SessionType,
     figure1_network,
     figure2_network,
     figure3a_network,

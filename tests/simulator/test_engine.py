@@ -185,3 +185,86 @@ class TestProtocolDynamics:
             make_protocol("uncoordinated"), 40, 0.0001, 0.05, duration_units=300, seed=7
         )
         assert many.mean_max_subscription_level >= few.mean_max_subscription_level - 0.2
+
+
+class TestDegenerateRedundancy:
+    """Regression: a run where no receiver decodes anything must not report
+    the ideal redundancy of 1.0 while the shared link carried packets."""
+
+    def test_total_loss_reports_infinite_redundancy(self):
+        # Every packet is lost at every receiver, but the shared link still
+        # carries layer 1 (receivers stay subscribed), so the carried rate
+        # is pure waste: redundancy is inf, not the vacuous ideal 1.0.
+        simulator = LayeredSessionSimulator(
+            DeterministicProtocol(),
+            num_receivers=3,
+            shared_loss=BernoulliLoss(1.0),
+            independent_loss=NoLoss(),
+            scheme=ExponentialLayerScheme(4),
+            duration_units=40,
+        )
+        result = simulator.run(seed=0)
+        assert result.shared_link_packets > 0
+        assert result.max_receiver_rate == 0.0
+        assert result.redundancy == float("inf")
+
+    def test_total_loss_matches_reference_engine(self):
+        def run(engine):
+            return LayeredSessionSimulator(
+                DeterministicProtocol(),
+                num_receivers=3,
+                shared_loss=BernoulliLoss(1.0),
+                independent_loss=NoLoss(),
+                scheme=ExponentialLayerScheme(4),
+                duration_units=40,
+                engine=engine,
+            ).run(seed=7)
+
+        batched, reference = run("batched"), run("reference")
+        assert batched.shared_link_packets == reference.shared_link_packets
+        assert np.array_equal(batched.receiver_packets, reference.receiver_packets)
+        assert batched.redundancy == reference.redundancy == float("inf")
+
+    def test_idle_link_reports_vacuous_one(self):
+        # Only when the link also carried nothing is 1.0 the right answer;
+        # such results cannot come out of an engine run (layer 1 is always
+        # carried), so construct the envelope directly.
+        result = simulate_layered_session(
+            DeterministicProtocol(),
+            num_receivers=2,
+            shared_loss_rate=0.0,
+            independent_loss_rate=0.0,
+            num_layers=3,
+            duration_units=40,
+            seed=0,
+        )
+        import dataclasses
+
+        idle = dataclasses.replace(
+            result,
+            shared_link_packets=0,
+            receiver_packets=np.zeros_like(result.receiver_packets),
+        )
+        assert idle.redundancy == 1.0
+
+
+class TestPerRunIsolation:
+    """RNG scheme 4: a seeded run depends only on its seed — never on what
+    earlier runs consumed from a (stateful) loss process."""
+
+    def test_gilbert_elliott_rerun_is_identical(self):
+        from repro.simulator import GilbertElliottLoss
+
+        simulator = LayeredSessionSimulator(
+            DeterministicProtocol(),
+            num_receivers=4,
+            shared_loss=GilbertElliottLoss(0.05, 0.3),
+            independent_loss=BernoulliLoss(0.05),
+            scheme=ExponentialLayerScheme(5),
+            duration_units=60,
+        )
+        first = simulator.run(seed=11)
+        simulator.run(seed=99)  # consume state in between
+        again = simulator.run(seed=11)
+        assert first.shared_link_packets == again.shared_link_packets
+        assert np.array_equal(first.receiver_packets, again.receiver_packets)

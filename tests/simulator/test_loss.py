@@ -89,3 +89,103 @@ class TestGilbertElliottLoss:
         clone = process.copy()
         assert clone is not process
         assert clone.p_good_to_bad == 0.5
+
+
+class TestSamplePositions:
+    def test_positions_match_sample_array_bit_for_bit(self):
+        # Both forms must consume the generator identically so the engines
+        # can mix them mid-stream.
+        for process_a, process_b in [
+            (BernoulliLoss(0.07), BernoulliLoss(0.07)),
+            (GilbertElliottLoss(0.05, 0.3), GilbertElliottLoss(0.05, 0.3)),
+        ]:
+            rng_a = np.random.default_rng(5)
+            rng_b = np.random.default_rng(5)
+            for n in (64, 128, 1, 1000):
+                dense = process_a.sample_array(rng_a, n)
+                positions = process_b.sample_positions(rng_b, n)
+                assert np.array_equal(np.nonzero(dense)[0], positions)
+
+    def test_noloss_positions_empty(self):
+        rng = np.random.default_rng(0)
+        assert NoLoss().sample_positions(rng, 50).size == 0
+
+
+class TestSplitInvariance:
+    """RNG scheme 4 contract: split-invariant (``splittable``) processes
+    produce bit-identical outcomes however the packets are partitioned into
+    calls, which is what lets the batched engine sample whole chunks while
+    the reference engine samples unit by unit."""
+
+    def test_flags(self):
+        assert BernoulliLoss(0.1).splittable
+        assert NoLoss().splittable
+        assert not GilbertElliottLoss(0.1, 0.5).splittable
+
+    @pytest.mark.parametrize("probability", [0.01, 0.2, 0.9])
+    def test_bernoulli_outcomes_independent_of_call_granularity(self, probability):
+        total = 4096
+        whole_process = BernoulliLoss(probability)
+        whole = whole_process.sample_array(np.random.default_rng(3), total)
+        for split in (1, 7, 128, 1000):
+            process = BernoulliLoss(probability)
+            rng = np.random.default_rng(3)
+            parts = []
+            remaining = total
+            while remaining:
+                step = min(split, remaining)
+                parts.append(process.sample_array(rng, step))
+                remaining -= step
+            assert np.array_equal(np.concatenate(parts), whole)
+
+    def test_copy_resets_carried_gap(self):
+        process = BernoulliLoss(0.3)
+        process.sample_array(np.random.default_rng(0), 100)
+        clone = process.copy()
+        fresh = BernoulliLoss(0.3)
+        rng_a, rng_b = np.random.default_rng(9), np.random.default_rng(9)
+        assert np.array_equal(
+            clone.sample_array(rng_a, 200), fresh.sample_array(rng_b, 200)
+        )
+
+
+class TestGilbertElliottSojournConstruction:
+    """Statistical proof obligations for the block (sojourn) construction:
+    ``sample_array`` must match ``sample``'s marginal loss rate and advance
+    the chain exactly ``n`` steps — including with ``loss_good > 0``."""
+
+    PARAMS = dict(p_good_to_bad=0.05, p_bad_to_good=0.25, loss_good=0.1, loss_bad=0.9)
+
+    def test_marginal_loss_rate_matches_scalar_sampling(self):
+        rng = np.random.default_rng(17)
+        blocked = GilbertElliottLoss(**self.PARAMS)
+        block_rate = np.mean(
+            [blocked.sample_array(rng, 257).mean() for _ in range(300)]
+        )
+        scalar = GilbertElliottLoss(**self.PARAMS)
+        scalar_rate = np.mean([scalar.sample(rng) for _ in range(77_100)])
+        assert block_rate == pytest.approx(scalar.average_loss_rate, abs=0.01)
+        assert scalar_rate == pytest.approx(scalar.average_loss_rate, abs=0.01)
+
+    def test_chain_state_advance_matches_stationary_occupancy(self):
+        # After many n-step blocks, the fraction of time the chain parks in
+        # the bad state must match the stationary distribution, proving the
+        # sojourn blocks advance the state like n scalar steps would.
+        rng = np.random.default_rng(23)
+        process = GilbertElliottLoss(**self.PARAMS)
+        stationary_bad = process.p_good_to_bad / (
+            process.p_good_to_bad + process.p_bad_to_good
+        )
+        ends_bad = []
+        for _ in range(4000):
+            process.sample_array(rng, 29)
+            ends_bad.append(process._in_bad_state)
+        assert np.mean(ends_bad) == pytest.approx(stationary_bad, abs=0.02)
+
+    def test_burstiness_survives_block_sampling(self):
+        rng = np.random.default_rng(31)
+        process = GilbertElliottLoss(0.02, 0.2, loss_good=0.05, loss_bad=0.95)
+        samples = np.concatenate([process.sample_array(rng, 997) for _ in range(40)])
+        rate = samples.mean()
+        consecutive = (samples[1:] & samples[:-1]).mean()
+        assert consecutive > (rate * rate) * 2

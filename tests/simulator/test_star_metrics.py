@@ -10,7 +10,6 @@ from repro.simulator import (
     RedundancyMeasurement,
     StarExperimentConfig,
     build_simulator,
-    measure_redundancy,
     replicate,
     simulate_star,
     star_redundancy,
