@@ -231,7 +231,8 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         choices=ENGINES,
         default="batched",
         help="simulation engine for the packet-level experiments "
-        "(identical results; 'reference' is the slow per-packet loop)",
+        "(identical results; 'reference' is the slow per-packet loop, "
+        "'bitpacked' the uint64+popcount scan)",
     )
     parser.add_argument(
         "--set",

@@ -44,8 +44,13 @@ __all__ = [
 #: seconds; ``"paper"`` uses the paper's full sweep sizes.
 SCALES: Tuple[str, ...] = ("reduced", "paper")
 
-#: Recognised simulation engines (see :mod:`repro.simulator.engine`).
-ENGINES: Tuple[str, ...] = ("batched", "reference")
+#: Recognised simulation engines: the time-unit-batched scan, the
+#: per-packet reference loop, and the bit-packed scan (uint64 words +
+#: popcount).  All bit-for-bit identical.  Mirrors
+#: ``repro.simulator.engine.ENGINES`` — kept as a literal so this module
+#: stays import-light (like the lazy ``RNG_SCHEME_VERSION`` import
+#: below); ``tests/experiments/test_api.py`` pins the two in lockstep.
+ENGINES: Tuple[str, ...] = ("batched", "reference", "bitpacked")
 
 #: Version of the ``ExperimentResult.to_dict`` JSON layout.  Bump when the
 #: envelope's keys change shape; ``from_dict`` rejects unknown versions.
@@ -108,8 +113,10 @@ class ExperimentSpec:
         Worker processes for experiments that fan out internally (Figure
         8's point sweep).  Results are identical for every value.
     engine:
-        Simulation engine for the packet-level experiments (``"batched"``
-        or ``"reference"``); ignored by the closed-form experiments.
+        Simulation engine for the packet-level experiments (``"batched"``,
+        ``"reference"`` or ``"bitpacked"``); ignored by the closed-form
+        experiments.  Results are identical for every value, so the field
+        is execution-only and excluded from canonical JSON.
     """
 
     scale: str = "reduced"

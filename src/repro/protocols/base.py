@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import ProtocolError
 from ..layering.layers import LayerScheme
-from .scan import ChunkResult, UnitChunk, scan_chunk
+from .scan import ChunkResult, UnitChunk, scan_chunk, scan_chunk_bitpacked
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
@@ -78,6 +78,13 @@ class LayeredProtocol(abc.ABC):
     #: protocols that inspect raw loss outcomes (the active-node group
     #: drain) set this true and get the dense arrays materialised.
     needs_dense_losses: bool = False
+
+    #: Whether the protocol implements the bit-packed scan path
+    #: (:meth:`scan_first_join_packed`).  ``engine="bitpacked"`` only packs
+    #: chunks for protocols that declare this; everything else runs the
+    #: dense batched scan (or the reference loop) under that engine
+    #: setting, with identical results.
+    supports_bitpacked: bool = False
 
     def stacking_key(self) -> tuple:
         """Identity for run stacking: two protocol instances may drive
@@ -177,7 +184,12 @@ class LayeredProtocol(abc.ABC):
         generic per-receiver event scan (:func:`repro.protocols.scan.scan_chunk`)
         driven by the ``scan_*`` hooks below; protocols whose receivers are
         *not* independent (the active-node group protocol) override it.
+        A chunk assembled with packed matrices (``engine="bitpacked"``)
+        carries ``receivable_packed`` instead of ``receivable`` and runs
+        the popcount scan, bit-for-bit identical to the dense one.
         """
+        if chunk.receivable_packed is not None:
+            return scan_chunk_bitpacked(self, chunk, levels)
         return scan_chunk(self, chunk, levels)
 
     def scan_boundary(
@@ -222,6 +234,30 @@ class LayeredProtocol(abc.ABC):
         raise ProtocolError(
             f"protocol {self.name!r} declares supports_batched_units but does "
             "not implement scan_first_join()"
+        )
+
+    def scan_first_join_packed(
+        self,
+        chunk: UnitChunk,
+        view,
+        act: np.ndarray,
+        levels_act: np.ndarray,
+        pos: np.ndarray,
+        fresh: bool = True,
+    ):
+        """Bit-packed counterpart of :meth:`scan_first_join`.
+
+        ``view`` is a :class:`repro.protocols.bitpack.PackedWindow` whose
+        rows follow ``act``; instead of a dense reception matrix the hook
+        reads masked popcounts (row counts, prefix counts, k-th set bit).
+        Return ``None`` when no join is possible, else ``(has_join,
+        column)`` arrays over ``act`` — columns are *absolute* chunk
+        columns, unlike the dense hook's window-relative indices.  Only
+        protocols declaring ``supports_bitpacked`` are ever called here.
+        """
+        raise ProtocolError(
+            f"protocol {self.name!r} declares supports_bitpacked but does "
+            "not implement scan_first_join_packed()"
         )
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:

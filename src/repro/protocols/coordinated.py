@@ -50,6 +50,7 @@ class CoordinatedProtocol(LayeredProtocol):
     name = "coordinated"
     supports_batched_units = True
     supports_stacked_runs = True
+    supports_bitpacked = True
 
     def __init__(self, sync_threshold_fraction: float = 0.5) -> None:
         super().__init__()
@@ -168,6 +169,49 @@ class CoordinatedProtocol(LayeredProtocol):
         first = candidates.argmax(axis=1)
         has_join = candidates[np.arange(act.size), first]
         return has_join, sync_at[first]
+
+    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True):
+        num_layers = chunk.num_layers
+        gate = self.sync_threshold_fraction * self.join_threshold(levels_act)
+        counters = self._received_since_event[act]
+        if fresh:
+            # Packed mirror of the dense fresh path: scan_boundary bounded
+            # the window at the next plausible sync point, so only the
+            # window's last observable column can trigger a join.
+            sync_col = view.last_obs_col
+            where = np.searchsorted(chunk.sync_cols, sync_col)
+            if where >= chunk.sync_cols.size or chunk.sync_cols[where] != sync_col:
+                return None
+            at_sync = chunk.sync_ok[where, levels_act]
+            if not at_sync.any():
+                return None
+            totals = view.counts()
+            has_join = (
+                view.bit_at(sync_col)
+                & at_sync
+                & (counters + totals >= gate)
+                & (levels_act < num_layers)
+            )
+            return has_join, np.full(act.size, sync_col, dtype=np.int64)
+        # Post-event re-check: inspect every sync point still inside the
+        # window (reception bits before each row's position are already
+        # masked out of the packed rows, exactly like the dense path).
+        s_lo = np.searchsorted(chunk.sync_cols, view.col_lo)
+        s_hi = np.searchsorted(chunk.sync_cols, view.col_hi)
+        if s_lo == s_hi:
+            return None
+        sync_sel = chunk.sync_cols[s_lo:s_hi]
+        at_sync = chunk.sync_ok[s_lo:s_hi][:, levels_act].T
+        running = view.prefix_counts_multi(sync_sel + 1)
+        candidates = (
+            view.bit_at(sync_sel)
+            & at_sync
+            & (counters[:, None] + running >= gate[:, None])
+            & (levels_act < num_layers)[:, None]
+        )
+        first = candidates.argmax(axis=1)
+        has_join = candidates[np.arange(act.size), first]
+        return has_join, sync_sel[first].astype(np.int64)
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
         self._received_since_event[receivers] += counts

@@ -28,6 +28,7 @@ class DeterministicProtocol(LayeredProtocol):
     name = "deterministic"
     supports_batched_units = True
     supports_stacked_runs = True
+    supports_bitpacked = True
 
     def _reset_state(self) -> None:
         self._received_since_event = np.zeros(self.num_receivers, dtype=np.int64)
@@ -85,6 +86,34 @@ class DeterministicProtocol(LayeredProtocol):
         index = np.zeros(act.size, dtype=np.int64)
         has_join[ridx] = candidates[np.arange(ridx.size), first]
         index[ridx] = first
+        return has_join, index
+
+    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True):
+        # Packed mirror of scan_first_join: the join fires at the k-th
+        # reception, where k is the smallest count lifting the frozen
+        # counter to the 2^(2(i-1)) threshold — the k-th set bit of the
+        # row instead of a dense cumulative scan.
+        counters = self._received_since_event[act]
+        thresholds = self.join_threshold(levels_act)
+        maybe = (counters + view.num_obs_cols >= thresholds) & (
+            levels_act < chunk.num_layers
+        )
+        if not maybe.any():
+            return None
+        midx = np.nonzero(maybe)[0]
+        totals = np.zeros(act.size, dtype=np.int64)
+        totals[midx] = view.counts(midx)
+        reachable = maybe & (totals >= 1) & (counters + totals >= thresholds)
+        if not reachable.any():
+            return None
+        ridx = np.nonzero(reachable)[0]
+        need = np.maximum(1, np.ceil(thresholds[ridx] - counters[ridx])).astype(
+            np.int64
+        )
+        has_join = np.zeros(act.size, dtype=bool)
+        index = np.zeros(act.size, dtype=np.int64)
+        has_join[ridx] = True
+        index[ridx] = view.kth_set(ridx, need)
         return has_join, index
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:

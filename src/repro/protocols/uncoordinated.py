@@ -52,6 +52,7 @@ class UncoordinatedProtocol(LayeredProtocol):
     name = "uncoordinated"
     supports_batched_units = True
     supports_stacked_runs = True
+    supports_bitpacked = True
 
     def _reset_state(self) -> None:
         self._streams: Optional["ReceiverDrawStreams"] = None
@@ -167,6 +168,31 @@ class UncoordinatedProtocol(LayeredProtocol):
             index[deeper] = (
                 (running == countdown[deeper][:, None]) & part
             ).argmax(axis=1)
+        return has_join, index
+
+    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True):
+        if self._streams is None:
+            raise ProtocolError(
+                "uncoordinated batched scan needs bind_run_streams() to "
+                "attach its per-receiver draw streams"
+            )
+        countdown = self._countdown[act]
+        # Same candidate pruning as the dense hook: a row cannot join
+        # unless its countdown fits in the observable columns.
+        maybe = countdown <= view.num_obs_cols
+        if not bool(maybe.any()):
+            return None
+        has_join = np.zeros(act.size, dtype=bool)
+        midx = np.nonzero(maybe)[0]
+        counts = view.counts(midx)
+        has_join[midx] = countdown[midx] <= counts
+        if not bool(has_join[midx].any()):
+            return None
+        # The joining packet is each row's countdown-th reception — the
+        # countdown-th set bit of its packed row.
+        index = np.zeros(act.size, dtype=np.int64)
+        candidates = np.nonzero(has_join)[0]
+        index[candidates] = view.kth_set(candidates, countdown[candidates])
         return has_join, index
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:

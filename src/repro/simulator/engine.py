@@ -75,6 +75,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..layering.layers import ExponentialLayerScheme, LayerScheme
+from ..protocols import bitpack
 from ..protocols.base import LayeredProtocol
 from ..protocols.scan import UnitChunk
 from .loss import BernoulliLoss, LossProcess, NoLoss
@@ -101,9 +102,17 @@ __all__ = [
 #: versions.
 RNG_SCHEME_VERSION = 4
 
-#: Valid ``engine=`` arguments: the time-unit-batched event scan (default)
-#: and the per-packet reference loop it is equivalent to.
-ENGINES = ("batched", "reference")
+#: Valid ``engine=`` arguments: the time-unit-batched event scan (default),
+#: the per-packet reference loop it is equivalent to, and the bit-packed
+#: variant of the scan (uint64 words + popcount reductions, see
+#: :mod:`repro.protocols.bitpack`).  All three produce bit-for-bit
+#: identical results for any seed.  Mirrored by the import-light
+#: ``repro.experiments.api.ENGINES`` (pinned equal by
+#: ``tests/experiments/test_api.py``).
+ENGINES = ("batched", "reference", "bitpacked")
+
+#: Engines that run the chunked scan (everything except the reference loop).
+_SCAN_ENGINES = ("batched", "bitpacked")
 
 IndependentLoss = Union[LossProcess, Sequence[LossProcess]]
 
@@ -226,8 +235,12 @@ class LayeredSessionSimulator:
     engine:
         ``"batched"`` (the default) processes whole chunks of time units
         with the per-receiver event scan; ``"reference"`` runs the original
-        per-packet loop.  Results are bit-for-bit identical for any seed;
-        protocols without batched support always use the reference loop.
+        per-packet loop; ``"bitpacked"`` runs the scan on uint64-packed
+        matrices with popcount reductions (8x denser windows).  Results
+        are bit-for-bit identical for any seed; protocols without batched
+        support always use the reference loop, and protocols without
+        packed support (the active-node group drain) run the dense scan
+        under ``"bitpacked"``.
     chunk_units:
         Time units the batched engine processes per chunk (performance
         knob only; results do not depend on it).
@@ -262,6 +275,7 @@ class LayeredSessionSimulator:
         #: batched engine; 0 scans each chunk in one unbounded window).
         self.scan_window_units = 2
         self._chunk_static: Dict[int, Tuple[np.ndarray, List[np.ndarray], np.ndarray]] = {}
+        self._packed_static: Dict[int, np.ndarray] = {}
         self.protocol = protocol
         self.num_receivers = num_receivers
         self.scheme = scheme if scheme is not None else ExponentialLayerScheme(8)
@@ -379,16 +393,23 @@ class LayeredSessionSimulator:
         clears them out of the pre-set ``receivable`` matrix instead of
         materialising dense per-packet outcome matrices; the dense forms
         are only filled in for protocols that declare
-        ``needs_dense_losses``.
+        ``needs_dense_losses``.  Under ``engine="bitpacked"`` the block is
+        a uint64 word matrix and the positions are scattered straight into
+        the packed words (one cleared bit per lost packet) — the stream
+        consumption is identical either way.
         """
         n = num_units * packets_per_unit
         receivers = self.num_receivers
         streams = context.streams
+        packed = receivable_block.dtype == np.uint64
         shared_cols = self._chunk_positions(
             context.shared_loss, streams.shared_rng, num_units, packets_per_unit
         )
         if shared_cols.size:
-            receivable_block[:, shared_cols] = False
+            if packed:
+                bitpack.clear_cols(receivable_block, shared_cols)
+            else:
+                receivable_block[:, shared_cols] = False
             if shared_dense is not None:
                 shared_dense[shared_cols] = True
         if len(context.per_receiver_loss) == 1:
@@ -403,7 +424,10 @@ class LayeredSessionSimulator:
                 unit_index, remainder = np.divmod(flat, receivers * packets_per_unit)
                 row, packet = np.divmod(remainder, packets_per_unit)
                 column = unit_index * packets_per_unit + packet
-                receivable_block[row, column] = False
+                if packed:
+                    bitpack.clear_bits(receivable_block, row, column)
+                else:
+                    receivable_block[row, column] = False
                 if independent_dense is not None:
                     independent_dense[row, column] = True
         else:
@@ -413,7 +437,10 @@ class LayeredSessionSimulator:
                     process, rng, num_units, packets_per_unit
                 )
                 if columns.size:
-                    receivable_block[row, columns] = False
+                    if packed:
+                        bitpack.clear_cols(receivable_block[row:row + 1], columns)
+                    else:
+                        receivable_block[row, columns] = False
                     if independent_dense is not None:
                         independent_dense[row, columns] = True
 
@@ -432,7 +459,7 @@ class LayeredSessionSimulator:
             self.num_receivers, self.scheme, context.streams.protocol_rng
         )
         self.protocol.bind_run_streams([context.streams], self.num_receivers)
-        if self.engine == "batched" and self.protocol.supports_batched_units:
+        if self.engine in _SCAN_ENGINES and self.protocol.supports_batched_units:
             return self._run_batched([(self, context)])[0]
         return self._run_reference(context)
 
@@ -452,7 +479,7 @@ class LayeredSessionSimulator:
             return []
         stacked = (
             len(seeds) > 1
-            and self.engine == "batched"
+            and self.engine in _SCAN_ENGINES
             and self.protocol.supports_batched_units
             and self.protocol.supports_stacked_runs
         )
@@ -757,19 +784,38 @@ class LayeredSessionSimulator:
         receivers = self.num_receivers
         self.protocol.begin_chunk(num_runs, num_units, packets_per_unit)
         num_packets = num_units * packets_per_unit
-        receivable = np.ones((receivers * num_runs, num_packets), dtype=bool)
         dense = self.protocol.needs_dense_losses
+        packed = (
+            self.engine == "bitpacked"
+            and self.protocol.supports_bitpacked
+            and not dense
+        )
+        receivable_packed = None
+        layer_masks_packed = None
+        if packed:
+            receivable = None
+            receivable_packed = bitpack.ones_rows(receivers * num_runs, num_packets)
+            layer_masks_packed = self._packed_static.get(num_units)
+            if layer_masks_packed is None:
+                level_rows = np.arange(self.scheme.num_layers + 1, dtype=np.int16)
+                layer_masks_packed = bitpack.pack_bits(
+                    layers[None, :] <= level_rows[:, None]
+                )
+                self._packed_static[num_units] = layer_masks_packed
+        else:
+            receivable = np.ones((receivers * num_runs, num_packets), dtype=bool)
         shared_lost = np.zeros((num_runs, num_packets), dtype=bool) if dense else None
         independent_lost = (
             np.zeros((receivers * num_runs, num_packets), dtype=bool) if dense else None
         )
+        scatter_target = receivable_packed if packed else receivable
         for run, (simulator, context) in enumerate(runs):
             block = slice(run * receivers, (run + 1) * receivers)
             simulator._scatter_chunk_losses(
                 context,
                 num_units,
                 packets_per_unit,
-                receivable[block],
+                scatter_target[block],
                 shared_lost[run] if dense else None,
                 independent_lost[block] if dense else None,
             )
@@ -797,21 +843,22 @@ class LayeredSessionSimulator:
             )
             times = units + offsets
 
-        return UnitChunk(
-            start_unit=start_unit,
-            num_units=num_units,
-            packets_per_unit=packets_per_unit,
-            num_layers=self.scheme.num_layers,
-            layers=layers,
-            shared_lost=shared_for_chunk,
-            independent_lost=independent_lost,
-            receivable=receivable,
-            cols_for_level=cols_for_level,
-            observed_before=observed_before,
-            sync_cols=sync_cols,
-            sync_ok=sync_ok,
-            times=times,
-            scan_window=max(
+        if packed:
+            # Packed rows cost one byte per 8 columns, so a far larger
+            # column budget keeps the window matrices cache-sized: small
+            # stacks scan a whole 8-unit chunk in one window, and even
+            # ~1000-row sweep stacks get half-chunk windows — trading
+            # matrix bytes for far fewer Python-level window
+            # establishments (still purely a performance knob).
+            scan_window = max(
+                32,
+                min(
+                    8 * self.scan_window_units * packets_per_unit,
+                    524288 // max(1, receivers * num_runs),
+                ),
+            )
+        else:
+            scan_window = max(
                 32,
                 min(
                     self.scan_window_units * packets_per_unit,
@@ -822,7 +869,24 @@ class LayeredSessionSimulator:
                     # windows beat unit-wide matrices.
                     32768 // max(1, receivers * num_runs),
                 ),
-            ),
+            )
+        return UnitChunk(
+            start_unit=start_unit,
+            num_units=num_units,
+            packets_per_unit=packets_per_unit,
+            num_layers=self.scheme.num_layers,
+            layers=layers,
+            shared_lost=shared_for_chunk,
+            independent_lost=independent_lost,
+            receivable=receivable,
+            receivable_packed=receivable_packed,
+            layer_masks_packed=layer_masks_packed,
+            cols_for_level=cols_for_level,
+            observed_before=observed_before,
+            sync_cols=sync_cols,
+            sync_ok=sync_ok,
+            times=times,
+            scan_window=scan_window,
         )
 
     def _advertised_carriage(
@@ -1079,7 +1143,7 @@ def simulate_session_group(
     ]
     stackable = (
         len(flat) > 1
-        and lead.engine == "batched"
+        and lead.engine in _SCAN_ENGINES
         and lead.protocol.supports_batched_units
         and lead.protocol.supports_stacked_runs
         and all(_stack_compatible(lead, simulator) for simulator in simulators[1:])
@@ -1110,7 +1174,7 @@ def simulate_session_group(
 def _stack_compatible(lead: LayeredSessionSimulator, other: LayeredSessionSimulator) -> bool:
     """Whether ``other``'s runs may ride in ``lead``'s batched session."""
     return (
-        other.engine == "batched"
+        other.engine == lead.engine
         and other.num_receivers == lead.num_receivers
         and other.duration_units == lead.duration_units
         and other.warmup_units == lead.warmup_units

@@ -114,6 +114,15 @@ class TestSpec:
         with pytest.raises(ExperimentError):
             ExperimentSpec(engine="warp-drive")
 
+    def test_engine_list_mirrors_simulator(self):
+        # api.ENGINES is a deliberate import-light literal copy of the
+        # simulator's tuple; divergence would make spec/CLI validation
+        # disagree with what the simulator accepts.
+        from repro.experiments.api import ENGINES as api_engines
+        from repro.simulator.engine import ENGINES as simulator_engines
+
+        assert api_engines == simulator_engines
+
     def test_jobs_validated(self):
         with pytest.raises(ExperimentError):
             ExperimentSpec(jobs=0)

@@ -1,17 +1,21 @@
-"""Bit-for-bit equivalence of the batched engine and the per-packet reference.
+"""Bit-for-bit conformance of all three engines (three-way matrix).
 
-The time-unit-batched engine (the default since the scan rewrite) must
-reproduce the reference per-packet loop *exactly* for any seed: the two
-consume the same pre-sampled random stream, so every measured quantity —
-shared-link packet counts, per-receiver reception counts, and the
-subscription-level statistics — has to match to the last bit.  The same
-holds for the stacked fast paths (``run_many`` and
-``simulate_session_group``), which fold many independently seeded runs into
-one scan.
+The simulator ships three engines — the per-packet ``reference`` loop, the
+time-unit-batched ``batched`` scan, and the uint64 ``bitpacked`` scan —
+that must reproduce each other *exactly* for any seed: all three consume
+the same pre-sampled counter-based random streams (``RNG_SCHEME_VERSION =
+4``), so every measured quantity — shared-link packet counts, per-receiver
+reception counts, and the subscription-level statistics — has to match to
+the last bit.  The same holds for the stacked fast paths (``run_many``,
+``simulate_session_group`` and ``star_redundancy_group``), which fold many
+independently seeded runs into one scan, and for the experiment API's
+``canonical_json()`` envelopes, which must be byte-identical across
+engines (``engine`` is an execution-only spec field).
 
-These tests are the safety net for the scan's aggressive batching
-(windowed event scans, join-candidate pruning, carriage reconstruction);
-any semantic drift shows up here first.
+Every scan-engine case below runs against the reference loop, and the two
+scan engines are also checked against each other directly, so a drift in
+any single engine — or in the packed reductions of
+:mod:`repro.protocols.bitpack` — shows up here first.
 """
 
 from __future__ import annotations
@@ -19,9 +23,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.experiments.registry import get_experiment
 from repro.layering import ExponentialLayerScheme
 from repro.protocols import make_protocol
 from repro.simulator import (
+    ENGINES,
     BernoulliLoss,
     GilbertElliottLoss,
     LayeredSessionSimulator,
@@ -34,6 +40,16 @@ from repro.simulator import (
 
 SEEDS = list(range(10))
 PROTOCOLS = ("uncoordinated", "deterministic", "coordinated")
+#: The chunked engines under test; each is asserted against the reference
+#: loop (and thereby against the other).
+SCAN_ENGINES = ("batched", "bitpacked")
+#: Loss regimes of the matrix: (shared, independent) Bernoulli rates.
+LOSS_REGIMES = (
+    ("mixed", 0.01, 0.05),
+    ("correlated", 0.05, 0.1),
+    ("independent", 0.0001, 0.08),
+    ("lossless", 0.0, 0.0),
+)
 
 
 def _simulator(protocol_name, engine, shared=0.01, independent=0.05,
@@ -55,102 +71,103 @@ def _simulator(protocol_name, engine, shared=0.01, independent=0.05,
     )
 
 
-def assert_identical(reference, batched):
-    assert batched.shared_link_packets == reference.shared_link_packets
-    assert np.array_equal(batched.receiver_packets, reference.receiver_packets)
-    assert batched.mean_subscription_level == reference.mean_subscription_level
-    assert batched.mean_max_subscription_level == reference.mean_max_subscription_level
-    assert batched.total_sender_packets == reference.total_sender_packets
+def assert_identical(reference, candidate):
+    assert candidate.shared_link_packets == reference.shared_link_packets
+    assert np.array_equal(candidate.receiver_packets, reference.receiver_packets)
+    assert candidate.mean_subscription_level == reference.mean_subscription_level
+    assert candidate.mean_max_subscription_level == reference.mean_max_subscription_level
+    assert candidate.total_sender_packets == reference.total_sender_packets
 
 
 class TestEngineEquivalence:
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    @pytest.mark.parametrize("regime", LOSS_REGIMES, ids=lambda r: r[0])
     @pytest.mark.parametrize("protocol", PROTOCOLS)
-    @pytest.mark.parametrize("seed", SEEDS)
-    def test_section4_protocols_match_reference(self, protocol, seed):
-        reference = _simulator(protocol, "reference").run(seed=seed)
-        batched = _simulator(protocol, "batched").run(seed=seed)
-        assert_identical(reference, batched)
-
-    @pytest.mark.parametrize("protocol", PROTOCOLS)
-    @pytest.mark.parametrize("seed", SEEDS)
-    def test_high_correlated_loss_matches_reference(self, protocol, seed):
-        # Shared (correlated) losses synchronise events across receivers,
-        # the scan's most intricate regime.
-        reference = _simulator(protocol, "reference", shared=0.05, independent=0.1).run(seed=seed)
-        batched = _simulator(protocol, "batched", shared=0.05, independent=0.1).run(seed=seed)
-        assert_identical(reference, batched)
-
-    @pytest.mark.parametrize("seed", SEEDS)
-    def test_active_node_matches_reference(self, seed):
-        reference = _simulator("active-node", "reference").run(seed=seed)
-        batched = _simulator("active-node", "batched").run(seed=seed)
-        assert_identical(reference, batched)
+    def test_section4_protocols_match_reference(self, protocol, regime, engine):
+        _name, shared, independent = regime
+        for seed in SEEDS:
+            reference = _simulator(protocol, "reference", shared, independent).run(seed=seed)
+            candidate = _simulator(protocol, engine, shared, independent).run(seed=seed)
+            assert_identical(reference, candidate)
 
     @pytest.mark.parametrize("protocol", PROTOCOLS)
-    @pytest.mark.parametrize("seed", SEEDS)
-    @pytest.mark.parametrize("latency", (0.5, 1.0, 2.7))
-    def test_leave_latency_matches_reference(self, protocol, seed, latency):
-        reference = _simulator(protocol, "reference", leave_latency=latency).run(seed=seed)
-        batched = _simulator(protocol, "batched", leave_latency=latency).run(seed=seed)
-        assert_identical(reference, batched)
-
-    @pytest.mark.parametrize("seed", SEEDS[:4])
-    def test_lossless_runs_match_reference(self, seed):
-        for protocol in PROTOCOLS:
-            reference = _simulator(protocol, "reference", shared=0.0, independent=0.0).run(seed=seed)
-            batched = _simulator(protocol, "batched", shared=0.0, independent=0.0).run(seed=seed)
-            assert_identical(reference, batched)
-
     @pytest.mark.parametrize("seed", SEEDS[:5])
-    def test_bursty_per_receiver_losses_match_reference(self, seed):
-        def bursty(engine):
+    def test_scan_engines_match_each_other(self, protocol, seed):
+        # Transitivity through the reference holds, but the direct check
+        # localises a failure to the packed scan immediately.
+        batched = _simulator(protocol, "batched", 0.03, 0.08).run(seed=seed)
+        bitpacked = _simulator(protocol, "bitpacked", 0.03, 0.08).run(seed=seed)
+        assert_identical(batched, bitpacked)
+
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_active_node_matches_reference(self, seed, engine):
+        # The group protocol has no packed path; under ``bitpacked`` it
+        # must transparently run the dense scan with identical results.
+        reference = _simulator("active-node", "reference").run(seed=seed)
+        candidate = _simulator("active-node", engine).run(seed=seed)
+        assert_identical(reference, candidate)
+
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("latency", (0.5, 1.0, 2.7))
+    def test_leave_latency_matches_reference(self, protocol, latency, engine):
+        for seed in SEEDS[:6]:
+            reference = _simulator(protocol, "reference", leave_latency=latency).run(seed=seed)
+            candidate = _simulator(protocol, engine, leave_latency=latency).run(seed=seed)
+            assert_identical(reference, candidate)
+
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_bursty_per_receiver_losses_match_reference(self, seed, engine):
+        def bursty(which):
             processes = [GilbertElliottLoss(0.02, 0.3) for _ in range(9)]
             return _simulator(
-                "deterministic", engine, num_receivers=9, independent_loss=processes
+                "deterministic", which, num_receivers=9, independent_loss=processes
             )
-        assert_identical(bursty("reference").run(seed=seed), bursty("batched").run(seed=seed))
+        assert_identical(bursty("reference").run(seed=seed), bursty(engine).run(seed=seed))
 
-    def test_reference_engine_is_explicitly_selectable(self):
-        simulator = _simulator("coordinated", "reference")
-        assert simulator.engine == "reference"
+    def test_every_engine_is_explicitly_selectable(self):
+        for engine in ENGINES:
+            assert _simulator("coordinated", engine).engine == engine
         with pytest.raises(Exception):
             _simulator("coordinated", "bogus")
 
 
 class TestStackedRuns:
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
     @pytest.mark.parametrize("protocol", PROTOCOLS)
-    def test_run_many_matches_solo_runs(self, protocol):
-        solo = [_simulator(protocol, "batched").run(seed=seed) for seed in SEEDS]
-        stacked = _simulator(protocol, "batched").run_many(SEEDS)
+    def test_run_many_matches_reference_solo_runs(self, protocol, engine):
+        solo = [_simulator(protocol, "reference").run(seed=seed) for seed in SEEDS]
+        stacked = _simulator(protocol, engine).run_many(SEEDS)
         assert len(stacked) == len(SEEDS)
         for one, many in zip(solo, stacked):
             assert_identical(one, many)
 
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
     @pytest.mark.parametrize("protocol", PROTOCOLS)
-    def test_run_many_matches_solo_runs_with_latency(self, protocol):
+    def test_run_many_matches_solo_runs_with_latency(self, protocol, engine):
         solo = [
-            _simulator(protocol, "batched", leave_latency=1.5).run(seed=seed)
+            _simulator(protocol, engine, leave_latency=1.5).run(seed=seed)
             for seed in SEEDS[:5]
         ]
-        stacked = _simulator(protocol, "batched", leave_latency=1.5).run_many(SEEDS[:5])
+        stacked = _simulator(protocol, engine, leave_latency=1.5).run_many(SEEDS[:5])
         for one, many in zip(solo, stacked):
             assert_identical(one, many)
 
-    def test_active_node_run_many_falls_back(self):
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    def test_active_node_run_many_falls_back(self, engine):
         # Group state cannot stack; run_many must still give exact results.
-        solo = [_simulator("active-node", "batched").run(seed=seed) for seed in SEEDS[:3]]
-        stacked = _simulator("active-node", "batched").run_many(SEEDS[:3])
+        solo = [_simulator("active-node", engine).run(seed=seed) for seed in SEEDS[:3]]
+        stacked = _simulator("active-node", engine).run_many(SEEDS[:3])
         for one, many in zip(solo, stacked):
             assert_identical(one, many)
 
-    def test_session_group_matches_per_simulator_runs(self):
-        configs = [
-            uniform_star(11, 0.01, rate, num_layers=6, duration_units=96)
-            for rate in (0.02, 0.08)
-        ]
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    def test_session_group_matches_per_simulator_runs(self, engine):
         grouped = simulate_session_group(
             [
-                _simulator("coordinated", "batched", shared=0.01, independent=rate,
+                _simulator("coordinated", engine, shared=0.01, independent=rate,
                            num_receivers=11, num_layers=6)
                 for rate in (0.02, 0.08)
             ],
@@ -158,13 +175,13 @@ class TestStackedRuns:
         )
         for rate, results in zip((0.02, 0.08), grouped):
             for seed, result in zip(SEEDS[:4], results):
-                solo = _simulator("coordinated", "batched", shared=0.01,
+                solo = _simulator("coordinated", "reference", shared=0.01,
                                   independent=rate, num_receivers=11,
                                   num_layers=6).run(seed=seed)
                 assert_identical(solo, result)
-        del configs
 
-    def test_star_redundancy_group_matches_pointwise(self):
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    def test_star_redundancy_group_matches_pointwise(self, engine):
         configs = [
             uniform_star(13, 0.02, rate, num_layers=6, duration_units=96)
             for rate in (0.02, 0.05, 0.1)
@@ -174,10 +191,33 @@ class TestStackedRuns:
             configs,
             repetitions=4,
             base_seed=3,
+            engine=engine,
         )
         for config, measurement in zip(configs, grouped):
             pointwise = star_redundancy(
-                make_protocol("deterministic"), config, repetitions=4, base_seed=3
+                make_protocol("deterministic"), config, repetitions=4,
+                base_seed=3, engine="reference",
             )
             assert measurement.redundancies == pointwise.redundancies
             assert measurement.receiver_rate_means == pointwise.receiver_rate_means
+
+
+class TestCanonicalJsonAcrossEngines:
+    """The experiment envelope must serialise byte-identically per engine."""
+
+    def test_figure8_panel_canonical_json_is_engine_invariant(self):
+        experiment = get_experiment("figure8_panel")
+        payloads = {}
+        for engine in ENGINES:
+            result = experiment.run(
+                shared_loss_rate=0.05,
+                independent_loss_rates=(0.02, 0.08),
+                num_receivers=7,
+                num_layers=5,
+                duration_units=48,
+                repetitions=2,
+                engine=engine,
+            )
+            payloads[engine] = result.canonical_json()
+        assert payloads["batched"] == payloads["reference"]
+        assert payloads["bitpacked"] == payloads["reference"]
