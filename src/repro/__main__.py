@@ -12,6 +12,18 @@ Subcommands:
 * ``python -m repro verify`` — run experiments and print one verdict line
   each; exits non-zero if any paper claim fails to reproduce (MISMATCH).
 
+``run`` and ``verify`` share the fault-tolerance flags: ``--cache DIR``
+journals every completed result into a content-addressed on-disk store
+(repeated runs become O(1) lookups; an interrupted sweep resumes from its
+last completed task), ``--resume`` asserts such a checkpoint exists,
+``--timeout`` bounds each task's wall clock, and ``--retries`` bounds
+re-attempts after worker crashes or task errors.
+
+Exit codes: ``0`` success, ``1`` verify MISMATCH, ``2`` clean error
+(:class:`~repro.errors.ReproError` — bad arguments, failed execution),
+``130`` interrupted (completed results stay checkpointed under
+``--cache``).
+
 The legacy flag-style runner remains available as
 ``python -m repro.experiments.runner``.
 """
@@ -26,10 +38,11 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from .errors import ExperimentError, ReproError
+from .errors import ExecutionError, ExperimentError, ReproError
 from .experiments.api import ENGINES, SCALES, ExperimentSpec
 from .experiments.registry import Experiment, all_experiments, select_experiments
 from .experiments.runner import run_specs
+from .experiments.store import ResultStore
 
 __all__ = ["main"]
 
@@ -139,6 +152,30 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The result store described by ``--cache``/``--resume`` (or ``None``).
+
+    ``--resume`` is a statement of intent — "continue an interrupted
+    sweep" — so it requires ``--cache`` and refuses to start from an
+    absent checkpoint directory instead of silently recomputing
+    everything.
+    """
+    if args.cache is None:
+        if args.resume:
+            raise ExperimentError(
+                "--resume requires --cache DIR (the checkpoint directory "
+                "of the interrupted sweep)"
+            )
+        return None
+    cache_dir = Path(args.cache)
+    if args.resume and not cache_dir.is_dir():
+        raise ExperimentError(
+            f"--resume: no checkpoint directory at {cache_dir}; "
+            "run with --cache first (results are journaled as they complete)"
+        )
+    return ResultStore(cache_dir)
+
+
 def _run_selected(args: argparse.Namespace):
     """Run the selected experiments via the registry's (key, spec) task form."""
     experiments = _select(args.keys)
@@ -163,7 +200,14 @@ def _run_selected(args: argparse.Namespace):
     jobs = overrides.get("jobs", args.jobs)
     if not isinstance(jobs, int) or jobs < 1:
         raise ExperimentError(f"jobs must be a positive integer, got {jobs!r}")
-    return experiments, run_specs(tasks, jobs=jobs)
+    store = _make_store(args)
+    results = run_specs(
+        tasks, jobs=jobs, store=store, timeout=args.timeout, retries=args.retries
+    )
+    if store is not None:
+        # Stats go to stderr so --format json keeps a pure-JSON stdout.
+        print(f"cache: {store.stats.summary()} in {store.root}", file=sys.stderr)
+    return experiments, results
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -241,6 +285,36 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         help="override a spec field (JSON values; repeatable), "
         "e.g. --set repetitions=5 --set 'independent_loss_rates=[0.02,0.08]'",
     )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result store: completed results are "
+        "journaled here as they finish, and tasks already stored (same "
+        "spec + RNG scheme) are served without running the simulator",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from its --cache checkpoint "
+        "(requires --cache; refuses to start without an existing one)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-task wall-clock timeout (multi-process runs); a task "
+        "exceeding it is killed and retried",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=2,
+        help="re-attempts allowed per task after a crash, timeout, or "
+        "error (default 2); retried tasks reproduce bit-identically",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -291,14 +365,36 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Error hygiene: every :class:`~repro.errors.ReproError` — bad
+    arguments, failed tasks — exits with a clean one-line message and
+    code 2 (code 1 is reserved for ``verify`` MISMATCH); execution
+    failures additionally print one line per failed task.  An interrupt
+    exits 130; with ``--cache``, everything completed before the
+    interrupt is already journaled and a re-run resumes from there.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except ExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        for failure in error.failures:
+            print(f"  {failure.summary()}", file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        message = "interrupted"
+        if getattr(args, "cache", None):
+            message += (
+                f" — completed results are checkpointed in {args.cache}; "
+                "re-run with --resume to continue"
+            )
+        print(message, file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -46,3 +46,31 @@ class ProtocolError(SimulationError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment is given inconsistent parameters."""
+
+
+class ExecutionError(ReproError):
+    """Raised when task execution fails (worker crash, exhausted retries).
+
+    Carries the structured per-task failure reports produced by the
+    hardened runner (:mod:`repro.experiments.resilient`) in
+    :attr:`failures` — each report names the task index, its arguments,
+    the attempt count, and the final traceback — so callers can render an
+    actionable summary instead of a bare traceback.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+class TaskTimeoutError(ExecutionError):
+    """Raised when a task exceeds its wall-clock timeout on every attempt."""
+
+
+class ResultStoreError(ReproError):
+    """Raised when the on-disk result store is misconfigured or unwritable.
+
+    Corrupt *entries* never raise — they are quarantined and reported as
+    cache misses (see :mod:`repro.experiments.store`); this error is for
+    structural problems such as an unusable cache directory.
+    """

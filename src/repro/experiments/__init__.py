@@ -60,8 +60,11 @@ from .registry import (
     experiment_keys,
     get_experiment,
     register,
+    register_module,
 )
+from .resilient import TaskFailure, resilient_map
 from .runner import EXPERIMENT_KEYS, run_all, run_specs
+from .store import ResultStore, cache_key
 
 __all__ = [
     "ExperimentSpec",
@@ -69,10 +72,15 @@ __all__ = [
     "Verdict",
     "Experiment",
     "register",
+    "register_module",
     "get_experiment",
     "experiment_keys",
     "all_experiments",
     "run_specs",
+    "ResultStore",
+    "cache_key",
+    "TaskFailure",
+    "resilient_map",
     "ActiveNodesSpec",
     "ActiveNodeResult",
     "run_active_nodes",

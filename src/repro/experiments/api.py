@@ -169,6 +169,20 @@ class ExperimentSpec:
             for spec_field in dataclasses.fields(self)
         }
 
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The spec as a JSON-safe mapping minus the execution-only fields.
+
+        Two specs with equal canonical dicts describe the same computation:
+        ``jobs`` and ``engine`` (:data:`EXECUTION_ONLY_FIELDS`) choose *how*
+        to execute, never *what* is computed.  This is the form embedded in
+        :meth:`ExperimentResult.canonical_json` and hashed into the result
+        store's content address (:func:`repro.experiments.store.cache_key`).
+        """
+        data = self.to_dict()
+        for field_name in EXECUTION_ONLY_FIELDS:
+            data.pop(field_name, None)
+        return data
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         """Rebuild a spec from :meth:`to_dict` output (lists become tuples)."""
@@ -226,6 +240,22 @@ class ExperimentResult:
     rng_scheme_version: int
     wall_time_seconds: float
     payload: Any = field(default=None, compare=False, repr=False)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the payload when pickling (e.g. crossing a worker boundary).
+
+        The payload is documented as in-memory only, and some experiments'
+        rich result objects hold closures that cannot be pickled — before
+        this, a multi-process sweep crashed on the first such experiment
+        instead of returning its (fully serialisable) envelope.
+        """
+        state = dict(self.__dict__)
+        state["payload"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     @property
     def matches_current_rng_scheme(self) -> bool:
@@ -303,8 +333,7 @@ class ExperimentResult:
         """
         data = self.to_dict()
         del data["wall_time_seconds"]
-        for field_name in EXECUTION_ONLY_FIELDS:
-            data["spec"].pop(field_name, None)
+        data["spec"] = self.spec.canonical_dict()
         return json.dumps(data, sort_keys=True, indent=2) + "\n"
 
     @classmethod

@@ -29,18 +29,28 @@ with ``jobs=N`` is bit-identical to ``jobs=1`` (smoke-tested in
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, List, Sequence, Tuple
 
-from ..errors import SimulationError
+from ..errors import ExecutionError, SimulationError
 from ..simulator.rng import spawn_run_entropy
 
 __all__ = ["default_jobs", "parallel_map", "task_seeds", "run_star_repetitions"]
 
 
 def default_jobs() -> int:
-    """A sensible worker count for this machine (``os.cpu_count``, >= 1)."""
-    return max(1, os.cpu_count() or 1)
+    """A sensible worker count for this machine (>= 1).
+
+    Respects the process's CPU *affinity* where the platform exposes it
+    (``os.sched_getaffinity``), so a container or cgroup-limited CI job
+    pinned to 2 of a host's 64 cores gets 2 workers instead of 64 —
+    ``os.cpu_count`` reports the host and oversubscribes.  Falls back to
+    ``os.cpu_count`` on platforms without affinity (macOS, Windows).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
 
 
 def task_seeds(base_seed: int, num_tasks: int) -> List[int]:
@@ -71,6 +81,13 @@ def parallel_map(
     With ``jobs <= 1`` (or a single task) this is a plain in-process loop;
     otherwise tasks are distributed over a process pool.  ``function`` and
     all arguments/results must be picklable for the multi-process path.
+
+    Failure semantics are fail-fast: the first task exception cancels every
+    pending future and re-raises as :class:`~repro.errors.ExecutionError`
+    naming the failing task's index and arguments (the original exception
+    rides along as ``__cause__``), instead of silently draining the rest of
+    the sweep first.  For retries, per-task timeouts, and crash recovery
+    use :func:`repro.experiments.resilient.resilient_map`.
     """
     if jobs < 0:
         raise SimulationError(f"jobs must be non-negative, got {jobs}")
@@ -78,9 +95,28 @@ def parallel_map(
     if jobs <= 1 or len(tasks) <= 1:
         return [function(*arguments) for arguments in tasks]
     workers = min(jobs, len(tasks), default_jobs())
+    results: List[Any] = [None] * len(tasks)
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        futures = [executor.submit(function, *arguments) for arguments in tasks]
-        return [future.result() for future in futures]
+        future_index = {
+            executor.submit(function, *arguments): index
+            for index, arguments in enumerate(tasks)
+        }
+        pending = set(future_index)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = future_index[future]
+                try:
+                    results[index] = future.result()
+                except Exception as error:
+                    for unfinished in pending:
+                        unfinished.cancel()
+                    raise ExecutionError(
+                        f"parallel task {index} "
+                        f"({getattr(function, '__name__', function)!s}"
+                        f"{tasks[index]!r}) failed: {error}"
+                    ) from error
+    return results
 
 
 def _star_repetition(protocol_name: str, config, seed: int):

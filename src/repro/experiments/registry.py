@@ -28,6 +28,7 @@ from .api import ExperimentResult, ExperimentSpec, Verdict
 __all__ = [
     "Experiment",
     "register",
+    "register_module",
     "get_experiment",
     "experiment_keys",
     "all_experiments",
@@ -78,6 +79,12 @@ _CANONICAL_KEY_ORDER: Tuple[str, ...] = (
 )
 
 _REGISTRY: Dict[str, "Experiment"] = {}
+
+#: Extra experiment modules registered at runtime (:func:`register_module`):
+#: imported by :func:`_load` alongside the built-ins so their experiments
+#: resolve by key in *worker processes* too — a worker is handed only a
+#: ``(key, spec)`` pair and replays the registry imports itself.
+_EXTRA_MODULES: List[str] = []
 
 
 @dataclass(frozen=True)
@@ -169,9 +176,28 @@ def register(experiment: Experiment) -> Experiment:
     return experiment
 
 
+def register_module(module_name: str) -> None:
+    """Register an importable module that registers experiments on import.
+
+    For experiments defined outside this package (extensions, the
+    fault-injection test harness): the module is imported immediately —
+    so its :func:`register` calls run — and recorded so every later
+    :func:`_load` re-imports it.  This matters for multi-process sweeps:
+    a worker resolves experiments by key from a *fresh* registry, so an
+    experiment registered only by direct :func:`register` calls in the
+    parent would be unknown to a spawned worker; module registration
+    survives the process boundary.
+    """
+    importlib.import_module(module_name)
+    if module_name not in _EXTRA_MODULES:
+        _EXTRA_MODULES.append(module_name)
+
+
 def _load() -> None:
     """Import every experiment module so its ``register`` call has run."""
     for module_name in _EXPERIMENT_MODULES:
+        importlib.import_module(module_name)
+    for module_name in list(_EXTRA_MODULES):
         importlib.import_module(module_name)
 
 

@@ -1,0 +1,353 @@
+"""Crash/timeout-hardened parallel execution for experiment sweeps.
+
+:func:`resilient_map` has the same contract as
+:func:`repro.experiments.parallel.parallel_map` — apply a picklable
+function to argument tuples, preserving input order — but survives the
+failure modes that turn a multi-hour sweep into a restart-from-zero:
+
+* **Worker crashes** (OOM kill, segfault, ``os._exit``): a dead worker
+  poisons the whole :class:`~concurrent.futures.ProcessPoolExecutor`
+  (every outstanding future raises ``BrokenProcessPool``).  The runner
+  rebuilds the pool and re-dispatches only the tasks that had not
+  finished; completed results are never discarded.
+* **Hangs**: each task gets a wall-clock ``timeout`` measured from
+  dispatch.  The in-flight window is capped at the worker count, so
+  dispatch coincides with execution start.  A task past its deadline that
+  cannot be cancelled is hung inside a worker — the only remedy is to
+  kill the pool's processes, rebuild, and re-dispatch the unfinished
+  tasks (the hung task is charged an attempt; innocent casualties are
+  re-dispatched uncharged).
+* **Transient task exceptions**: bounded ``retries`` with exponential
+  backoff.  Retries are **deterministically re-seeded by construction**:
+  a task's arguments (including its seeds from the shared
+  :func:`~repro.experiments.parallel.task_seeds` schedule) are fixed at
+  submission, so a retried task re-runs bit-identically.
+* **Repeated pool failures**: after ``max_pool_rebuilds`` rebuilds the
+  runner degrades gracefully to in-process serial execution for the
+  remaining tasks — slower, but immune to pool-level failures (per-task
+  timeouts cannot be enforced in-process and are ignored there).
+
+Failures that survive every retry raise
+:class:`~repro.errors.ExecutionError` (or its subclass
+:class:`~repro.errors.TaskTimeoutError`) carrying structured
+:class:`TaskFailure` reports — task index, arguments, attempt count, and
+the final traceback — instead of a bare exception; pending work is
+cancelled (fail-fast) rather than drained.
+
+An optional ``on_result(index, result)`` callback fires exactly once per
+task as it completes, in completion order — this is the journaling hook
+:func:`repro.experiments.runner.run_specs` uses to checkpoint every
+finished result through the on-disk store before the sweep is over.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError, SimulationError, TaskTimeoutError
+from .parallel import default_jobs
+
+__all__ = ["TaskFailure", "resilient_map"]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Structured report for one task that failed all its attempts."""
+
+    index: int
+    arguments: str
+    attempts: int
+    error_type: str
+    message: str
+    traceback: str
+
+    def summary(self) -> str:
+        """One human-readable line (CLI failure reports)."""
+        return (
+            f"task {self.index} failed after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message} [args: {self.arguments}]"
+        )
+
+
+def _describe_arguments(arguments: Tuple) -> str:
+    """Compact repr of a task's argument tuple for failure reports."""
+    text = repr(arguments)
+    if len(text) > 200:
+        text = text[:197] + "..."
+    return text
+
+
+def _failure(
+    index: int,
+    arguments: Tuple,
+    attempts: int,
+    error: Optional[BaseException],
+    message: Optional[str] = None,
+) -> TaskFailure:
+    """Build a :class:`TaskFailure` from an exception or a synthetic message."""
+    if error is not None:
+        trace = "".join(traceback.format_exception(type(error), error, error.__traceback__))
+        return TaskFailure(
+            index=index,
+            arguments=_describe_arguments(arguments),
+            attempts=attempts,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback=trace,
+        )
+    return TaskFailure(
+        index=index,
+        arguments=_describe_arguments(arguments),
+        attempts=attempts,
+        error_type="TaskTimeoutError" if "timed out" in (message or "") else "ExecutionError",
+        message=message or "task failed",
+        traceback="",
+    )
+
+
+def _sleep_backoff(attempt: int, backoff: float, max_backoff: float) -> None:
+    """Exponential backoff before re-dispatching a failed attempt."""
+    if backoff <= 0.0:
+        return
+    time.sleep(min(max_backoff, backoff * (2.0 ** (attempt - 1))))
+
+
+def _kill_pool(executor: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: cancel queued work, terminate worker processes.
+
+    ``shutdown`` alone never stops a *running* task, so a hung or
+    poisoned worker must be terminated (and, if it ignores SIGTERM,
+    killed) before a replacement pool can make progress.
+    """
+    process_map = getattr(executor, "_processes", None) or {}
+    processes = list(process_map.values())
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown races on a broken pool
+        pass
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    deadline = time.monotonic() + 5.0
+    for process in processes:
+        process.join(timeout=max(0.0, deadline - time.monotonic()))
+    for process in processes:  # pragma: no cover - SIGTERM is normally enough
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
+
+
+def _run_serial(
+    function: Callable[..., Any],
+    tasks: List[Tuple],
+    indices: Sequence[int],
+    attempts: List[int],
+    results: List[Any],
+    retries: int,
+    backoff: float,
+    max_backoff: float,
+    on_result: Optional[Callable[[int, Any], None]],
+) -> None:
+    """In-process execution with the same retry semantics as the pool path."""
+    for index in indices:
+        while True:
+            attempts[index] += 1
+            try:
+                value = function(*tasks[index])
+            except Exception as error:
+                if attempts[index] > retries:
+                    failure = _failure(index, tasks[index], attempts[index], error)
+                    raise ExecutionError(failure.summary(), failures=(failure,)) from error
+                _sleep_backoff(attempts[index], backoff, max_backoff)
+                continue
+            results[index] = value
+            if on_result is not None:
+                on_result(index, value)
+            break
+
+
+def resilient_map(
+    function: Callable[..., Any],
+    argument_tuples: Sequence[Tuple],
+    jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    backoff: float = 0.25,
+    max_backoff: float = 4.0,
+    max_pool_rebuilds: int = 3,
+    on_result: Optional[Callable[[int, Any], None]] = None,
+) -> List[Any]:
+    """Apply ``function`` to each argument tuple, surviving worker failure.
+
+    Parameters
+    ----------
+    function, argument_tuples, jobs:
+        As in :func:`repro.experiments.parallel.parallel_map`; ``jobs <= 1``
+        (or a single task) runs in-process.
+    timeout:
+        Per-task wall-clock budget in seconds (pool path only).  A task
+        exceeding it is charged a failed attempt; the pool is rebuilt if
+        the task was already running.  ``None`` disables timeouts.
+    retries:
+        Failed attempts allowed *beyond* the first, per task.  Retries
+        re-run the identical argument tuple, so seeded tasks reproduce
+        bit-identically.
+    backoff, max_backoff:
+        Exponential backoff between attempts: ``backoff * 2**(attempt-1)``
+        seconds, capped at ``max_backoff``.
+    max_pool_rebuilds:
+        Pool rebuilds (crash or hang) tolerated before degrading to
+        in-process serial execution for the remaining tasks.
+    on_result:
+        Called as ``on_result(index, result)`` exactly once per completed
+        task, in completion order — the checkpoint-journaling hook.
+
+    Raises
+    ------
+    ExecutionError
+        When a task fails all its attempts; ``failures`` carries the
+        structured reports.  :class:`~repro.errors.TaskTimeoutError` when
+        every exhausted task timed out.
+    """
+    if jobs < 0:
+        raise SimulationError(f"jobs must be non-negative, got {jobs}")
+    if retries < 0:
+        raise SimulationError(f"retries must be non-negative, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise SimulationError(f"timeout must be positive, got {timeout}")
+    tasks = list(argument_tuples)
+    results: List[Any] = [None] * len(tasks)
+    attempts: List[int] = [0] * len(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        _run_serial(
+            function, tasks, range(len(tasks)), attempts, results,
+            retries, backoff, max_backoff, on_result,
+        )
+        return results
+
+    workers = min(jobs, len(tasks), default_jobs())
+    pending = deque(range(len(tasks)))
+    in_flight: dict = {}
+    deadlines: dict = {}
+    rebuilds = 0
+    degrade = False
+    executor = ProcessPoolExecutor(max_workers=workers)
+
+    def _charge(index: int, error: Optional[BaseException], message: Optional[str]) -> None:
+        """Count a failed attempt; raise (fail-fast) once retries are spent."""
+        attempts[index] += 1
+        if attempts[index] > retries:
+            failure = _failure(index, tasks[index], attempts[index], error, message)
+            error_cls = (
+                TaskTimeoutError
+                if error is None and message and "timed out" in message
+                else ExecutionError
+            )
+            raise error_cls(failure.summary(), failures=(failure,))
+
+    try:
+        while pending or in_flight:
+            # Fill the dispatch window.  Capping in-flight tasks at the
+            # worker count keeps "time since dispatch" an honest proxy for
+            # "time executing", which is what the per-task timeout measures.
+            pool_broke_on_submit = False
+            while pending and len(in_flight) < workers:
+                index = pending.popleft()
+                try:
+                    future = executor.submit(function, *tasks[index])
+                except BrokenProcessPool:
+                    pending.appendleft(index)
+                    pool_broke_on_submit = True
+                    break
+                in_flight[future] = index
+                if timeout is not None:
+                    deadlines[future] = time.monotonic() + timeout
+
+            broken = pool_broke_on_submit
+            if in_flight:
+                wait_timeout = None
+                if timeout is not None:
+                    wait_timeout = max(
+                        0.0, min(deadlines[f] for f in in_flight) - time.monotonic()
+                    )
+                done, _ = wait(
+                    set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    index = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool:
+                        # The pool is poisoned; this task may or may not be
+                        # the culprit — charge it and re-dispatch.
+                        broken = True
+                        _charge(index, None, "worker process crashed (BrokenProcessPool)")
+                        pending.appendleft(index)
+                    except Exception as error:
+                        _charge(index, error, None)
+                        _sleep_backoff(attempts[index], backoff, max_backoff)
+                        pending.appendleft(index)
+                    else:
+                        results[index] = value
+                        if on_result is not None:
+                            on_result(index, value)
+
+            hung = []
+            if not broken and timeout is not None:
+                now = time.monotonic()
+                for future in [f for f in list(in_flight) if deadlines[f] <= now]:
+                    index = in_flight[future]
+                    if future.cancel():
+                        # Still queued — never started executing, so the
+                        # deadline was meaningless; re-dispatch uncharged.
+                        in_flight.pop(future)
+                        deadlines.pop(future, None)
+                        pending.appendleft(index)
+                    else:
+                        hung.append(future)
+                for future in hung:
+                    index = in_flight[future]
+                    _charge(
+                        index, None,
+                        f"timed out after {timeout:g}s (attempt {attempts[index] + 1})",
+                    )
+
+            if broken or hung:
+                # Everything still in flight dies with the pool: the hung
+                # (or crashed) tasks were charged above; innocent tasks are
+                # re-dispatched without a charged attempt.
+                for future, index in list(in_flight.items()):
+                    if broken and future not in hung:
+                        _charge(index, None, "worker process crashed (BrokenProcessPool)")
+                    pending.appendleft(index)
+                in_flight.clear()
+                deadlines.clear()
+                _kill_pool(executor)
+                rebuilds += 1
+                if rebuilds > max_pool_rebuilds:
+                    degrade = True
+                    break
+                executor = ProcessPoolExecutor(max_workers=workers)
+        if not degrade:
+            executor.shutdown(wait=True)
+    except BaseException:
+        _kill_pool(executor)
+        raise
+
+    if degrade:
+        # The pool failed repeatedly; finish the sweep in-process.  Serial
+        # execution cannot enforce wall-clock timeouts, but it is immune to
+        # pool-level failure, which is the bug being routed around.
+        _run_serial(
+            function, tasks, list(pending), attempts, results,
+            retries, backoff, max_backoff, on_result,
+        )
+    return results

@@ -8,6 +8,15 @@ the registry themselves), and :func:`run_all` is the historical entry point
 returning ``(title, result, verdict-string)`` triples for every registered
 experiment.
 
+Execution is fault-tolerant: tasks run through
+:func:`repro.experiments.resilient.resilient_map` (bounded retries,
+optional per-task wall-clock timeouts, worker-crash recovery, graceful
+serial degradation), and an optional content-addressed
+:class:`~repro.experiments.store.ResultStore` turns every sweep into a
+checkpointed one — completed results are journaled as they finish, cache
+hits skip simulation entirely, and an interrupted sweep resumes from its
+last completed task (``python -m repro run --cache DIR [--resume]``).
+
 ``python -m repro.experiments.runner`` remains the legacy flag-style CLI
 (``--full``, ``--jobs``, ``--only``, ``--engine``); the primary command-line
 surface is the subcommand CLI in :mod:`repro.__main__`
@@ -21,9 +30,11 @@ import sys
 import time
 from typing import List, Optional, Sequence, Tuple
 
+from ..errors import ReproError
 from .api import ExperimentResult, ExperimentSpec
-from .parallel import parallel_map
 from .registry import experiment_keys, get_experiment, select_experiments
+from .resilient import resilient_map
+from .store import ResultStore
 
 __all__ = ["run_specs", "run_all", "main", "EXPERIMENT_KEYS"]
 
@@ -49,13 +60,59 @@ def _run_task(key: str, spec: ExperimentSpec) -> ExperimentResult:
 def run_specs(
     tasks: Sequence[Tuple[str, ExperimentSpec]],
     jobs: int = 1,
+    *,
+    store: Optional[ResultStore] = None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
 ) -> List[ExperimentResult]:
     """Run ``(key, spec)`` pairs, preserving order; fan out over ``jobs``.
 
     Every spec carries fixed seeds, so results are identical for any
     ``jobs`` value (only the envelope's wall times differ).
+
+    Execution rides the hardened runner
+    (:func:`~repro.experiments.resilient.resilient_map`): each task gets
+    bounded ``retries`` (a retried task re-runs its frozen spec with the
+    same seed schedule, so it reproduces bit-identically), an optional
+    per-task wall-clock ``timeout`` (multi-process path only), and worker
+    crashes rebuild the pool without discarding completed results.
+
+    With a ``store``, the sweep is cached and checkpointed: tasks whose
+    content address (experiment key + canonical spec + RNG scheme
+    version) is already on disk are served from the store without running
+    the simulator, and every freshly completed result is journaled the
+    moment it finishes — so an interrupted sweep, re-invoked with the
+    same store, resumes from its last completed task.
     """
-    return parallel_map(_run_task, list(tasks), jobs=jobs)
+    tasks = list(tasks)
+    results: List[Optional[ExperimentResult]] = [None] * len(tasks)
+    to_run: List[int] = []
+    if store is not None:
+        for index, (key, spec) in enumerate(tasks):
+            cached = store.get(key, spec)
+            if cached is not None:
+                results[index] = cached
+            else:
+                to_run.append(index)
+    else:
+        to_run = list(range(len(tasks)))
+    if to_run:
+        def _journal(position: int, result: ExperimentResult) -> None:
+            index = to_run[position]
+            results[index] = result
+            if store is not None:
+                key, spec = tasks[index]
+                store.put(key, spec, result)
+
+        resilient_map(
+            _run_task,
+            [tasks[index] for index in to_run],
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            on_result=_journal,
+        )
+    return results  # type: ignore[return-value]
 
 
 def run_all(
@@ -144,9 +201,15 @@ def main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     start = time.time()
-    for name, result, verdict in run_all(
-        full_scale=args.full, jobs=args.jobs, only=args.only, engine=args.engine
-    ):
+    try:
+        triples = run_all(
+            full_scale=args.full, jobs=args.jobs, only=args.only, engine=args.engine
+        )
+    except ReproError as error:
+        # Same error hygiene as ``python -m repro``: one clean line, exit 2.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for name, result, verdict in triples:
         print("=" * 72)
         print(f"{name}: {verdict}")
         print("=" * 72)

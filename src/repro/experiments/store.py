@@ -1,0 +1,280 @@
+"""Content-addressed on-disk store for experiment result envelopes.
+
+The store is the persistence layer under cached and resumable sweeps
+(``python -m repro run --cache DIR`` / ``--resume``): every completed
+:class:`~repro.experiments.api.ExperimentResult` is journaled to disk
+under a deterministic content address, so a repeated run is an O(1)
+lookup and an interrupted sweep resumes from its last completed task.
+
+Content addressing
+------------------
+
+An entry's address is the SHA-256 of a canonical JSON blob of
+
+* the experiment's registry key,
+* the spec's :meth:`~repro.experiments.api.ExperimentSpec.canonical_dict`
+  (execution-only fields — ``jobs``, ``engine`` — are excluded, because
+  results are guaranteed identical for every value), and
+* the simulator's ``RNG_SCHEME_VERSION``.
+
+Including the scheme version in the address makes invalidation automatic:
+a scheme bump changes every address, so stale entries can never be served
+— they simply stop being found (and a version recorded *inside* an entry
+is re-checked on read as a belt-and-braces guard).
+
+Durability and integrity
+------------------------
+
+Writes are atomic: the entry is serialised to a temporary file in the
+destination directory and published with ``os.replace``, so concurrent
+writers of the same key both succeed and readers never observe a partial
+file.  Every entry embeds a SHA-256 checksum of its result payload;
+:meth:`ResultStore.get` re-verifies it (along with the address and schema
+version) and **quarantines** any entry that fails — the damaged file is
+moved into ``<root>/quarantine/`` for post-mortem and the lookup reports
+a miss, so a corrupt entry is recomputed rather than silently served.
+
+Layout::
+
+    <root>/
+      objects/<aa>/<sha256>.json    # aa = first two hex digits
+      quarantine/<sha256>.<n>.json  # corrupt entries, never read again
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ResultStoreError
+from .api import ExperimentResult, ExperimentSpec
+
+__all__ = ["STORE_VERSION", "cache_key", "StoreStats", "ResultStore"]
+
+#: Version of the on-disk entry layout.  Entries written under another
+#: version are treated as misses (not quarantined: they are well-formed,
+#: just foreign).
+STORE_VERSION = 1
+
+
+def _canonical_bytes(document: object) -> bytes:
+    """Canonical compact JSON encoding used for hashing."""
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def cache_key(
+    experiment_key: str,
+    spec: ExperimentSpec,
+    rng_scheme_version: Optional[int] = None,
+) -> str:
+    """The content address (SHA-256 hex digest) of one experiment task.
+
+    Two tasks share an address exactly when they are guaranteed to produce
+    byte-identical :meth:`~repro.experiments.api.ExperimentResult.canonical_json`:
+    same registry key, same canonical spec (execution-only fields dropped),
+    same RNG scheme version.  ``rng_scheme_version`` defaults to the
+    current build's ``repro.simulator.engine.RNG_SCHEME_VERSION``.
+    """
+    if rng_scheme_version is None:
+        from ..simulator.engine import RNG_SCHEME_VERSION
+
+        rng_scheme_version = RNG_SCHEME_VERSION
+    blob = _canonical_bytes(
+        {
+            "experiment": experiment_key,
+            "spec": spec.canonical_dict(),
+            "rng_scheme_version": rng_scheme_version,
+        }
+    )
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Counters accumulated over one :class:`ResultStore`'s lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    quarantined: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable form (printed by the CLI)."""
+        parts = [f"{self.hits} hit(s)", f"{self.misses} miss(es)"]
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        return ", ".join(parts)
+
+
+class ResultStore:
+    """Content-addressed store of experiment result envelopes on disk.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first use).
+    rng_scheme_version:
+        RNG scheme version folded into every address; defaults to the
+        current build's.  Exposed so tests can prove that a version bump
+        invalidates previously stored entries.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        rng_scheme_version: Optional[int] = None,
+    ) -> None:
+        if rng_scheme_version is None:
+            from ..simulator.engine import RNG_SCHEME_VERSION
+
+            rng_scheme_version = RNG_SCHEME_VERSION
+        self.root = Path(root)
+        self.rng_scheme_version = int(rng_scheme_version)
+        self.stats = StoreStats()
+        if self.root.exists() and not self.root.is_dir():
+            raise ResultStoreError(
+                f"result store path {self.root} exists and is not a directory"
+            )
+
+    # -- addressing ---------------------------------------------------------
+
+    def key_for(self, experiment_key: str, spec: ExperimentSpec) -> str:
+        """The content address of one ``(key, spec)`` task in this store."""
+        return cache_key(experiment_key, spec, self.rng_scheme_version)
+
+    def entry_path(self, address: str) -> Path:
+        """Where the entry for ``address`` lives (whether or not it exists)."""
+        return self.root / "objects" / address[:2] / f"{address}.json"
+
+    # -- read path ----------------------------------------------------------
+
+    def get(
+        self, experiment_key: str, spec: ExperimentSpec
+    ) -> Optional[ExperimentResult]:
+        """The stored result for a task, or ``None`` on miss.
+
+        A hit returns the envelope with its spec echo replaced by the
+        *requested* spec: execution-only fields (``jobs``, ``engine``) are
+        excluded from the address, so the cached computation may have run
+        under different execution knobs — the numbers are identical by
+        construction, and echoing the caller's spec keeps ``--format
+        json`` output consistent with what was asked for.  Any entry that
+        fails validation (truncated file, bit flip, checksum or address
+        mismatch, wrong scheme version) is moved to the quarantine
+        directory and reported as a miss.
+        """
+        address = self.key_for(experiment_key, spec)
+        path = self.entry_path(address)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        status, result = self._validate(raw, address, experiment_key)
+        if status != "ok":
+            if status == "corrupt":
+                self._quarantine(path, address)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return dataclasses.replace(result, spec=spec)
+
+    def __contains__(self, task) -> bool:
+        """Whether ``(experiment_key, spec)`` has a readable entry on disk."""
+        experiment_key, spec = task
+        return self.entry_path(self.key_for(experiment_key, spec)).is_file()
+
+    def _validate(self, raw: bytes, address: str, experiment_key: str):
+        """Verify one entry; returns ``(status, result)``.
+
+        ``status`` is ``"ok"`` (entry verified), ``"corrupt"`` (damaged —
+        the caller quarantines it), or ``"foreign"`` (well-formed but
+        written under another store layout version: a miss, left in place
+        for the build that understands it).
+        """
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return "corrupt", None
+        if not isinstance(entry, dict):
+            return "corrupt", None
+        if entry.get("store_version") != STORE_VERSION:
+            return "foreign", None
+        result_dict = entry.get("result")
+        expected_digest = entry.get("payload_sha256")
+        if not isinstance(result_dict, dict) or not isinstance(expected_digest, str):
+            return "corrupt", None
+        if entry.get("cache_key") != address:
+            # The file content belongs to a different address (bit flip in
+            # the recorded key, or a file copied over another name).
+            return "corrupt", None
+        digest = hashlib.sha256(_canonical_bytes(result_dict)).hexdigest()
+        if digest != expected_digest:
+            return "corrupt", None
+        if result_dict.get("rng_scheme_version") != self.rng_scheme_version:
+            return "corrupt", None
+        if result_dict.get("key") != experiment_key:
+            return "corrupt", None
+        try:
+            return "ok", ExperimentResult.from_dict(result_dict)
+        except Exception:
+            return "corrupt", None
+
+    def _quarantine(self, path: Path, address: str) -> None:
+        """Move a damaged entry aside so it is never read (or served) again."""
+        quarantine_dir = self.root / "quarantine"
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        for attempt in range(1000):
+            destination = quarantine_dir / f"{address}.{attempt}.json"
+            if destination.exists():
+                continue
+            try:
+                os.replace(path, destination)
+            except OSError:  # pragma: no cover - raced with another process
+                pass
+            self.stats.quarantined += 1
+            return
+
+    # -- write path ---------------------------------------------------------
+
+    def put(
+        self, experiment_key: str, spec: ExperimentSpec, result: ExperimentResult
+    ) -> Path:
+        """Journal one completed result; returns the entry path.
+
+        The write is atomic (temporary file + ``os.replace`` in the
+        destination directory), so concurrent writers of the same address
+        both succeed and a crash mid-write never leaves a partial entry
+        under the published name.
+        """
+        if result.key != experiment_key:
+            raise ResultStoreError(
+                f"result key {result.key!r} does not match task key {experiment_key!r}"
+            )
+        address = self.key_for(experiment_key, spec)
+        path = self.entry_path(address)
+        result_dict = result.to_dict()
+        entry = {
+            "store_version": STORE_VERSION,
+            "cache_key": address,
+            "experiment": experiment_key,
+            "payload_sha256": hashlib.sha256(_canonical_bytes(result_dict)).hexdigest(),
+            "result": result_dict,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temporary = path.parent / f".{address}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+            temporary.write_bytes(
+                json.dumps(entry, sort_keys=True, indent=2).encode("utf-8") + b"\n"
+            )
+            os.replace(temporary, path)
+        except OSError as error:
+            raise ResultStoreError(
+                f"cannot write result store entry under {self.root}: {error}"
+            ) from error
+        self.stats.writes += 1
+        return path

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import os
 import re
+import time
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import ExecutionError, SimulationError
 from repro.experiments import run_figure8_panel
 from repro.experiments.parallel import (
     default_jobs,
@@ -20,6 +22,17 @@ from repro.simulator import uniform_star
 
 def _square(value):
     return value * value
+
+
+def _fail_first_else_sleep(marker_dir, value):
+    """Task 0 fails immediately; every other task leaves a footprint and
+    sleeps, so the test can count how many tasks actually executed."""
+    if value == 0:
+        raise ValueError("injected failure for value 0")
+    with open(os.path.join(marker_dir, f"ran-{value}"), "w"):
+        pass
+    time.sleep(0.5)
+    return value
 
 
 class TestParallelMap:
@@ -36,8 +49,30 @@ class TestParallelMap:
         with pytest.raises(SimulationError):
             parallel_map(_square, [(1,)], jobs=-1)
 
+    def test_fail_fast_names_task_and_cancels_pending(self, tmp_path):
+        tasks = [(str(tmp_path), value) for value in range(16)]
+        with pytest.raises(ExecutionError) as excinfo:
+            parallel_map(_fail_first_else_sleep, tasks, jobs=2)
+        message = str(excinfo.value)
+        assert "task 0" in message and f"({str(tmp_path)!r}, 0)" in message
+        assert "injected failure for value 0" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        # Old behaviour drained all 15 sleepers; fail-fast cancels the
+        # pending tail.  The executor prefetches a few work items into its
+        # call queue (roughly workers + 1) which cannot be revoked, so a
+        # handful may still run — but nowhere near all of them.
+        ran = len(list(tmp_path.glob("ran-*")))
+        assert ran < 8, f"pending tasks were drained ({ran} of 15 ran)"
+
     def test_default_jobs_positive(self):
         assert default_jobs() >= 1
+
+    def test_default_jobs_respects_cpu_affinity(self):
+        # On Linux the worker count must follow the affinity mask (what a
+        # container/cgroup actually grants), not the host's CPU count.
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no CPU affinity")
+        assert default_jobs() == max(1, len(os.sched_getaffinity(0)))
 
 
 class TestTaskSeeds:

@@ -1,0 +1,171 @@
+"""Fault-injection suite for the crash/timeout-hardened parallel runner.
+
+Every failure mode the runner claims to survive is provoked for real:
+workers are killed with ``os._exit`` (pool-breaking crash), put to sleep
+past their wall-clock timeout (hang), and made to raise (poison) — and
+each sweep must still complete with results identical to an undisturbed
+serial run.  The byte-identity acceptance checks run genuine registry
+experiments through the fault wrappers and compare
+``ExperimentResult.canonical_json()`` output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import faults
+from repro.errors import ExecutionError, SimulationError, TaskTimeoutError
+from repro.experiments.registry import get_experiment
+from repro.experiments.resilient import resilient_map
+from repro.experiments.runner import run_specs
+
+#: Fast wall-clock budget for hang tests: real tasks here finish in
+#: milliseconds, so anything that trips this is genuinely stuck.
+TIMEOUT = 2.0
+
+
+class TestSerialPath:
+    def test_plain_map_semantics(self):
+        out = resilient_map(faults.flaky_square, [("/nonexistent/disarmed", "none", v) for v in range(4)])
+        assert out == [0, 1, 4, 9]
+
+    def test_poison_retried_to_success(self, tmp_path):
+        marker = str(tmp_path / "poison")
+        out = resilient_map(
+            faults.flaky_square, [(marker, "poison", 7)], retries=2, backoff=0.0
+        )
+        assert out == [49]
+        assert os.path.exists(marker)  # the fault really fired once
+
+    def test_exhausted_retries_raise_with_report(self):
+        with pytest.raises(ExecutionError) as excinfo:
+            resilient_map(faults.always_raise, [(1,), (2,)], retries=1, backoff=0.0)
+        (failure,) = excinfo.value.failures
+        assert failure.index == 0
+        assert failure.attempts == 2
+        assert failure.error_type == "ValueError"
+        assert "value=1" in failure.arguments or "1" in failure.arguments
+        assert "always fails" in failure.message
+        assert "ValueError" in failure.traceback
+        assert "task 0" in str(excinfo.value)
+
+    def test_on_result_fires_once_per_task_in_order(self):
+        seen = []
+        resilient_map(
+            faults.flaky_square,
+            [("/nonexistent/disarmed", "none", v) for v in range(3)],
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert seen == [(0, 0), (1, 1), (2, 4)]
+
+    def test_validates_parameters(self):
+        with pytest.raises(SimulationError):
+            resilient_map(faults.always_raise, [(1,)], jobs=-1)
+        with pytest.raises(SimulationError):
+            resilient_map(faults.always_raise, [(1,)], retries=-1)
+        with pytest.raises(SimulationError):
+            resilient_map(faults.always_raise, [(1,)], jobs=2, timeout=0.0)
+
+
+class TestWorkerCrash:
+    def test_crash_recovered_and_completed_results_kept(self, tmp_path):
+        # One worker dies with os._exit (breaking the whole pool); the
+        # runner must rebuild and re-dispatch only unfinished work.
+        tasks = [(str(tmp_path / f"crash{i}"), "crash" if i == 1 else "none", i) for i in range(5)]
+        seen = []
+        out = resilient_map(
+            faults.flaky_square, tasks, jobs=2, retries=2, backoff=0.0,
+            on_result=lambda index, value: seen.append(index),
+        )
+        assert out == [0, 1, 4, 9, 16]
+        assert sorted(seen) == [0, 1, 2, 3, 4]  # exactly once per task
+
+    def test_every_task_crashing_once_still_completes(self, tmp_path):
+        tasks = [(str(tmp_path / f"all{i}"), "crash", i) for i in range(4)]
+        out = resilient_map(faults.flaky_square, tasks, jobs=2, retries=3, backoff=0.0)
+        assert out == [0, 1, 4, 9]
+
+    def test_degrades_to_serial_when_pool_unusable(self, tmp_path):
+        # Workers always die, the parent always succeeds: only in-process
+        # serial degradation can finish this sweep.
+        tasks = [(os.getpid(), value) for value in range(3)]
+        out = resilient_map(
+            faults.hostile_to_pools, tasks, jobs=2,
+            retries=10, backoff=0.0, max_pool_rebuilds=2,
+        )
+        assert out == [0, 3, 6]
+
+
+class TestHangTimeout:
+    def test_hung_task_killed_and_retried(self, tmp_path):
+        tasks = [(str(tmp_path / f"hang{i}"), "hang" if i == 0 else "none", i) for i in range(3)]
+        out = resilient_map(
+            faults.flaky_square, tasks, jobs=2,
+            timeout=TIMEOUT, retries=2, backoff=0.0,
+        )
+        assert out == [0, 1, 4]
+
+    def test_unrecoverable_hang_raises_timeout_error(self):
+        with pytest.raises(TaskTimeoutError) as excinfo:
+            resilient_map(
+                faults.always_hang, [(1,), (2,)], jobs=2,
+                timeout=0.5, retries=0, backoff=0.0,
+            )
+        (failure,) = excinfo.value.failures
+        assert "timed out" in failure.message
+        # TaskTimeoutError is an ExecutionError is a ReproError.
+        assert isinstance(excinfo.value, ExecutionError)
+
+
+class TestByteIdenticalAcceptance:
+    """The ISSUE's acceptance bar: faulted sweeps == undisturbed serial runs."""
+
+    def _tasks(self):
+        experiment = get_experiment("figure8_panel")
+        spec = experiment.make_spec(
+            shared_loss_rate=0.05,
+            independent_loss_rates=(0.02, 0.08),
+            num_receivers=6,
+            duration_units=80,
+            repetitions=2,
+        )
+        cheap = get_experiment("figure4")
+        return [("figure8_panel", spec), ("figure4", cheap.make_spec())]
+
+    def _canonical(self, results):
+        return [result.canonical_json() for result in results]
+
+    def test_crashed_sweep_matches_serial(self, tmp_path):
+        tasks = self._tasks()
+        baseline = self._canonical(run_specs(tasks, jobs=1))
+        faulted = resilient_map(
+            faults.run_task_with_fault,
+            [(str(tmp_path / f"m{i}"), "crash" if i == 0 else "none", key, spec)
+             for i, (key, spec) in enumerate(tasks)],
+            jobs=2, retries=2, backoff=0.0,
+        )
+        assert self._canonical(faulted) == baseline
+
+    def test_hung_sweep_matches_serial(self, tmp_path):
+        tasks = self._tasks()
+        baseline = self._canonical(run_specs(tasks, jobs=1))
+        faulted = resilient_map(
+            faults.run_task_with_fault,
+            [(str(tmp_path / f"m{i}"), "hang" if i == 1 else "none", key, spec)
+             for i, (key, spec) in enumerate(tasks)],
+            jobs=2, timeout=TIMEOUT, retries=2, backoff=0.0,
+        )
+        assert self._canonical(faulted) == baseline
+
+    def test_poisoned_sweep_matches_serial(self, tmp_path):
+        tasks = self._tasks()
+        baseline = self._canonical(run_specs(tasks, jobs=1))
+        faulted = resilient_map(
+            faults.run_task_with_fault,
+            [(str(tmp_path / f"m{i}"), "poison", key, spec)
+             for i, (key, spec) in enumerate(tasks)],
+            jobs=2, retries=1, backoff=0.0,
+        )
+        assert self._canonical(faulted) == baseline

@@ -3,16 +3,20 @@
 Covers the documented surface: ``list`` (text and JSON), ``run`` with the
 typed JSON result envelope (spec echo, RNG scheme version, lossless
 ``from_dict`` round-trip), ``--out`` files, ``--set`` spec overrides,
-``verify`` exit codes, and the legacy flag-style
-``repro.experiments.runner`` entry point.
+``verify`` exit codes, the fault-tolerance flags (``--cache``,
+``--resume``, ``--retries``), error hygiene (clean one-line messages,
+exit code 2, SIGINT → 130 with the checkpoint preserved), and the legacy
+flag-style ``repro.experiments.runner`` entry point.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import signal
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -191,6 +195,127 @@ class TestVerify:
         assert main(["verify", "figure1"]) == 1
         out = capsys.readouterr().out
         assert "figure1: MISMATCH" in out
+
+
+class TestCacheAndResume:
+    def test_cached_rerun_hits_and_matches(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["run", "figure1", "--cache", cache, "--format", "json"]) == 0
+        first = capsys.readouterr()
+        assert "0 hit(s), 1 miss(es)" in first.err
+        assert main(["run", "figure1", "--cache", cache, "--format", "json"]) == 0
+        second = capsys.readouterr()
+        assert "1 hit(s), 0 miss(es)" in second.err
+        [cold], [warm] = json.loads(first.out), json.loads(second.out)
+        cold_result = ExperimentResult.from_dict(cold)
+        warm_result = ExperimentResult.from_dict(warm)
+        assert warm_result.canonical_json() == cold_result.canonical_json()
+
+    def test_warm_cache_runs_zero_simulations(self, tmp_path, capsys):
+        # The fault_probe harness experiment counts real executions.
+        import faults
+
+        cache = str(tmp_path / "cache")
+        log = str(tmp_path / "invocations.log")
+        argv = [
+            "run", "fault_probe", "--cache", cache, "--format", "json",
+            "--set", "inner_key=figure1", "--set", f'log_path="{log}"',
+        ]
+        assert main(argv) == 0
+        assert faults.invocations(log) == 1
+        assert main(argv) == 0
+        assert faults.invocations(log) == 1  # served from the store
+        capsys.readouterr()
+
+    def test_resume_requires_cache(self, capsys):
+        assert main(["run", "figure1", "--resume"]) == 2
+        assert "--resume requires --cache" in capsys.readouterr().err
+
+    def test_resume_refuses_absent_checkpoint(self, tmp_path, capsys):
+        missing = str(tmp_path / "never-created")
+        assert main(["run", "figure1", "--resume", "--cache", missing]) == 2
+        assert "no checkpoint directory" in capsys.readouterr().err
+
+    def test_execution_failure_exits_2_with_task_report(self, tmp_path, capsys):
+        import faults  # noqa: F401 - registers fault_probe
+
+        marker = str(tmp_path / "marker")
+        assert main([
+            "run", "fault_probe", "--retries", "0",
+            "--set", f'marker="{marker}"', "--set", "mode=poison",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "injected fault: poison" in err
+        assert "task 0 failed after 1 attempt(s)" in err
+
+
+#: A sweep sized so the figure8_panel task is still running ~1.5s after
+#: the cheap experiments have been journaled — the window the SIGINT test
+#: aims for.
+SIGINT_SWEEP = [
+    "run", "figure1", "figure2", "figure4", "figure8_panel",
+    "--set", "num_receivers=40",
+    "--set", "duration_units=600",
+    "--set", "repetitions=2",
+    "--set", "independent_loss_rates=[0.02,0.05,0.08]",
+]
+
+
+class TestSigintResume:
+    def _popen(self, *args: str) -> subprocess.Popen:
+        src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    def test_mid_sweep_sigint_resumes_bit_identically(self, tmp_path):
+        cache = tmp_path / "cache"
+        resumed_out = tmp_path / "resumed"
+        clean_out = tmp_path / "clean"
+
+        # Interrupt the sweep once its first completed result has been
+        # journaled (the remaining panel task runs for seconds more).
+        process = self._popen(*SIGINT_SWEEP, "--cache", str(cache))
+        objects = cache / "objects"
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if objects.is_dir() and any(objects.rglob("*.json")):
+                break
+            if process.poll() is not None:  # pragma: no cover - diagnostics
+                pytest.fail(f"sweep exited early: {process.communicate()}")
+            time.sleep(0.02)
+        else:  # pragma: no cover - diagnostics
+            pytest.fail("no result was journaled within 60s")
+        process.send_signal(signal.SIGINT)
+        _stdout, stderr = process.communicate(timeout=60)
+        assert process.returncode == 130, stderr
+        assert "checkpointed" in stderr
+        journaled = len(list(objects.rglob("*.json")))
+        assert 1 <= journaled < 4  # interrupted mid-sweep, prefix kept
+
+        # Resume from the checkpoint; previously completed tasks must hit.
+        resumed = self._popen(
+            *SIGINT_SWEEP, "--cache", str(cache), "--resume",
+            "--out", str(resumed_out), "--format", "json",
+        )
+        _stdout, stderr = resumed.communicate(timeout=300)
+        assert resumed.returncode == 0, stderr
+        assert f"{journaled} hit(s)" in stderr
+
+        # And the resumed sweep is byte-identical to an uninterrupted run.
+        clean = self._popen(*SIGINT_SWEEP, "--out", str(clean_out), "--format", "json")
+        _stdout, stderr = clean.communicate(timeout=300)
+        assert clean.returncode == 0, stderr
+        for name in ("figure1", "figure2", "figure4", "figure8_panel"):
+            resumed_result = ExperimentResult.from_json((resumed_out / f"{name}.json").read_text())
+            clean_result = ExperimentResult.from_json((clean_out / f"{name}.json").read_text())
+            assert resumed_result.canonical_json() == clean_result.canonical_json(), name
 
 
 class TestLegacyRunner:
