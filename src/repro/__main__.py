@@ -273,7 +273,7 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
         choices=ENGINES,
-        default="batched",
+        default="bitpacked",
         help="simulation engine for the packet-level experiments "
         "(identical results; 'reference' is the slow per-packet loop, "
         "'bitpacked' the uint64+popcount scan)",

@@ -104,7 +104,7 @@ def run_active_nodes(
     repetitions: int = 2,
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> ActiveNodeResult:
     """Measure redundancy for the receiver-driven protocols and the active node."""
     result = ActiveNodeResult(

@@ -50,7 +50,7 @@ SCALES: Tuple[str, ...] = ("reduced", "paper")
 #: ``repro.simulator.engine.ENGINES`` — kept as a literal so this module
 #: stays import-light (like the lazy ``RNG_SCHEME_VERSION`` import
 #: below); ``tests/experiments/test_api.py`` pins the two in lockstep.
-ENGINES: Tuple[str, ...] = ("batched", "reference", "bitpacked")
+ENGINES: Tuple[str, ...] = ("bitpacked", "batched", "reference")
 
 #: Version of the ``ExperimentResult.to_dict`` JSON layout.  Bump when the
 #: envelope's keys change shape; ``from_dict`` rejects unknown versions.
@@ -113,15 +113,17 @@ class ExperimentSpec:
         Worker processes for experiments that fan out internally (Figure
         8's point sweep).  Results are identical for every value.
     engine:
-        Simulation engine for the packet-level experiments (``"batched"``,
-        ``"reference"`` or ``"bitpacked"``); ignored by the closed-form
-        experiments.  Results are identical for every value, so the field
-        is execution-only and excluded from canonical JSON.
+        Simulation engine for the packet-level experiments
+        (``"bitpacked"``, the default, ``"batched"`` or ``"reference"``);
+        ignored by the closed-form experiments.  Results are identical for
+        every value, so the field is execution-only and excluded from
+        canonical JSON — cache entries address identically whichever
+        engine wrote them.
     """
 
     scale: str = "reduced"
     jobs: int = 1
-    engine: str = "batched"
+    engine: str = "bitpacked"
 
     def __post_init__(self) -> None:
         if self.scale not in SCALES:

@@ -137,7 +137,7 @@ def run_burstiness(
     repetitions: int = 2,
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> BurstinessResult:
     """Sweep the fan-out loss burst length at a fixed average loss rate."""
     result = BurstinessResult(

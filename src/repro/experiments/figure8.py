@@ -207,7 +207,7 @@ def _run_figure8_point(
     duration_units: int,
     repetitions: int,
     base_seed: int,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> Figure8Point:
     """One (protocol, independent-loss) measurement; picklable for workers."""
     config = _point_config(
@@ -237,7 +237,7 @@ def run_figure8_panel(
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
     jobs: int = 1,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> Figure8Panel:
     """Simulate one Figure 8 panel (one shared loss rate).
 
@@ -306,7 +306,7 @@ def run_figure8(
     low_shared_loss: float = 0.0001,
     high_shared_loss: float = 0.05,
     jobs: int = 1,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> Figure8Result:
     """Simulate both Figure 8 panels (optionally across ``jobs`` processes)."""
     return Figure8Result(

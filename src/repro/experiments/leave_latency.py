@@ -108,7 +108,7 @@ def run_leave_latency(
     duration_units: int = 1000,
     repetitions: int = 2,
     base_seed: int = 0,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> LeaveLatencyResult:
     """Sweep the leave latency and measure shared-link redundancy."""
     if any(latency < 0 for latency in latencies):

@@ -104,7 +104,7 @@ def run_loss_correlation(
     repetitions: int = 2,
     base_seed: int = 0,
     protocols: Sequence[str] = PROTOCOLS,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> LossCorrelationResult:
     """Sweep the correlated share of a fixed end-to-end loss budget."""
     if not 0.0 < total_loss_rate < 1.0:

@@ -119,7 +119,7 @@ def run_all(
     full_scale: bool = False,
     jobs: int = 1,
     only: Optional[Sequence[str]] = None,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> List[Tuple[str, object, str]]:
     """Run every registered experiment; return (title, result, verdict) triples.
 
@@ -146,9 +146,9 @@ def run_all(
         Optional subset of :data:`EXPERIMENT_KEYS` to run (registry order is
         preserved regardless of the order given here).
     engine:
-        Simulation engine for the packet-level experiments: ``"batched"``
-        (default) or ``"reference"``.  Results are identical; only the
-        runtime differs.
+        Simulation engine for the packet-level experiments:
+        ``"bitpacked"`` (default), ``"batched"`` or ``"reference"``.
+        Results are identical; only the runtime differs.
     """
     if only is not None and not list(only):
         return []
@@ -193,8 +193,8 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("batched", "reference"),
-        default="batched",
+        choices=("bitpacked", "batched", "reference"),
+        default="bitpacked",
         help="simulation engine for the packet-level experiments "
         "(identical results; 'reference' is the slow per-packet loop)",
     )

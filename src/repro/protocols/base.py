@@ -43,6 +43,14 @@ def join_threshold_packets(level: int) -> float:
     return float(2 ** (2 * (level - 1)))
 
 
+# join_threshold's per-level values, precomputed: the scan's join hooks
+# evaluate the threshold on every window/segment call, and a table gather
+# beats the float exponentiation there.  4^30 packets is far beyond any
+# session length, so the table covers every realistic layer scheme; larger
+# levels fall back to the direct formula.
+_JOIN_THRESHOLDS = 2.0 ** (2.0 * (np.arange(32, dtype=np.float64) - 1.0))
+
+
 class LayeredProtocol(abc.ABC):
     """A receiver-driven layered congestion-control protocol.
 
@@ -85,6 +93,15 @@ class LayeredProtocol(abc.ABC):
     #: dense batched scan (or the reference loop) under that engine
     #: setting, with identical results.
     supports_bitpacked: bool = False
+
+    #: Whether the protocol implements the exact in-chain join locator
+    #: (:meth:`scan_chain_join_packed`).  When true, the bit-packed scan's
+    #: multi-event chain drain consumes *joins* as well as congestion
+    #: events, so a whole window of events drains in one chain pass with a
+    #: single join-hook call per window; when false, the chain breaks on
+    #: any plausible join (:meth:`scan_chain_gap`) and the per-generation
+    #: segment hook re-evaluates exactly.
+    supports_chain_join: bool = False
 
     def stacking_key(self) -> tuple:
         """Identity for run stacking: two protocol instances may drive
@@ -244,6 +261,7 @@ class LayeredProtocol(abc.ABC):
         levels_act: np.ndarray,
         pos: np.ndarray,
         fresh: bool = True,
+        cong=None,
     ):
         """Bit-packed counterpart of :meth:`scan_first_join`.
 
@@ -254,11 +272,85 @@ class LayeredProtocol(abc.ABC):
         column)`` arrays over ``act`` — columns are *absolute* chunk
         columns, unlike the dense hook's window-relative indices.  Only
         protocols declaring ``supports_bitpacked`` are ever called here.
+
+        ``cong`` optionally carries the scan's cached first-congestion
+        candidates as ``(has_cong, e_cong)`` arrays over ``act``.  A join
+        at or past a row's congestion candidate is never consumed — the
+        scan always takes the earlier event — so the hook may report
+        ``has_join=False`` for such rows and skip locating their join
+        columns (typically one cheap prefix popcount against ``e_cong``
+        replaces an exact rank selection).  ``e_cong`` is undefined where
+        ``has_cong`` is False.
         """
         raise ProtocolError(
             f"protocol {self.name!r} declares supports_bitpacked but does "
             "not implement scan_first_join_packed()"
         )
+
+    def scan_chain_gap(
+        self,
+        chunk: UnitChunk,
+        rows: np.ndarray,
+        levels_rows: np.ndarray,
+        gap_counts: np.ndarray,
+        gap_lo: np.ndarray,
+        gap_hi: np.ndarray,
+    ):
+        """Could a join fire strictly inside each row's event-free gap?
+
+        The scans' multi-event chain drain consumes a row's whole run of
+        congestion events in one pass instead of one event per iteration;
+        before consuming the next congestion column it must certify that no
+        join interrupts the gap leading up to it.  The hook is called only
+        for rows whose most recently consumed column was a congestion
+        event, so join-progress state is freshly reset (the Deterministic
+        and Coordinated counters are zero) or freshly re-armed (the
+        Uncoordinated countdown).  ``gap_counts[r]`` holds row ``r``'s
+        receptions strictly inside ``(gap_lo[r], gap_hi[r])`` at its
+        current level ``levels_rows[r]``; both bounds are absolute chunk
+        columns and both are congestion columns for the row (not received).
+
+        Return a boolean mask over ``rows`` that is True whenever a join
+        *could* fire inside the gap — a spurious True merely breaks the
+        chain (the single-event path re-evaluates exactly), so conservative
+        approximations are safe; a spurious False would corrupt results.
+        Return ``None`` to veto chaining entirely — the default, which
+        keeps custom protocol subclasses on the single-event path.
+        """
+        return None
+
+    def scan_chain_join_packed(
+        self,
+        chunk,
+        words: np.ndarray,
+        base_col: int,
+        rows: np.ndarray,
+        levels_rows: np.ndarray,
+        gap_counts: np.ndarray,
+        gap_lo: np.ndarray,
+        gap_hi: np.ndarray,
+    ):
+        """Locate each chained row's first join inside its gap, exactly.
+
+        The exact counterpart of :meth:`scan_chain_gap`, called by the
+        bit-packed scan's chain drain for rows whose join-progress state
+        was freshly reset or re-armed by their most recently consumed
+        event.  ``words`` holds the rows' packed receptions (bits below
+        each row's position already cleared; bits at or past ``gap_hi``
+        may be set and must be ignored), ``gap_counts[r]`` the receptions
+        strictly inside ``(gap_lo[r], gap_hi[r])``.  ``gap_hi`` is either
+        the row's next congestion column (not received) or the exclusive
+        window end when no congestion candidate remains.
+
+        Return ``(has_join, join_col, join_bulk)``: a boolean mask over
+        ``rows``, the absolute column of each joining row's first in-gap
+        join, and its receptions up to and including that column
+        (``join_col``/``join_bulk`` are unread where ``has_join`` is
+        false).  Both directions must be exact — this hook *consumes* the
+        join.  Only protocols declaring ``supports_chain_join`` are ever
+        called here.
+        """
+        raise NotImplementedError  # pragma: no cover - guarded by the flag
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
         """Receivers got ``counts`` packets with no join/leave in between."""
@@ -339,6 +431,8 @@ class LayeredProtocol(abc.ABC):
 
     def join_threshold(self, levels: np.ndarray) -> np.ndarray:
         """Deterministic packet-count threshold ``2^(2(i-1))`` per receiver."""
+        if levels.size and int(levels.max()) < _JOIN_THRESHOLDS.size:
+            return _JOIN_THRESHOLDS[levels]
         return 2.0 ** (2.0 * (levels.astype(float) - 1.0))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,6 +23,8 @@ and fall back to an ``unpackbits``-style byte table otherwise; see
 
 from __future__ import annotations
 
+import sys
+
 from dataclasses import dataclass
 from typing import Optional
 
@@ -35,6 +37,8 @@ __all__ = [
     "bit_at",
     "clear_bits",
     "clear_cols",
+    "clear_cols_and_bits",
+    "counts_between",
     "first_set",
     "kth_set",
     "ones_rows",
@@ -65,6 +69,25 @@ HAVE_NATIVE_POPCOUNT = hasattr(np, "bitwise_count")
 _BYTE_COUNTS = np.unpackbits(
     np.arange(256, dtype=np.uint8)[:, None], axis=1
 ).sum(axis=1, dtype=np.uint8)
+
+#: Whether a raw ``uint64 -> uint8`` view walks each word's bits in
+#: ascending order (bit ``8j`` of the word lands in byte ``j``).  Gates the
+#: byte-table fast path of :func:`kth_set`; the shift-based fallback is
+#: byte-order free.
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
+# Shared row-index scratch: the hot helpers index rows of matrices whose
+# row count varies call to call, and allocating a fresh ``arange`` each
+# time costs more than the indexing itself at scan-window sizes.
+_IOTA = np.arange(1024)
+
+
+def _iota(n: int) -> np.ndarray:
+    """First ``n`` row indices from the shared scratch (grown on demand)."""
+    global _IOTA
+    if n > _IOTA.size:
+        _IOTA = np.arange(max(n, 2 * _IOTA.size))
+    return _IOTA[:n]
 
 if HAVE_NATIVE_POPCOUNT:
 
@@ -146,31 +169,100 @@ def clear_cols(packed: np.ndarray, cols: np.ndarray) -> None:
     packed &= mask
 
 
+def _scatter_mask(
+    shape: tuple,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    full_cols: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Word matrix with bit ``(rows[i], cols[i])`` set for every ``i``.
+
+    ``full_cols``, when given, is additionally set across every row.  On
+    little-endian hosts the bits are scattered into a byte-per-column
+    scratch and ``packbits(bitorder="little")`` collapses it into words —
+    one buffered fancy assignment instead of an unbuffered per-word
+    scatter.  Big-endian hosts accumulate the *distinct* bit values with
+    two ``bincount`` passes (a sum of distinct powers of two equals their
+    bitwise OR, and each 32-bit half stays exact in the float64
+    accumulator).
+    """
+    num_rows, num_words = shape
+    if _LITTLE_ENDIAN:
+        scratch = np.zeros((num_rows, num_words * WORD_BITS), dtype=np.uint8)
+        scratch[rows, cols] = 1
+        if full_cols is not None and full_cols.size:
+            scratch[:, full_cols] = 1
+        return np.packbits(scratch, axis=1, bitorder="little").view(np.uint64)
+    words = cols >> 6
+    bits = _ONE << (cols & 63).astype(np.uint64)
+    lin = rows * num_words + words
+    size = num_rows * num_words
+    low = (bits & np.uint64(0xFFFFFFFF)).astype(np.float64)
+    high = (bits >> np.uint64(32)).astype(np.float64)
+    mask = np.bincount(lin, weights=high, minlength=size).astype(np.uint64)
+    mask <<= np.uint64(32)
+    mask |= np.bincount(lin, weights=low, minlength=size).astype(np.uint64)
+    mask = mask.reshape(shape)
+    if full_cols is not None and full_cols.size:
+        shared = np.zeros(num_words, dtype=np.uint64)
+        np.bitwise_or.at(
+            shared, full_cols >> 6, _ONE << (full_cols & 63).astype(np.uint64)
+        )
+        mask |= shared[None, :]
+    return mask
+
+
 def clear_bits(packed: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> None:
     """Clear bit ``cols[i]`` of row ``rows[i]`` for every ``i`` (in place).
 
     The ``(row, col)`` pairs must be pairwise distinct (the engine's loss
     positions are).  Small batches use the unbuffered ``bitwise_and.at``
-    scatter; large ones accumulate the per-word clear masks with two
-    ``bincount`` passes instead — a sum of *distinct* bit values equals
-    their bitwise OR, and each 32-bit half stays exactly representable in
-    the float64 accumulator.
+    scatter; large ones scatter into a byte-per-column scratch and
+    ``packbits`` it into the clear mask (one cheap fancy assignment plus a
+    vectorised pack instead of thousands of unbuffered word updates).
     """
     if cols.size == 0:
         return
-    words = cols >> 6
-    bits = _ONE << (cols & 63).astype(np.uint64)
     if cols.size < 512:
+        words = cols >> 6
+        bits = _ONE << (cols & 63).astype(np.uint64)
         np.bitwise_and.at(packed, (rows, words), ~bits)
         return
-    num_words = packed.shape[-1]
-    lin = rows * num_words + words
-    low = (bits & np.uint64(0xFFFFFFFF)).astype(np.float64)
-    high = (bits >> np.uint64(32)).astype(np.float64)
-    mask = np.bincount(lin, weights=high, minlength=packed.size).astype(np.uint64)
-    mask <<= np.uint64(32)
-    mask |= np.bincount(lin, weights=low, minlength=packed.size).astype(np.uint64)
-    mask = mask.reshape(packed.shape)
+    mask = _scatter_mask(packed.shape, rows, cols)
+    np.invert(mask, out=mask)
+    packed &= mask
+
+
+def clear_cols_and_bits(
+    packed: np.ndarray,
+    cols: np.ndarray,
+    rows2: np.ndarray,
+    cols2: np.ndarray,
+) -> None:
+    """Fused :func:`clear_cols` + :func:`clear_bits` (one row sweep, in place).
+
+    Clears the whole columns ``cols`` in every row *and* the per-row bits
+    ``(rows2[i], cols2[i])`` — the engine's shared plus independent loss
+    scatter — touching the matrix once instead of twice.  Small per-row
+    batches keep the unbuffered scatter (the whole-column mask still folds
+    into the same sweep); large ones fold the shared-column clears into the
+    ``packbits``-built mask before the single ``&=`` pass.
+    """
+    if cols2.size == 0:
+        clear_cols(packed, cols)
+        return
+    if cols2.size < 512:
+        if cols.size:
+            shared = np.full(packed.shape[-1], _ONES, dtype=np.uint64)
+            np.bitwise_and.at(
+                shared, cols >> 6, ~(_ONE << (cols & 63).astype(np.uint64))
+            )
+            packed &= shared
+        words2 = cols2 >> 6
+        bits2 = _ONE << (cols2 & 63).astype(np.uint64)
+        np.bitwise_and.at(packed, (rows2, words2), ~bits2)
+        return
+    mask = _scatter_mask(packed.shape, rows2, cols2, cols)
     np.invert(mask, out=mask)
     packed &= mask
 
@@ -209,7 +301,8 @@ def start_masks(
     if bases is None:
         bases = word_base(base_col, num_words)
     shift = starts[:, None] - bases[None, :]
-    np.clip(shift, 0, WORD_BITS, out=shift)
+    np.maximum(shift, 0, out=shift)
+    np.minimum(shift, WORD_BITS, out=shift)
     return _HIGH_MASKS[shift]
 
 
@@ -224,6 +317,35 @@ def tail_mask(
         bases = word_base(base_col, num_words)
     keep = np.clip(stop - bases, 0, WORD_BITS)
     return _LOW_MASKS[keep]
+
+
+def counts_between(
+    words: np.ndarray,
+    base_col: int,
+    starts: np.ndarray,
+    stops: np.ndarray,
+    bases: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Set bits per row at absolute columns in ``[starts[r], stops[r])``.
+
+    The chain drain's gap accounting: one row of the window's reception
+    bits, one sorted pair of event-column boundaries per row, one masked
+    popcount — the range mask is the conjunction of the :func:`start_masks`
+    and :func:`tail_mask` table gathers.  Columns left of ``base_col`` are
+    treated as excluded; empty ranges (``stops <= starts``) count zero.
+    """
+    if bases is None:
+        bases = word_base(base_col, words.shape[-1])
+    lo = starts[:, None] - bases[None, :]
+    np.maximum(lo, 0, out=lo)
+    np.minimum(lo, WORD_BITS, out=lo)
+    hi = stops[:, None] - bases[None, :]
+    np.maximum(hi, 0, out=hi)
+    np.minimum(hi, WORD_BITS, out=hi)
+    sel = _HIGH_MASKS[lo]
+    sel &= _LOW_MASKS[hi]
+    sel &= words
+    return row_counts(sel)
 
 
 def _cumulative_counts(words: np.ndarray) -> np.ndarray:
@@ -255,11 +377,15 @@ def prefix_counts_multi(words: np.ndarray, base_col: int, cols: np.ndarray) -> n
     rel = np.asarray(cols, dtype=np.int64) - base_col
     word = rel >> 6
     cum = _cumulative_counts(words)
+    low = _LOW_MASKS[rel & 63]
+    if int(word.max(initial=0)) < num_words:
+        # Every column lands inside the word range (the common case).
+        partial = popcount(words[:, word] & low[None, :])
+        return cum[:, word] + partial
     full = cum[:, np.minimum(word, num_words)]
     inside = word < num_words
     partial_words = words[:, np.minimum(word, num_words - 1)]
-    low = (_ONE << (rel & 63).astype(np.uint64)) - _ONE
-    partial = popcount(partial_words & low[None, :]).astype(np.int64)
+    partial = popcount(partial_words & low[None, :])
     return full + np.where(inside[None, :], partial, 0)
 
 
@@ -285,11 +411,14 @@ def first_set(words: np.ndarray, base_col: int):
     ``popcount((w & -w) - 1)`` counts the zeros below the lowest set bit.
     """
     word_index = (words != 0).argmax(axis=1)
-    word = words[np.arange(words.shape[0]), word_index]
+    word = words[_iota(words.shape[0]), word_index]
     has = word != 0
-    lowest = word & (~word + _ONE)
-    trailing = popcount(lowest - _ONE).astype(np.int64)
-    col = base_col + WORD_BITS * word_index.astype(np.int64) + trailing
+    lowest = word & np.negative(word)
+    lowest -= _ONE
+    trailing = popcount(lowest)
+    col = word_index << 6
+    col += trailing
+    col += base_col
     return has, col
 
 
@@ -308,20 +437,49 @@ _BYTE_SHIFTS = (np.arange(8, dtype=np.uint64) * np.uint64(8))
 def kth_set(words: np.ndarray, base_col: int, k: np.ndarray) -> np.ndarray:
     """Absolute column of the ``k``-th set bit per row (1-based).
 
-    Callers guarantee ``1 <= k[r] <= row_counts(words)[r]``.  The target
-    word is found with a running popcount over words, the target byte with
-    a running popcount over that word's 8 bytes, and the in-byte rank
-    through a precomputed 256 x 8 select table.  Rank-1 selections — the
-    overwhelmingly common case in the scan's join hooks — short-circuit to
-    :func:`first_set`.
+    Callers guarantee ``1 <= k[r] <= row_counts(words)[r]``.  Small
+    batches on little-endian hosts view the row as raw bytes (byte ``j``
+    of word ``w`` holds columns ``64w + 8j ..``): a per-byte table
+    popcount and a running sum find the target byte, and the in-byte rank
+    reads a precomputed 256 x 8 select table.  Larger batches (and
+    big-endian hosts) walk words first — a word-level running popcount,
+    then the target word's 8 bytes by explicit shifts — which touches an
+    eighth of the columns per row.  Same results either way.  Rank-1
+    selections — the overwhelmingly common case in the scan's join hooks
+    — short-circuit to :func:`first_set`.
     """
     num_rows = words.shape[0]
     k = np.asarray(k, dtype=np.int64)
     if int(k.max(initial=1)) == 1:
         return first_set(words, base_col)[1]
+    ones = k == 1
+    if ones.any():
+        # Mixed batch: peel the rank-1 rows off to the lowest-set-bit
+        # shortcut and rank-select only the (typically few) deeper rows.
+        col = np.empty(num_rows, dtype=np.int64)
+        oidx = ones.nonzero()[0]
+        col[oidx] = first_set(words[oidx], base_col)[1]
+        didx = (~ones).nonzero()[0]
+        col[didx] = kth_set(words[didx], base_col, k[didx])
+        return col
+    rows = _iota(num_rows)
+    if _LITTLE_ENDIAN and num_rows <= 48:
+        # The byte walk runs over 8x the columns of the word walk, so its
+        # flat-per-row savings only pay below a few dozen rows.
+        row_bytes = np.ascontiguousarray(words).view(np.uint8)
+        cum = _BYTE_COUNTS[row_bytes].cumsum(axis=1, dtype=np.int64)
+        byte_index = (cum >= k[:, None]).argmax(axis=1)
+        byte = row_bytes[rows, byte_index]
+        # Rank within the byte: bits before it are the running count minus
+        # the byte's own contribution.
+        rank = k - cum[rows, byte_index]
+        rank += _BYTE_COUNTS[byte]
+        col = byte_index << 3
+        col += _SELECT_IN_BYTE[byte, rank - 1]
+        col += base_col
+        return col
     cum = _cumulative_counts(words)
     word_index = (cum[:, 1:] >= k[:, None]).argmax(axis=1)
-    rows = np.arange(num_rows)
     rank = k - cum[rows, word_index]
     word = words[rows, word_index]
     word_bytes = (word[:, None] >> _BYTE_SHIFTS) & np.uint64(0xFF)
@@ -381,3 +539,7 @@ class PackedWindow:
     def kth_set(self, rows: np.ndarray, k: np.ndarray) -> np.ndarray:
         """Absolute column of each selected row's ``k``-th reception."""
         return kth_set(self.words[rows], self.base_col, k)
+
+    def prefix_counts(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Receptions strictly before each selected row's absolute column."""
+        return prefix_counts(self.words[rows], self.base_col, cols)

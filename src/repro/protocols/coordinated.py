@@ -39,6 +39,7 @@ from ..errors import ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from ..simulator.packets import Packet
+from . import bitpack
 from .base import LayeredProtocol
 
 __all__ = ["CoordinatedProtocol"]
@@ -51,6 +52,7 @@ class CoordinatedProtocol(LayeredProtocol):
     supports_batched_units = True
     supports_stacked_runs = True
     supports_bitpacked = True
+    supports_chain_join = True
 
     def __init__(self, sync_threshold_fraction: float = 0.5) -> None:
         super().__init__()
@@ -104,7 +106,14 @@ class CoordinatedProtocol(LayeredProtocol):
         every receiver are skipped wholesale.  The window ends just after
         the first surviving sync point, which is therefore the only column
         :meth:`scan_first_join` has to inspect.
+
+        The bit-packed scan is exempt: its join hook inspects every sync
+        point of a window in one vectorised pass (prefix popcounts), so
+        wide windows beat the per-sync-point window establishments the
+        pruning would force.
         """
+        if chunk.receivable_packed is not None:
+            return chunk.num_packets
         sync_cols = chunk.sync_cols
         start = np.searchsorted(sync_cols, lo)
         if start >= sync_cols.size:
@@ -170,35 +179,30 @@ class CoordinatedProtocol(LayeredProtocol):
         has_join = candidates[np.arange(act.size), first]
         return has_join, sync_at[first]
 
-    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True):
+    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True, cong=None):
+        # Packed windows are not boundary-pruned to a single sync point
+        # (see scan_boundary): every sync point inside the view — whether
+        # it is a fresh window or a post-event segment — is inspected in
+        # one vectorised pass.  Reception bits before each row's position
+        # are already masked out of the packed rows, so a sync point a row
+        # has consumed past cannot produce a candidate.
+        hi_col = view.col_hi
+        if cong is not None and bool(cong[0].all()):
+            # Every row has a congestion candidate; sync points past the
+            # latest one can never be consumed (the scan always takes the
+            # earlier event), so the inspected range shrinks to match.
+            hi_col = min(hi_col, int(cong[1].max()) + 1)
+        s_lo = int(chunk.sync_cols.searchsorted(view.col_lo))
+        s_hi = int(chunk.sync_cols.searchsorted(hi_col))
+        if s_lo == s_hi:
+            return None
         num_layers = chunk.num_layers
         gate = self.sync_threshold_fraction * self.join_threshold(levels_act)
         counters = self._received_since_event[act]
-        if fresh:
-            # Packed mirror of the dense fresh path: scan_boundary bounded
-            # the window at the next plausible sync point, so only the
-            # window's last observable column can trigger a join.
-            sync_col = view.last_obs_col
-            where = np.searchsorted(chunk.sync_cols, sync_col)
-            if where >= chunk.sync_cols.size or chunk.sync_cols[where] != sync_col:
-                return None
-            at_sync = chunk.sync_ok[where, levels_act]
-            if not at_sync.any():
-                return None
-            totals = view.counts()
-            has_join = (
-                view.bit_at(sync_col)
-                & at_sync
-                & (counters + totals >= gate)
-                & (levels_act < num_layers)
-            )
-            return has_join, np.full(act.size, sync_col, dtype=np.int64)
-        # Post-event re-check: inspect every sync point still inside the
-        # window (reception bits before each row's position are already
-        # masked out of the packed rows, exactly like the dense path).
-        s_lo = np.searchsorted(chunk.sync_cols, view.col_lo)
-        s_hi = np.searchsorted(chunk.sync_cols, view.col_hi)
-        if s_lo == s_hi:
+        # The counter cannot outgrow the observable columns, so rows the
+        # observed-packet bound rules out are skipped before any popcount.
+        maybe = (counters + view.num_obs_cols >= gate) & (levels_act < num_layers)
+        if not maybe.any():
             return None
         sync_sel = chunk.sync_cols[s_lo:s_hi]
         at_sync = chunk.sync_ok[s_lo:s_hi][:, levels_act].T
@@ -207,11 +211,85 @@ class CoordinatedProtocol(LayeredProtocol):
             view.bit_at(sync_sel)
             & at_sync
             & (counters[:, None] + running >= gate[:, None])
-            & (levels_act < num_layers)[:, None]
+            & maybe[:, None]
         )
         first = candidates.argmax(axis=1)
         has_join = candidates[np.arange(act.size), first]
-        return has_join, sync_sel[first].astype(np.int64)
+        if not has_join.any():
+            return None
+        return has_join, sync_sel[first]
+
+    def scan_chain_gap(self, chunk, rows, levels_rows, gap_counts, gap_lo, gap_hi):
+        # A coordinated join needs a sync point strictly inside the gap
+        # (the bounds themselves are congestion columns, so a sync packet
+        # there was lost and cannot trigger) plus enough receptions to
+        # clear the gate, counting from the zeroed post-congestion state.
+        # The count up to any interior sync point is bounded by the whole
+        # gap's count, so the test is conservative: chains only break when
+        # a join is at least plausible, never the other way around.
+        sync_cols = chunk.sync_cols
+        after = np.searchsorted(sync_cols, gap_lo, side="right")
+        before = np.searchsorted(sync_cols, gap_hi, side="left")
+        gate = self.sync_threshold_fraction * self.join_threshold(levels_rows)
+        return (
+            (after < before)
+            & (gap_counts >= gate)
+            & (levels_rows < chunk.num_layers)
+        )
+
+    def scan_chain_join_packed(
+        self, chunk, words, base_col, rows, levels_rows, gap_counts, gap_lo, gap_hi
+    ):
+        # Exact counterpart of scan_chain_gap: with the counter zeroed by
+        # the consumed event, a row joins at the first sync point strictly
+        # inside its gap that it received, that admits its level, and
+        # whose in-gap running reception count clears the gate.  Bits
+        # below each row's position are already cleared, so the prefix
+        # popcount at a sync point *is* the counter the per-packet rule
+        # would hold there.
+        no_join = np.zeros(rows.size, dtype=bool)
+        sync_cols = chunk.sync_cols
+        s_lo = int(sync_cols.searchsorted(int(gap_lo.min()), side="right"))
+        s_hi = int(sync_cols.searchsorted(int(gap_hi.max()), side="left"))
+        if s_lo == s_hi:
+            return no_join, gap_hi, gap_counts
+        # Rows without a sync point inside their own gap, without enough
+        # gap receptions to clear the gate anywhere in it, or at the top
+        # level cannot fire; typically only a few survive the prune into
+        # the sync-matrix inspection below.
+        gate = self.sync_threshold_fraction * self.join_threshold(levels_rows)
+        maybe = (
+            (sync_cols.searchsorted(gap_lo, side="right")
+             < sync_cols.searchsorted(gap_hi, side="left"))
+            & (gap_counts >= gate)
+            & (levels_rows < chunk.num_layers)
+        )
+        if not maybe.any():
+            return no_join, gap_hi, gap_counts
+        midx = maybe.nonzero()[0]
+        part = words[midx]
+        gap_hi_m = gap_hi[midx]
+        s_lo = int(sync_cols.searchsorted(int(gap_lo[midx].min()), side="right"))
+        s_hi = int(sync_cols.searchsorted(int(gap_hi_m.max()), side="left"))
+        sync_sel = sync_cols[s_lo:s_hi]
+        levels_m = levels_rows[midx]
+        running = bitpack.prefix_counts_multi(part, base_col, sync_sel + 1)
+        candidates = (
+            bitpack.bit_at(part, base_col, sync_sel)
+            & chunk.sync_ok[s_lo:s_hi][:, levels_m].T
+            & (sync_sel[None, :] < gap_hi_m[:, None])
+            & (running >= gate[midx][:, None])
+        )
+        first = candidates.argmax(axis=1)
+        iota = np.arange(midx.size)
+        fired = candidates[iota, first]
+        has_join = no_join
+        has_join[midx] = fired
+        col = gap_hi.copy()
+        col[midx] = np.where(fired, sync_sel[first], gap_hi_m)
+        bulk = gap_counts.copy()
+        bulk[midx] = np.where(fired, running[iota, first], gap_counts[midx])
+        return has_join, col, bulk
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
         self._received_since_event[receivers] += counts

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from ..simulator.packets import Packet
+from . import bitpack
 from .base import LayeredProtocol
 
 __all__ = ["DeterministicProtocol"]
@@ -29,6 +30,7 @@ class DeterministicProtocol(LayeredProtocol):
     supports_batched_units = True
     supports_stacked_runs = True
     supports_bitpacked = True
+    supports_chain_join = True
 
     def _reset_state(self) -> None:
         self._received_since_event = np.zeros(self.num_receivers, dtype=np.int64)
@@ -88,7 +90,7 @@ class DeterministicProtocol(LayeredProtocol):
         index[ridx] = first
         return has_join, index
 
-    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True):
+    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True, cong=None):
         # Packed mirror of scan_first_join: the join fires at the k-th
         # reception, where k is the smallest count lifting the frozen
         # counter to the 2^(2(i-1)) threshold — the k-th set bit of the
@@ -100,21 +102,57 @@ class DeterministicProtocol(LayeredProtocol):
         )
         if not maybe.any():
             return None
-        midx = np.nonzero(maybe)[0]
-        totals = np.zeros(act.size, dtype=np.int64)
-        totals[midx] = view.counts(midx)
-        reachable = maybe & (totals >= 1) & (counters + totals >= thresholds)
-        if not reachable.any():
+        midx = maybe.nonzero()[0]
+        # Thresholds are exact powers of four, so the float ceil of the
+        # remaining packet need collapses to integer arithmetic.
+        need = thresholds[midx].astype(np.int64) - counters[midx]
+        np.maximum(need, 1, out=need)
+        if cong is None:
+            avail = view.counts(midx)
+        else:
+            # Only a join strictly before the row's congestion candidate is
+            # ever consumed, so count receptions up to there (the whole
+            # window where no candidate exists) — one prefix popcount
+            # instead of an exact rank selection for rows whose join the
+            # scan would discard anyway.
+            has_cong, e_cong = cong
+            limit = np.where(has_cong[midx], e_cong[midx], view.col_hi)
+            avail = view.prefix_counts(midx, limit)
+        fire = avail >= need
+        if not fire.any():
             return None
-        ridx = np.nonzero(reachable)[0]
-        need = np.maximum(1, np.ceil(thresholds[ridx] - counters[ridx])).astype(
-            np.int64
-        )
+        ridx = midx[fire]
         has_join = np.zeros(act.size, dtype=bool)
         index = np.zeros(act.size, dtype=np.int64)
         has_join[ridx] = True
-        index[ridx] = view.kth_set(ridx, need)
+        index[ridx] = view.kth_set(ridx, need[fire])
         return has_join, index
+
+    def scan_chain_gap(self, chunk, rows, levels_rows, gap_counts, gap_lo, gap_hi):
+        # The counter is zero right after the consumed congestion event, so
+        # the join fires inside the gap exactly when its receptions reach
+        # the fixed 2^(2(i-1)) threshold — an exact test, not a
+        # conservative one.
+        return (levels_rows < chunk.num_layers) & (
+            gap_counts >= self.join_threshold(levels_rows)
+        )
+
+    def scan_chain_join_packed(
+        self, chunk, words, base_col, rows, levels_rows, gap_counts, gap_lo, gap_hi
+    ):
+        # Same zero-counter invariant as scan_chain_gap, made exact in
+        # both directions: the join is the row's threshold-th reception
+        # inside the gap — the threshold-th set bit of its packed row
+        # (bits below the position are cleared, and the join's existence
+        # inside the gap bounds the rank below ``gap_hi``).
+        need = self.join_threshold(levels_rows).astype(np.int64)
+        has_join = (levels_rows < chunk.num_layers) & (gap_counts >= need)
+        col = gap_hi
+        if has_join.any():
+            jidx = has_join.nonzero()[0]
+            col = gap_hi.copy()
+            col[jidx] = bitpack.kth_set(words[jidx], base_col, need[jidx])
+        return has_join, col, need
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
         self._received_since_event[receivers] += counts

@@ -38,22 +38,42 @@ the drained column* is recomputed, with first-congestion candidates cached
 for the untouched rows.  Per-event cost therefore tracks the segment
 between synchronized events instead of the full receiver x window matrix.
 
-**Bit-packed variant.**  ``engine="bitpacked"`` runs the same event scan on
-``uint64``-packed matrices (:mod:`repro.protocols.bitpack`): the engine
-scatters its sparse loss positions straight into packed ``receivable``
-words, the per-window ``recv``/``cong`` matrices are packed bit fields,
-and every boolean reduction becomes a masked popcount — first-congestion
-candidates via lowest-set-bit isolation, bulk reception credits via prefix
-popcounts, segment refreshes via per-row range masks.  One word carries 64
-packet columns, so the window matrices shrink 8x and the scan affords
-windows an order of magnitude wider (fewer Python-level iterations) at the
-same memory traffic.  :func:`scan_chunk_bitpacked` mirrors
-:func:`scan_chunk` decision for decision; both are bit-for-bit identical
-to the reference loop for any window or chunk size.
+**Bit-packed variant (the default engine).**  ``engine="bitpacked"`` runs
+the same event scan on ``uint64``-packed matrices
+(:mod:`repro.protocols.bitpack`): the engine scatters its sparse loss
+positions straight into packed ``receivable`` words, the per-window
+``recv``/``cong`` matrices are packed bit fields, and every boolean
+reduction becomes a masked popcount — first-congestion candidates via
+lowest-set-bit isolation, bulk reception credits via prefix popcounts,
+segment refreshes via per-row range masks.  One word carries 64 packet
+columns, so the window matrices shrink 8x and the scan affords windows an
+order of magnitude wider (fewer Python-level iterations) at the same
+memory traffic.  :func:`scan_chunk_bitpacked` mirrors :func:`scan_chunk`
+decision for decision; both are bit-for-bit identical to the reference
+loop for any window or chunk size.
+
+For protocols that implement the exact in-chain join locator
+(:meth:`~repro.protocols.base.LayeredProtocol.scan_chain_join_packed`,
+declared with ``supports_chain_join`` — all three Section-4 protocols),
+the packed scan upgrades the fused drain into a **multi-event chain
+drain**: after one generation pass establishes a window, the chain
+consumes *every* remaining event of the window — correlated-loss
+congestions *and* the joins between them — without re-entering the
+generation machinery.  Each chained row's next event is the earlier of
+its cached first-congestion candidate and its exactly-located join
+(rank-select ``kth_set`` for counter/countdown joins, sync-point prefix
+popcounts for coordinated joins); bulk reception credits come from prefix
+popcounts up to the event column, and only the row's packed suffix past
+the event is rebuilt.  A window therefore costs one generation pass plus
+one vectorised chain step per synchronized event batch, which is what
+makes the dense correlated-loss regime of Figure 8(b) byte-bound instead
+of event-bound.
 
 The scan produces results bit-for-bit identical to the per-packet reference
 engine for any window size or chunk size;
-``tests/simulator/test_engine_equivalence.py`` holds the proof obligations.
+``tests/simulator/test_engine_equivalence.py`` holds the conformance
+matrix and ``tests/simulator/test_engine_fuzz.py`` fuzzes generated
+scenarios across all three engines.
 """
 
 from __future__ import annotations
@@ -69,6 +89,9 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from .base import LayeredProtocol
 
 __all__ = ["UnitChunk", "ChunkResult", "scan_chunk", "scan_chunk_bitpacked"]
+
+_WORD_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+_ONE64 = np.uint64(1)
 
 
 @dataclass
@@ -332,6 +355,59 @@ def scan_chunk(
                 # next (wider) window re-examines everything beyond.
                 window_end = int(pos[hit].min())
                 break
+            # ---- multi-event chain drain ----------------------------
+            # Congested rows keep draining forward: with levels only ever
+            # stepping down along a run of congestion events, each lower
+            # level's congestion columns follow from the raw receivable
+            # matrix by masking (no refresh needed), and the protocol
+            # certifies join-free gaps from the gap's reception count alone
+            # (its counters are freshly reset/re-armed after every consumed
+            # event).  A window's worth of correlated-loss columns thus
+            # drains in one pass — one segment refresh and one join-hook
+            # call per *chain* instead of per event.
+            chain = cidx
+            while chain.size:
+                sub_c = layer_row <= levels[chain].astype(np.int16)[:, None]
+                alive = cols[None, :] >= pos[chain][:, None]
+                ok_c = ok[chain]
+                cand = sub_c & ~ok_c
+                cand &= alive
+                idx = cand.argmax(axis=1)
+                has_next = cand[np.arange(chain.size), idx]
+                if not has_next.any():
+                    break
+                chain = chain[has_next]
+                idx = idx[has_next]
+                nxt = cols[idx].astype(np.int64)
+                gap = sub_c[has_next] & ok_c[has_next]
+                gap &= alive[has_next]
+                gap &= iota[None, :] < idx[:, None]
+                n_gap = gap.sum(axis=1, dtype=np.int64)
+                may_join = protocol.scan_chain_gap(
+                    chunk, chain, levels[chain], n_gap,
+                    pos[chain].astype(np.int64) - 1, nxt,
+                )
+                if may_join is None:
+                    break
+                keep = ~may_join
+                chain = chain[keep]
+                if chain.size == 0:
+                    break
+                nxt = nxt[keep]
+                gap_bulk = n_gap[keep]
+                received_counts[chain] += gap_bulk
+                protocol.scan_bulk_received(chain, gap_bulk)
+                protocol.scan_congested(chain)
+                leave = levels[chain] > 1
+                lidx = chain[leave]
+                if lidx.size:
+                    ev_cols.append(nxt[leave])
+                    ev_rec.append(lidx)
+                    ev_old.append(levels[lidx])
+                    levels[lidx] -= 1
+                    ev_new.append(levels[lidx])
+                    protocol.scan_left(lidx, levels[lidx])
+                pos[chain] = nxt + 1
             # ---- fused segment refresh ------------------------------
             # Every hit row's scan resumes at or beyond the earliest
             # drained column, so only the window segment past it is
@@ -432,28 +508,28 @@ def scan_chunk_bitpacked(
         # ---- establish one window of observable columns -----------------
         top = int(levels.max())
         cols_all = chunk.cols_for_level[top]
-        first = np.searchsorted(cols_all, lo) if lo else 0
+        first = cols_all.searchsorted(lo) if lo else 0
         if first >= cols_all.size:
             break
         capped = cols_all.size - first > window
         window_end = int(cols_all[first + window]) if capped else n
+        # Bound the window in *scheduled* columns as well: at low
+        # subscription levels the observable columns thin out, and a
+        # window of ``window`` observable columns would otherwise span an
+        # arbitrarily wide word range (every per-generation mask build
+        # pays for those words, observable or not).
+        window_end = min(window_end, lo + window)
         boundary = protocol.scan_boundary(chunk, lo, everyone, levels, pos)
         if boundary < window_end:
             window_end = boundary
-            hi = int(np.searchsorted(cols_all, boundary))
-            if hi == first:
-                # Nothing observable before the boundary; hop across.
-                np.maximum(pos, window_end, out=pos)
-                lo = window_end
-                continue
-            num_obs = hi - first
-            last_obs = int(cols_all[hi - 1])
-        elif capped:
-            num_obs = window
-            last_obs = int(cols_all[first + window - 1])
-        else:
-            num_obs = cols_all.size - first
-            last_obs = int(cols_all[-1])
+        hi = int(cols_all.searchsorted(window_end))
+        if hi == first:
+            # Nothing observable before the window's end; hop across.
+            np.maximum(pos, window_end, out=pos)
+            lo = window_end
+            continue
+        num_obs = hi - first
+        last_obs = int(cols_all[hi - 1])
 
         w_lo = lo >> 6
         w_hi = (window_end + 63) >> 6
@@ -463,14 +539,36 @@ def scan_chunk_bitpacked(
         ok = okp[:, w_lo:w_hi]
         masks_here = level_masks[:, w_lo:w_hi]
         sub = masks_here[levels]
-        sub &= bitpack.start_masks(np.maximum(pos, lo), base_col, num_words, bases)
-        high_edge = bitpack.tail_mask(window_end, base_col, num_words, bases)
-        sub &= high_edge
+        # Only the window's leading and trailing words are partial (base_col
+        # is ``lo`` rounded down to a word), so the start/stop masking is
+        # two scalar word ANDs — unless a truncated predecessor window left
+        # some positions beyond ``lo``, which needs the per-row masks.
+        tail = window_end - base_col - ((num_words - 1) << 6)
+        edge_word = (
+            (_ONE64 << np.uint64(tail)) - _ONE64 if tail < 64 else _WORD_ONES
+        )
+        if int(pos.max()) <= lo:
+            head = lo - base_col
+            if head:
+                sub[:, 0] &= _WORD_ONES << np.uint64(head)
+        else:
+            sub &= bitpack.start_masks(np.maximum(pos, lo), base_col, num_words, bases)
+        sub[:, -1] &= edge_word
         recv = sub & ok
-        cong = sub ^ recv
+        cong = sub
+        cong ^= recv
 
+        # ``cong`` is consumed once by the candidate cache here; after
+        # that only the cached (has_cong, e_cong) pair and the per-refresh
+        # recomputation are ever read, so the drain never stores congestion
+        # rows back.  The cached candidates also feed the join hook, which
+        # may skip rank-selecting joins the scan would discard (a join at
+        # or past a row's congestion candidate is never consumed).
+        has_cong, e_cong = bitpack.first_set(cong, base_col)
         view = bitpack.PackedWindow(recv, base_col, lo, window_end, num_obs, last_obs)
-        join = protocol.scan_first_join_packed(chunk, view, everyone, levels, pos, fresh=True)
+        join = protocol.scan_first_join_packed(
+            chunk, view, everyone, levels, pos, fresh=True, cong=(has_cong, e_cong)
+        )
         if join is None:
             has_join = np.zeros(num_receivers, dtype=bool)
             e_join = np.zeros(num_receivers, dtype=np.int64)
@@ -478,14 +576,9 @@ def scan_chunk_bitpacked(
             has_join, e_join = join
 
         # ---- drain the window's events, touching only changed rows ------
-        # ``cong`` is consumed once by the candidate cache below; after
-        # that only the cached (has_cong, e_cong) pair and the per-refresh
-        # recomputation are ever read, so the drain never stores congestion
-        # rows back.
         truncate_at = -1
-        has_cong, e_cong = bitpack.first_set(cong, base_col)
         while True:
-            hit = np.nonzero(has_cong | has_join)[0]
+            hit = (has_cong | has_join).nonzero()[0]
             if hit.size == 0:
                 break
             was_cong = has_cong & (~has_join | (e_cong < e_join))
@@ -541,10 +634,11 @@ def scan_chunk_bitpacked(
                 window_end = int(pos[hit].min())
                 break
             # ---- fused segment refresh ------------------------------
-            # Hit rows are rebuilt over the window's words under their new
-            # levels and positions — a handful of word ops per row however
-            # wide the window — while untouched rows keep their cached
-            # first-congestion candidates.
+            # Hit rows are rebuilt under their new levels and positions —
+            # and only over the words at or past the earliest consumed
+            # column (everything before it is consumed for every hit row),
+            # reusing the consumed-bit mask built above.  Untouched rows
+            # keep their cached first-congestion candidates.
             seg_lo = int(pos[hit].min())
             if seg_lo > last_obs:
                 # The drained column closed the window for these rows:
@@ -555,25 +649,204 @@ def scan_chunk_bitpacked(
                 has_cong[hit] = False
                 has_join[hit] = False
                 continue
-            # ``ahead`` (bits >= event + 1) is exactly the hit rows' new
-            # position mask, so the refresh reuses it instead of building
-            # another; ``sub_hit`` is a fresh gather, masked in place.
-            ahead &= high_edge
-            sub_hit = masks_here[levels[hit]]
-            sub_hit &= ahead
-            recv_hit = sub_hit & ok[hit]
-            cong_hit = sub_hit ^ recv_hit
-            recv[hit] = recv_hit
-            has_cong[hit], e_cong[hit] = bitpack.first_set(cong_hit, base_col)
+            w0 = (seg_lo - base_col) >> 6
+            base_w0 = base_col + (w0 << 6)
+            bases_s = bases[w0:]
+            sub_hit = masks_here[levels[hit], w0:]
+            sub_hit &= ahead[:, w0:]
+            sub_hit[:, -1] &= edge_word
+            ok_hit = ok[hit, w0:]
+            recv_hit = sub_hit & ok_hit
+            cong_hit = sub_hit
+            cong_hit ^= recv_hit
+            has_c, e_c = bitpack.first_set(cong_hit, base_w0)
+            if protocol.supports_chain_join:
+                # ---- exact multi-event chain drain ------------------
+                # Every hit row's join-progress state was freshly reset or
+                # re-armed by the event it just consumed, so the protocol
+                # can locate each row's next event *exactly* from its gap
+                # alone: the next congestion candidate is the refreshed
+                # first-set column, and scan_chain_join_packed pinpoints
+                # any earlier join inside the gap.  The chain therefore
+                # consumes joins and congestion events alike until every
+                # row runs out of events, draining the whole window in one
+                # pass — one join-hook call per chain step over the still-
+                # active rows, no per-generation segment refresh at all.
+                chain_l = np.arange(hit.size)
+                num_words_s = num_words - w0
+                while chain_l.size:
+                    rows_g = hit[chain_l]
+                    # Every chained row's bits below its position are
+                    # cleared, so words wholly below the earliest position
+                    # are zero for the whole chain — slide the word base
+                    # past them and run the step on the shrinking suffix
+                    # (synchronized losses advance all positions together,
+                    # so the suffix collapses fast).
+                    ws = (int(pos[rows_g].min()) - base_w0) >> 6
+                    if ws >= num_words_s:
+                        ws = num_words_s - 1
+                    elif ws < 0:
+                        ws = 0
+                    base_ws = base_w0 + (ws << 6)
+                    words_g = recv_hit[:, ws:][chain_l]
+                    hc = has_c[chain_l]
+                    bound = np.where(hc, e_c[chain_l], window_end)
+                    # Bits below each row's position are already cleared, so
+                    # the gap count is one prefix popcount at the bound.
+                    n_gap = bitpack.prefix_counts(words_g, base_ws, bound)
+                    has_j, j_col, j_bulk = protocol.scan_chain_join_packed(
+                        chunk, words_g, base_ws, rows_g,
+                        levels[rows_g], n_gap, pos[rows_g] - 1, bound,
+                    )
+                    # Rows with neither a join in the gap nor a congestion
+                    # candidate are fully drained and leave the chain.
+                    sel = (has_j | hc).nonzero()[0]
+                    if sel.size == 0:
+                        break
+                    if sel.size < chain_l.size:
+                        chain_l = chain_l[sel]
+                        rows_g = hit[chain_l]
+                        bound = bound[sel]
+                        n_gap = n_gap[sel]
+                        has_j = has_j[sel]
+                        j_col = j_col[sel]
+                        j_bulk = j_bulk[sel]
+                    event = np.where(has_j, j_col, bound)
+                    # Joining rows' credit includes the join packet itself
+                    # (a received bit at the event column); congestion
+                    # columns were not received, so their rows credit the
+                    # gap's strictly-before receptions only.
+                    bulk_c = np.where(has_j, j_bulk, n_gap)
+                    received_counts[rows_g] += bulk_c
+                    protocol.scan_bulk_received(rows_g, bulk_c - has_j)
+                    crows = rows_g[~has_j]
+                    if crows.size:
+                        protocol.scan_congested(crows)
+                        leave = levels[crows] > 1
+                        lidx = crows[leave]
+                        if lidx.size:
+                            ev_cols.append(event[~has_j][leave])
+                            ev_rec.append(lidx)
+                            ev_old.append(levels[lidx])
+                            levels[lidx] -= 1
+                            ev_new.append(levels[lidx])
+                            protocol.scan_left(lidx, levels[lidx])
+                    jrows = rows_g[has_j]
+                    if jrows.size:
+                        protocol.scan_joined(jrows, levels[jrows] + 1)
+                        jcols = event[has_j]
+                        ev_cols.append(jcols)
+                        ev_rec.append(jrows)
+                        ev_old.append(levels[jrows])
+                        levels[jrows] += 1
+                        ev_new.append(levels[jrows])
+                        raised = levels[jrows] > top
+                        if raised.any():
+                            # A receiver outgrew the window's layer slice;
+                            # close the window before the first such join
+                            # (see scan_chunk).
+                            truncate_at = int(jcols[raised].min())
+                    pos[rows_g] = event + 1
+                    if truncate_at >= 0:
+                        break
+                    # Rebuild the consumed rows' segment state under their
+                    # new level and position — suffix words only; the words
+                    # below the slid base stay zero for these rows.
+                    front = bitpack.start_masks(
+                        pos[rows_g], base_ws, num_words_s - ws, bases_s[ws:]
+                    )
+                    sub_c = masks_here[levels[rows_g], w0 + ws:]
+                    sub_c &= front
+                    sub_c[:, -1] &= edge_word
+                    recv_c = sub_c & ok_hit[:, ws:][chain_l]
+                    cong_c = sub_c
+                    cong_c ^= recv_c
+                    recv_hit[chain_l, ws:] = recv_c
+                    has_c[chain_l], e_c[chain_l] = bitpack.first_set(cong_c, base_ws)
+                if truncate_at >= 0:
+                    window_end = int(pos[hit].min())
+                    break
+                # Every hit row is drained: write the final segment state
+                # back for the window-close credit and end the event loop.
+                if w0:
+                    recv[hit, :w0] = 0
+                    recv[hit, w0:] = recv_hit
+                else:
+                    recv[hit] = recv_hit
+                has_cong[hit] = False
+                has_join[hit] = False
+                continue
+            # ---- multi-event chain drain ----------------------------
+            # Congestion-consumed rows keep draining forward: their next
+            # congestion candidate is exactly the refreshed first-set
+            # column just computed, and the protocol certifies join-free
+            # gaps from the gap's reception count alone (its counters are
+            # freshly reset/re-armed after every consumed event).  A
+            # window's worth of correlated-loss columns thus drains in one
+            # pass — only the rows a chain actually advances are rebuilt,
+            # and the join hook runs once per *chain* instead of per event.
+            chain_l = (hit_cong & has_c).nonzero()[0]
+            while chain_l.size:
+                rows_g = hit[chain_l]
+                nxt = e_c[chain_l]
+                n_gap = bitpack.counts_between(
+                    recv_hit[chain_l], base_w0, pos[rows_g], nxt, bases_s
+                )
+                may_join = protocol.scan_chain_gap(
+                    chunk, rows_g, levels[rows_g], n_gap, pos[rows_g] - 1, nxt
+                )
+                if may_join is None:
+                    break
+                keep = ~may_join
+                chain_l = chain_l[keep]
+                if chain_l.size == 0:
+                    break
+                rows_g = hit[chain_l]
+                nxt = nxt[keep]
+                gap_bulk = n_gap[keep]
+                received_counts[rows_g] += gap_bulk
+                protocol.scan_bulk_received(rows_g, gap_bulk)
+                protocol.scan_congested(rows_g)
+                leave = levels[rows_g] > 1
+                lidx = rows_g[leave]
+                if lidx.size:
+                    ev_cols.append(nxt[leave])
+                    ev_rec.append(lidx)
+                    ev_old.append(levels[lidx])
+                    levels[lidx] -= 1
+                    ev_new.append(levels[lidx])
+                    protocol.scan_left(lidx, levels[lidx])
+                pos[rows_g] = nxt + 1
+                # Rebuild just the chained rows' segment state under their
+                # new level and position, keeping the candidate cache hot.
+                front = bitpack.start_masks(pos[rows_g], base_w0, num_words - w0, bases_s)
+                sub_c = masks_here[levels[rows_g], w0:]
+                sub_c &= front
+                sub_c[:, -1] &= edge_word
+                recv_c = sub_c & ok_hit[chain_l]
+                cong_c = sub_c
+                cong_c ^= recv_c
+                recv_hit[chain_l] = recv_c
+                has_c[chain_l], e_c[chain_l] = bitpack.first_set(cong_c, base_w0)
+                chain_l = chain_l[has_c[chain_l]]
+            # ---- write back + one join-hook call per generation -----
+            if w0:
+                recv[hit, :w0] = 0
+                recv[hit, w0:] = recv_hit
+            else:
+                recv[hit] = recv_hit
+            has_cong[hit] = has_c
+            e_cong[hit] = e_c
             seg_obs = int(
                 chunk.observed_before[top, window_end]
                 - chunk.observed_before[top, seg_lo]
             )
             seg_view = bitpack.PackedWindow(
-                recv_hit, base_col, seg_lo, window_end, seg_obs, last_obs
+                recv_hit, base_w0, seg_lo, window_end, seg_obs, last_obs
             )
             join = protocol.scan_first_join_packed(
-                chunk, seg_view, hit, levels[hit], pos[hit], fresh=False
+                chunk, seg_view, hit, levels[hit], pos[hit], fresh=False,
+                cong=(has_c, e_c),
             )
             if join is None:
                 has_join[hit] = False

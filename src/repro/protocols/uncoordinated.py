@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from ..simulator.packets import Packet
     from ..simulator.rng import ReceiverDrawStreams
 from ..errors import ProtocolError
+from . import bitpack
 from .base import LayeredProtocol
 
 __all__ = ["UncoordinatedProtocol"]
@@ -53,6 +54,7 @@ class UncoordinatedProtocol(LayeredProtocol):
     supports_batched_units = True
     supports_stacked_runs = True
     supports_bitpacked = True
+    supports_chain_join = True
 
     def _reset_state(self) -> None:
         self._streams: Optional["ReceiverDrawStreams"] = None
@@ -170,7 +172,7 @@ class UncoordinatedProtocol(LayeredProtocol):
             ).argmax(axis=1)
         return has_join, index
 
-    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True):
+    def scan_first_join_packed(self, chunk, view, act, levels_act, pos, fresh=True, cong=None):
         if self._streams is None:
             raise ProtocolError(
                 "uncoordinated batched scan needs bind_run_streams() to "
@@ -182,18 +184,53 @@ class UncoordinatedProtocol(LayeredProtocol):
         maybe = countdown <= view.num_obs_cols
         if not bool(maybe.any()):
             return None
-        has_join = np.zeros(act.size, dtype=bool)
-        midx = np.nonzero(maybe)[0]
-        counts = view.counts(midx)
-        has_join[midx] = countdown[midx] <= counts
-        if not bool(has_join[midx].any()):
+        midx = maybe.nonzero()[0]
+        if cong is None:
+            counts = view.counts(midx)
+        else:
+            # Only a join strictly before the row's congestion candidate
+            # is ever consumed (the scan takes the earlier event), so one
+            # prefix popcount up to there replaces the rank selection for
+            # rows whose join would be discarded.
+            has_cong, e_cong = cong
+            limit = np.where(has_cong[midx], e_cong[midx], view.col_hi)
+            counts = view.prefix_counts(midx, limit)
+        fire = countdown[midx] <= counts
+        if not bool(fire.any()):
             return None
+        candidates = midx[fire]
         # The joining packet is each row's countdown-th reception — the
         # countdown-th set bit of its packed row.
+        has_join = np.zeros(act.size, dtype=bool)
+        has_join[candidates] = True
         index = np.zeros(act.size, dtype=np.int64)
-        candidates = np.nonzero(has_join)[0]
         index[candidates] = view.kth_set(candidates, countdown[candidates])
         return has_join, index
+
+    def scan_chain_gap(self, chunk, rows, levels_rows, gap_counts, gap_lo, gap_hi):
+        # The joining packet is each row's countdown-th reception (the
+        # countdown was re-armed by the leave that ended the last gap, or
+        # carried across a level-1 congestion), so the join falls inside
+        # the gap exactly when the countdown fits its reception count.
+        # Top-level rows hold the sentinel and never break the chain.
+        return self._countdown[rows] <= gap_counts
+
+    def scan_chain_join_packed(
+        self, chunk, words, base_col, rows, levels_rows, gap_counts, gap_lo, gap_hi
+    ):
+        # Exact counterpart of scan_chain_gap: the join is the row's
+        # countdown-th reception inside the gap — the countdown-th set bit
+        # of its packed row (bits below the position are cleared, and the
+        # fit inside the gap bounds the rank below ``gap_hi``).  Top-level
+        # rows hold the sentinel and never fire.
+        countdown = self._countdown[rows]
+        has_join = countdown <= gap_counts
+        col = gap_hi
+        if has_join.any():
+            jidx = has_join.nonzero()[0]
+            col = gap_hi.copy()
+            col[jidx] = bitpack.kth_set(words[jidx], base_col, countdown[jidx])
+        return has_join, col, countdown
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
         self._countdown[receivers] -= counts

@@ -109,10 +109,10 @@ RNG_SCHEME_VERSION = 4
 #: identical results for any seed.  Mirrored by the import-light
 #: ``repro.experiments.api.ENGINES`` (pinned equal by
 #: ``tests/experiments/test_api.py``).
-ENGINES = ("batched", "reference", "bitpacked")
+ENGINES = ("bitpacked", "batched", "reference")
 
 #: Engines that run the chunked scan (everything except the reference loop).
-_SCAN_ENGINES = ("batched", "bitpacked")
+_SCAN_ENGINES = ("bitpacked", "batched")
 
 IndependentLoss = Union[LossProcess, Sequence[LossProcess]]
 
@@ -233,17 +233,20 @@ class LayeredSessionSimulator:
         previously subscribed layers.  Zero (the default) models the
         idealised instantaneous leaves of Section 4.
     engine:
-        ``"batched"`` (the default) processes whole chunks of time units
-        with the per-receiver event scan; ``"reference"`` runs the original
-        per-packet loop; ``"bitpacked"`` runs the scan on uint64-packed
-        matrices with popcount reductions (8x denser windows).  Results
-        are bit-for-bit identical for any seed; protocols without batched
-        support always use the reference loop, and protocols without
-        packed support (the active-node group drain) run the dense scan
-        under ``"bitpacked"``.
+        ``"bitpacked"`` (the default) runs the per-receiver event scan on
+        uint64-packed matrices with popcount reductions (8x denser
+        windows); ``"batched"`` runs the same scan on dense boolean
+        matrices; ``"reference"`` runs the original per-packet loop.
+        Results are bit-for-bit identical for any seed; protocols without
+        batched support always use the reference loop, and protocols
+        without packed support (the active-node group drain) run the dense
+        scan under ``"bitpacked"``.
     chunk_units:
         Time units the batched engine processes per chunk (performance
-        knob only; results do not depend on it).
+        knob only; results do not depend on it).  ``None`` (the default)
+        picks 8 units — wider chunks amortise per-chunk assembly but
+        inflate the per-generation word range of the packed scan, and 8
+        balances the two on both scan engines.
     """
 
     def __init__(
@@ -256,8 +259,8 @@ class LayeredSessionSimulator:
         duration_units: int = 800,
         warmup_units: Optional[int] = None,
         leave_latency: float = 0.0,
-        engine: str = "batched",
-        chunk_units: int = 8,
+        engine: str = "bitpacked",
+        chunk_units: Optional[int] = None,
     ) -> None:
         if num_receivers < 1:
             raise SimulationError(f"need at least one receiver, got {num_receivers}")
@@ -267,6 +270,8 @@ class LayeredSessionSimulator:
             raise SimulationError(f"leave_latency must be non-negative, got {leave_latency}")
         if engine not in ENGINES:
             raise SimulationError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if chunk_units is None:
+            chunk_units = 8
         if chunk_units < 1:
             raise SimulationError(f"chunk_units must be positive, got {chunk_units}")
         self.engine = engine
@@ -405,10 +410,14 @@ class LayeredSessionSimulator:
         shared_cols = self._chunk_positions(
             context.shared_loss, streams.shared_rng, num_units, packets_per_unit
         )
+        fuse = packed and len(context.per_receiver_loss) == 1
         if shared_cols.size:
-            if packed:
+            # The packed single-process path folds the shared-column clears
+            # into the independent scatter's row sweep below; everything
+            # else applies them immediately.
+            if packed and not fuse:
                 bitpack.clear_cols(receivable_block, shared_cols)
-            else:
+            elif not packed:
                 receivable_block[:, shared_cols] = False
             if shared_dense is not None:
                 shared_dense[shared_cols] = True
@@ -425,11 +434,15 @@ class LayeredSessionSimulator:
                 row, packet = np.divmod(remainder, packets_per_unit)
                 column = unit_index * packets_per_unit + packet
                 if packed:
-                    bitpack.clear_bits(receivable_block, row, column)
+                    bitpack.clear_cols_and_bits(
+                        receivable_block, shared_cols, row, column
+                    )
                 else:
                     receivable_block[row, column] = False
                 if independent_dense is not None:
                     independent_dense[row, column] = True
+            elif fuse and shared_cols.size:
+                bitpack.clear_cols(receivable_block, shared_cols)
         else:
             pairs = zip(context.per_receiver_loss, streams.independent_rngs)
             for row, (process, rng) in enumerate(pairs):
@@ -846,14 +859,17 @@ class LayeredSessionSimulator:
         if packed:
             # Packed rows cost one byte per 8 columns, so a far larger
             # column budget keeps the window matrices cache-sized: small
-            # stacks scan a whole 8-unit chunk in one window, and even
-            # ~1000-row sweep stacks get half-chunk windows — trading
-            # matrix bytes for far fewer Python-level window
-            # establishments (still purely a performance knob).
+            # stacks scan multiple whole chunks' columns in one window,
+            # and even ~1000-row sweep stacks get half-chunk windows —
+            # trading matrix bytes for far fewer Python-level window
+            # establishments (still purely a performance knob).  The
+            # exact chain drain consumes every event of a window in one
+            # pass with a single fresh-join hook call, so packed windows
+            # amortise better the wider they get until the clamp.
             scan_window = max(
                 32,
                 min(
-                    8 * self.scan_window_units * packets_per_unit,
+                    16 * self.scan_window_units * packets_per_unit,
                     524288 // max(1, receivers * num_runs),
                 ),
             )
@@ -1199,7 +1215,7 @@ def simulate_layered_session(
     warmup_units: Optional[int] = None,
     leave_latency: float = 0.0,
     seed: Optional[int] = None,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> SessionSimulationResult:
     """Convenience wrapper: Bernoulli losses, exponential layers, one run.
 

@@ -114,7 +114,7 @@ def _loss_process(rate: float) -> LossProcess:
 def build_simulator(
     protocol: LayeredProtocol,
     config: StarExperimentConfig,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> LayeredSessionSimulator:
     """Assemble the packet-level simulator for a star configuration."""
     rates = list(config.independent_loss_rates)
@@ -138,7 +138,7 @@ def simulate_star(
     protocol: LayeredProtocol,
     config: StarExperimentConfig,
     seed: Optional[int] = None,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> SessionSimulationResult:
     """Run one simulation of a star configuration."""
     return build_simulator(protocol, config, engine=engine).run(seed=seed)
@@ -149,7 +149,7 @@ def star_redundancy(
     config: StarExperimentConfig,
     repetitions: int = 5,
     base_seed: int = 0,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> RedundancyMeasurement:
     """Replicate a star simulation and summarise shared-link redundancy.
 
@@ -172,7 +172,7 @@ def star_redundancy_group(
     configs: Sequence[StarExperimentConfig],
     repetitions: int = 5,
     base_seed: int = 0,
-    engine: str = "batched",
+    engine: str = "bitpacked",
 ) -> List[RedundancyMeasurement]:
     """Measure several star configurations' redundancy in one batched group.
 

@@ -1,8 +1,38 @@
-"""Shared fixtures: the paper's example networks and small synthetic networks."""
+"""Shared fixtures: the paper's example networks and small synthetic networks.
+
+Also registers the hypothesis profiles for the differential engine fuzzer
+(``tests/simulator/test_engine_fuzz.py``):
+
+``ci`` (default)
+    Derandomized with a bounded example budget — every run draws the same
+    examples, so tier-1 stays deterministic and a failure reproduces
+    without a shared example database.
+``thorough``
+    A nightly-style budget with fresh randomness each run; opt in with
+    ``pytest --hypothesis-profile=thorough``.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=50,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=400,
+    derandomize=False,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+settings.load_profile("ci")
 
 from repro.network import (
     NetworkGraph,

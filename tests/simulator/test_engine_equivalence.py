@@ -49,6 +49,10 @@ LOSS_REGIMES = (
     ("correlated", 0.05, 0.1),
     ("independent", 0.0001, 0.08),
     ("lossless", 0.0, 0.0),
+    # Dense shared loss: scan windows hold *many* correlated-loss columns,
+    # so the fused multi-event drain consumes long event chains per pass.
+    ("dense-shared", 0.3, 0.05),
+    ("saturated-shared", 0.5, 0.1),
 )
 
 
@@ -161,6 +165,26 @@ class TestStackedRuns:
         solo = [_simulator("active-node", engine).run(seed=seed) for seed in SEEDS[:3]]
         stacked = _simulator("active-node", engine).run_many(SEEDS[:3])
         for one, many in zip(solo, stacked):
+            assert_identical(one, many)
+
+    @pytest.mark.parametrize("engine", SCAN_ENGINES)
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_sub_unit_window_stack_matches_reference(self, protocol, engine):
+        # Wide stacks clamp the scan window below one unit's packet count;
+        # force that regime directly (the window is a pure performance
+        # knob) on a stacked run and require exact results anyway.
+        simulator = _simulator(protocol, engine, 0.3, 0.08)
+        assemble = simulator._assemble_chunk
+
+        def sub_unit_assemble(*args, **kwargs):
+            chunk = assemble(*args, **kwargs)
+            chunk.scan_window = max(2, chunk.packets_per_unit // 2)
+            return chunk
+
+        simulator._assemble_chunk = sub_unit_assemble
+        stacked = simulator.run_many(SEEDS[:4])
+        for seed, many in zip(SEEDS[:4], stacked):
+            one = _simulator(protocol, "reference", 0.3, 0.08).run(seed=seed)
             assert_identical(one, many)
 
     @pytest.mark.parametrize("engine", SCAN_ENGINES)

@@ -171,6 +171,73 @@ class TestRun:
             _select(["all", "bogus"])
 
 
+#: Tiny figure8_panel overrides for in-process engine-selection tests.
+PANEL_TINY_FLAGS = [
+    "--set", "independent_loss_rates=[0.02]",
+    "--set", "num_receivers=6",
+    "--set", "duration_units=64",
+    "--set", "repetitions=1",
+]
+
+
+class TestDefaultEngine:
+    """The bit-packed scan is the default engine; the others stay selectable."""
+
+    def test_run_without_engine_echoes_bitpacked(self, capsys):
+        assert main(
+            ["run", "figure8_panel", "--format", "json", *PANEL_TINY_FLAGS]
+        ) == 0
+        [data] = json.loads(capsys.readouterr().out)
+        assert data["spec"]["engine"] == "bitpacked"
+
+    def test_cache_written_under_batched_hits_under_default(self, tmp_path, capsys):
+        # Entries stored before the default flip (engine="batched") must
+        # keep hitting: the engine is execution-only and excluded from the
+        # store address.
+        cache = str(tmp_path / "cache")
+        argv = ["run", "figure8_panel", "--cache", cache, "--format", "json"]
+        assert main([*argv, "--engine", "batched", *PANEL_TINY_FLAGS]) == 0
+        first = capsys.readouterr()
+        assert "0 hit(s), 1 miss(es)" in first.err
+        assert main([*argv, *PANEL_TINY_FLAGS]) == 0
+        second = capsys.readouterr()
+        assert "1 hit(s), 0 miss(es)" in second.err
+        [cold], [warm] = json.loads(first.out), json.loads(second.out)
+        # The hit is served under the *requested* engine and the canonical
+        # payload is byte-identical to the batched-engine original.
+        assert warm["spec"]["engine"] == "bitpacked"
+        assert cold["spec"]["engine"] == "batched"
+        assert (
+            json.dumps(warm["records"], sort_keys=True)
+            == json.dumps(cold["records"], sort_keys=True)
+        )
+
+    def test_engine_reference_forces_per_packet_loop(self, monkeypatch, capsys):
+        from repro.simulator.engine import LayeredSessionSimulator
+
+        calls = {"reference": 0, "scan": 0}
+        real_reference = LayeredSessionSimulator._run_reference
+        real_batched = LayeredSessionSimulator._run_batched
+
+        def spy_reference(self, *args, **kwargs):
+            calls["reference"] += 1
+            return real_reference(self, *args, **kwargs)
+
+        def spy_batched(self, *args, **kwargs):
+            calls["scan"] += 1
+            return real_batched(self, *args, **kwargs)
+
+        monkeypatch.setattr(LayeredSessionSimulator, "_run_reference", spy_reference)
+        monkeypatch.setattr(LayeredSessionSimulator, "_run_batched", spy_batched)
+        assert main([
+            "run", "figure8_panel", "--engine", "reference",
+            "--format", "json", *PANEL_TINY_FLAGS,
+        ]) == 0
+        [data] = json.loads(capsys.readouterr().out)
+        assert data["spec"]["engine"] == "reference"
+        assert calls["reference"] > 0 and calls["scan"] == 0
+
+
 class TestVerify:
     def test_verify_subset_exits_zero_on_match(self):
         completed = _run_cli("verify", "figure1", "figure2", "figure3")
