@@ -3,10 +3,11 @@
 These cases are far beyond the toy scales of ``test_bench_core_scaling`` and
 exist to give future PRs a recorded perf baseline.  They are marked
 ``slow`` (deselected by default, see ``pytest.ini``); regenerate the JSON
-baseline with::
+baseline (this module plus the Figure-8 benches the regression envelope
+tracks) with::
 
     PYTHONPATH=src python -m pytest benchmarks/test_bench_large_scale.py \
-        -m slow --benchmark-json=BENCH_core.json
+        benchmarks/test_bench_figure8.py -m "" --benchmark-json=BENCH_core.json
 
 The committed ``BENCH_core.json`` holds the numbers measured when this PR
 landed; compare against it before accepting changes to the hot paths.
@@ -18,6 +19,8 @@ import pytest
 
 from repro.core import max_min_fair_allocation
 from repro.network import random_multicast_network
+from repro.network.network import Network
+from repro.network.topology.generators import barabasi_albert
 from repro.protocols import make_protocol
 from repro.simulator import simulate_star, uniform_star
 
@@ -37,6 +40,25 @@ def test_bench_water_filling_large(benchmark, num_sessions, num_links, max_recei
         num_sessions=num_sessions,
         max_receivers_per_session=max_receivers,
     )
+    allocation = benchmark(max_min_fair_allocation, network)
+    assert allocation.min_rate() > 0
+    # Single-run wall-clock guard for the acceptance criterion (<10s).
+    assert benchmark.stats.stats.max < 10.0
+
+
+def test_bench_water_filling_scalefree_csr(benchmark):
+    """ISSUE-8 acceptance: 10^3 sessions on a ~10^4-link scale-free graph.
+
+    The graph is dense enough in receivers x links terms that the incidence
+    auto-selects the CSR path; the network (routing + placement) is built
+    once outside the timer so the benchmark isolates water-filling itself.
+    """
+    graph = barabasi_albert(5000, 2, seed=7)
+    assert graph.num_links >= 9_000
+    network = Network.from_graph(
+        graph, num_sessions=1000, receivers_per_session=3, seed=7
+    )
+    assert network.incidence().is_sparse
     allocation = benchmark(max_min_fair_allocation, network)
     assert allocation.min_rate() > 0
     # Single-run wall-clock guard for the acceptance criterion (<10s).

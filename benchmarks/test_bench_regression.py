@@ -41,6 +41,9 @@ FIGURE8_PANELS = (
     "test_bench_figure8a_low_shared_loss",
     "test_bench_figure8b_high_shared_loss",
 )
+LARGE_SCALE = (
+    "test_bench_water_filling_scalefree_csr",
+)
 ENVELOPE = 4.0
 
 
@@ -55,7 +58,7 @@ class TestRecordedBaseline:
 
     def test_baseline_records_every_tracked_benchmark(self):
         stats = _recorded_stats()
-        for name in ENGINE_COMPARISON + FIGURE8_PANELS:
+        for name in ENGINE_COMPARISON + FIGURE8_PANELS + LARGE_SCALE:
             assert name in stats, f"BENCH_core.json lost {name}"
             for field in ("mean", "median", "min"):
                 assert stats[name][field] > 0.0

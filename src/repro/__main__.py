@@ -11,6 +11,12 @@ Subcommands:
   per experiment; ``--set field=value`` overrides any spec field.
 * ``python -m repro verify`` — run experiments and print one verdict line
   each; exits non-zero if any paper claim fails to reproduce (MISMATCH).
+* ``python -m repro topo info FILE`` — summarise a ``.gml``/``.json``
+  topology file (nodes, links, capacity range, density, top-betweenness
+  links); ``--format json`` for a machine-readable summary.
+* ``python -m repro topo gen --model ba --nodes N --seed S --out FILE`` —
+  generate a seeded topology (``ba``/``waxman``/``fat-tree``) and write it
+  as GML or JSON (by ``--out`` extension) or print it to stdout.
 
 ``run`` and ``verify`` share the fault-tolerance flags: ``--cache DIR``
 journals every completed result into a content-addressed on-disk store
@@ -256,6 +262,84 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topo_info(args: argparse.Namespace) -> int:
+    from .network.topology.formats import load_topology
+    from .network.topology.metrics import edge_betweenness
+
+    graph = load_topology(args.file)
+    capacities = graph.capacities()
+    betweenness = edge_betweenness(graph)
+    top_ids = sorted(
+        range(graph.num_links), key=lambda lid: (-betweenness[lid], lid)
+    )[: args.top]
+    density = (
+        2.0 * graph.num_links / (graph.num_nodes * (graph.num_nodes - 1))
+        if graph.num_nodes > 1
+        else 0.0
+    )
+    summary = {
+        "file": str(args.file),
+        "nodes": graph.num_nodes,
+        "links": graph.num_links,
+        "connected": graph.is_connected(),
+        "density": density,
+        "capacity_min": min(capacities) if capacities else None,
+        "capacity_max": max(capacities) if capacities else None,
+        "top_betweenness": [
+            {
+                "link": graph.link(lid).name,
+                "endpoints": list(graph.link(lid).endpoints),
+                "capacity": graph.link(lid).capacity,
+                "betweenness": float(betweenness[lid]),
+            }
+            for lid in top_ids
+        ],
+    }
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"{summary['file']}: {summary['nodes']} nodes, {summary['links']} links, "
+          f"{'connected' if summary['connected'] else 'DISCONNECTED'}, "
+          f"density {density:.4f}")
+    if capacities:
+        print(f"capacities: {summary['capacity_min']:g} .. {summary['capacity_max']:g}")
+    print("top betweenness links:")
+    for entry in summary["top_betweenness"]:
+        print(f"  {entry['link']:>6} {entry['endpoints'][0]}--{entry['endpoints'][1]} "
+              f"c={entry['capacity']:g} b={entry['betweenness']:.1f}")
+    return 0
+
+
+def _cmd_topo_gen(args: argparse.Namespace) -> int:
+    from .network.topology.formats import graph_to_gml, graph_to_json
+    from .network.topology.generators import generate
+
+    graph = generate(
+        args.model,
+        num_nodes=args.nodes,
+        seed=args.seed,
+        attachments=args.attachments,
+        alpha=args.alpha,
+        beta=args.beta,
+        arity=args.arity,
+    )
+    if args.out is None or str(args.out).endswith(".gml"):
+        text = graph_to_gml(graph, name=f"{args.model}-{args.nodes}-s{args.seed}")
+    elif str(args.out).endswith(".json"):
+        text = json.dumps(graph_to_json(graph), indent=2, sort_keys=True) + "\n"
+    else:
+        raise ExperimentError(
+            f"--out must end in .gml or .json, got {args.out!r}"
+        )
+    if args.out is None:
+        print(text, end="")
+    else:
+        Path(args.out).write_text(text)
+        print(f"wrote {graph.num_nodes} nodes / {graph.num_links} links to {args.out}",
+              file=sys.stderr)
+    return 0
+
+
 def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -360,6 +444,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_run_flags(verify_parser)
     verify_parser.set_defaults(handler=_cmd_verify)
+
+    topo_parser = subparsers.add_parser(
+        "topo", help="inspect and generate topology files (.gml/.json)"
+    )
+    topo_subparsers = topo_parser.add_subparsers(dest="topo_command", required=True)
+
+    info_parser = topo_subparsers.add_parser(
+        "info", help="summarise a topology file (nodes, links, betweenness)"
+    )
+    info_parser.add_argument("file", metavar="FILE", help="a .gml or .json topology file")
+    info_parser.add_argument("--format", choices=("text", "json"), default="text")
+    info_parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many top-betweenness links to list (default 5)",
+    )
+    info_parser.set_defaults(handler=_cmd_topo_info)
+
+    gen_parser = topo_subparsers.add_parser(
+        "gen", help="generate a seeded topology and write it as GML or JSON"
+    )
+    gen_parser.add_argument(
+        "--model", choices=("ba", "waxman", "fat-tree"), required=True,
+        help="generator model (Barabási–Albert, Waxman, or k-ary fat tree)",
+    )
+    gen_parser.add_argument(
+        "--nodes", type=int, default=50, metavar="N",
+        help="number of nodes (ignored by fat-tree; see --arity)",
+    )
+    gen_parser.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="base seed; all randomness derives from it via spawn_run_entropy",
+    )
+    gen_parser.add_argument(
+        "--attachments", type=int, default=2, metavar="M",
+        help="ba: links added per new node (default 2)",
+    )
+    gen_parser.add_argument(
+        "--alpha", type=float, default=0.4, help="waxman: edge-probability scale"
+    )
+    gen_parser.add_argument(
+        "--beta", type=float, default=0.2, help="waxman: edge-probability decay"
+    )
+    gen_parser.add_argument(
+        "--arity", type=int, default=None, metavar="K",
+        help="fat-tree: switch arity k (even; default 4)",
+    )
+    gen_parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="output file (.gml or .json); omit to print GML to stdout",
+    )
+    gen_parser.set_defaults(handler=_cmd_topo_gen)
 
     return parser
 

@@ -62,6 +62,13 @@ WATER_FILL_METHODS = ("vectorized", "reference")
 #: on the ``test_bench_water_filling_scaling`` workloads.
 _SCALAR_ENGINE_CUTOFF = 1200
 
+#: When True (the default) the vectorised engine resolves all non-linear
+#: links of a water-filling round with one batched bisection
+#: (:meth:`_VectorizedWaterFillState._bisect_links_batched`) instead of a
+#: sequential per-link Python loop.  Flip for the equivalence test in
+#: ``tests/core/test_maxmin_equivalence.py`` only.
+_BATCHED_BISECTION = True
+
 
 @dataclass(frozen=True)
 class MaxMinStep:
@@ -558,11 +565,17 @@ class _VectorizedWaterFillState(_WaterFillEngine):
                 bound,
                 float((headroom[linear_links] / self.link_slope[linear_links]).min()),
             )
-        for link in nonlinear_links:
-            bound = min(
-                bound,
-                self._bisect_link(int(link), float(self.inc.capacities[link]), bound),
-            )
+        if len(nonlinear_links):
+            if _BATCHED_BISECTION:
+                bound = min(bound, self._bisect_links_batched(nonlinear_links, bound))
+            else:
+                for link in nonlinear_links:
+                    bound = min(
+                        bound,
+                        self._bisect_link(
+                            int(link), float(self.inc.capacities[link]), bound
+                        ),
+                    )
         return max(bound, 0.0)
 
     def _rho_bound(self) -> float:
@@ -579,6 +592,45 @@ class _VectorizedWaterFillState(_WaterFillEngine):
         return _bisect_increment(
             lambda rate: self._single_link_rate_at(link, rate), self.level, capacity, upper
         )
+
+    def _bisect_links_batched(self, links: np.ndarray, upper: float) -> float:
+        """One vectorised bisection over every non-linear link of this round.
+
+        Runs the same 80-halving search as :func:`_bisect_increment`, but
+        with per-link ``lo``/``hi`` arrays advanced in lockstep instead of a
+        sequential Python loop per link — each iteration evaluates every
+        still-searching link once and narrows all of them together.  Links
+        already feasible at ``upper`` drop out before the loop, so a round
+        whose non-linear links are all unconstraining costs one evaluation
+        each.  Returns the minimum of the per-link bounds (the same value
+        the per-link path converges to; an equivalence test pins the two).
+        """
+        if upper <= 0:
+            return 0.0
+        links = np.asarray(links, dtype=np.int64)
+        capacities = self.inc.capacities[links]
+        rates = np.array(
+            [self._single_link_rate_at(int(link), self.level + upper) for link in links]
+        )
+        searching = rates > capacities
+        if not searching.any():
+            return upper
+        links = links[searching]
+        capacities = capacities[searching]
+        lo = np.zeros(len(links), dtype=np.float64)
+        hi = np.full(len(links), upper, dtype=np.float64)
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            rates = np.array(
+                [
+                    self._single_link_rate_at(int(link), self.level + m)
+                    for link, m in zip(links, mid)
+                ]
+            )
+            feasible = rates <= capacities
+            lo = np.where(feasible, mid, lo)
+            hi = np.where(feasible, hi, mid)
+        return float(lo.min(initial=upper))
 
     # ------------------------------------------------------------------
     # state updates
@@ -599,7 +651,12 @@ class _VectorizedWaterFillState(_WaterFillEngine):
         else:
             at_rho = None
         if saturated_mask.any():
-            on_saturated = inc.membership[:, saturated_mask].any(axis=1)
+            if inc.is_sparse:
+                # CSR path: gather the receivers of each saturated link from
+                # the transposed incidence instead of slicing R x L columns.
+                on_saturated = inc.receivers_on_links(np.nonzero(saturated_mask)[0])
+            else:
+                on_saturated = inc.membership[:, saturated_mask].any(axis=1)
             frozen_test = on_saturated if at_rho is None else (at_rho | on_saturated)
             newly = self.active_mask & frozen_test
         elif at_rho is not None:

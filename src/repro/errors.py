@@ -20,6 +20,11 @@ class RoutingError(NetworkModelError):
     """Raised when a data-path cannot be constructed or is inconsistent."""
 
 
+class TopologyFormatError(NetworkModelError):
+    """Raised when an on-disk topology file (GML/JSON) cannot be parsed or
+    describes an invalid graph (missing endpoints, non-positive bandwidth)."""
+
+
 class AllocationError(ReproError):
     """Raised when an allocation is malformed or references unknown members."""
 

@@ -64,6 +64,12 @@ from .registry import (
 )
 from .resilient import TaskFailure, resilient_map
 from .runner import EXPERIMENT_KEYS, run_all, run_specs
+from .scalefree_bottleneck import (
+    ScaleFreeBottleneckResult,
+    ScaleFreeBottleneckSpec,
+    TopologyOutcome,
+    run_scalefree_bottleneck,
+)
 from .store import ResultStore, cache_key
 
 __all__ = [
@@ -133,6 +139,10 @@ __all__ = [
     "MixedSessionsSpec",
     "MixedSessionsResult",
     "run_mixed_sessions",
+    "ScaleFreeBottleneckSpec",
+    "ScaleFreeBottleneckResult",
+    "TopologyOutcome",
+    "run_scalefree_bottleneck",
     "default_jobs",
     "parallel_map",
     "run_star_repetitions",

@@ -54,6 +54,7 @@ _EXPERIMENT_MODULES: Tuple[str, ...] = (
     "repro.experiments.active_nodes",
     "repro.experiments.leave_latency",
     "repro.experiments.burstiness",
+    "repro.experiments.scalefree_bottleneck",
 )
 
 #: Canonical execution order of the built-in experiment keys (paper figures
@@ -76,6 +77,7 @@ _CANONICAL_KEY_ORDER: Tuple[str, ...] = (
     "active_nodes",
     "leave_latency",
     "burstiness",
+    "scalefree_bottleneck",
 )
 
 _REGISTRY: Dict[str, "Experiment"] = {}

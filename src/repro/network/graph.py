@@ -54,7 +54,7 @@ class Link:
     def __post_init__(self) -> None:
         if self.link_id < 0:
             raise NetworkModelError(f"link_id must be non-negative, got {self.link_id}")
-        if self.capacity <= 0:
+        if not self.capacity > 0:  # rejects NaN too: NaN > 0 is False
             raise NetworkModelError(
                 f"link {self.link_id} capacity must be positive, got {self.capacity}"
             )
@@ -282,6 +282,53 @@ class NetworkGraph:
             node = parent
         path.reverse()
         return path
+
+    def shortest_path_tree(
+        self, source: str, targets: Iterable[str]
+    ) -> Dict[str, List[int]]:
+        """Minimum-hop paths from ``source`` to every node in ``targets``.
+
+        One breadth-first search serves all targets, visiting nodes in the
+        exact order :meth:`shortest_path_links` would, so the returned paths
+        are link-for-link identical to per-target searches — sessions with
+        many receivers route in O(V + E) instead of O(k (V + E)).  The
+        search stops as soon as every target has been discovered.  Raises
+        :class:`RoutingError` naming every unreachable target.
+        """
+        from ..errors import RoutingError
+
+        if source not in self._node_set:
+            raise NetworkModelError(f"unknown source node {source!r}")
+        targets = list(targets)
+        for target in targets:
+            if target not in self._node_set:
+                raise NetworkModelError(f"unknown target node {target!r}")
+        remaining = set(targets) - {source}
+        prev: Dict[str, Tuple[str, int]] = {}
+        frontier = [source]
+        visited = {source}
+        while frontier and remaining:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for link_id in self._incident[node]:
+                    other = self._links[link_id].other_end(node)
+                    if other in visited:
+                        continue
+                    visited.add(other)
+                    prev[other] = (node, link_id)
+                    remaining.discard(other)
+                    next_frontier.append(other)
+            frontier = next_frontier
+        if remaining:
+            unreachable = ", ".join(repr(node) for node in sorted(remaining))
+            raise RoutingError(
+                f"no path from {source!r} to node(s) {unreachable}: the graph "
+                "is disconnected between them"
+            )
+        return {
+            target: ([] if target == source else self._reconstruct(prev, source, target))
+            for target in targets
+        }
 
     def is_connected(self) -> bool:
         """True if every node is reachable from every other node."""

@@ -15,10 +15,22 @@ arrays:
 * every non-empty ``(session, link)`` combination becomes a *pair*; the
   downstream receiver indices of all pairs live in one CSR array
   (``pair_ptr`` / ``pair_receivers``), grouped by link;
-* ``membership`` is the receiver x link boolean matrix (``membership[r, l]``
-  iff link ``l`` is on receiver ``r``'s data-path);
+* the receiver x link data-path incidence is held as a **CSR pair**:
+  ``receiver_link_ptr`` / ``receiver_link_indices`` (links on each
+  receiver's data-path) and its transpose ``link_receiver_ptr`` /
+  ``link_receiver_indices`` (receivers crossing each link);
 * ``receiver_pair_ptr`` / ``receiver_pairs`` invert the pair CSR so that the
   pairs touched by a set of receivers can be found without scanning.
+
+The boolean ``membership`` matrix (``membership[r, l]`` iff link ``l`` is on
+receiver ``r``'s data-path) is derived lazily from the CSR arrays and only
+materialised on *dense* incidences.  Whether an incidence is dense or sparse
+is decided automatically from the problem size and the data-path density
+(:attr:`NetworkIncidence.is_sparse`): Internet-scale topologies — thousands
+of receivers over ten thousand links with short data-paths — would need
+gigabyte-class dense matrices for a structure that is >99% zeros, so past
+the thresholds below every consumer (the water-filling freeze pass in
+particular) walks the CSR arrays instead.
 
 A network is immutable after construction, so the incidence is computed
 lazily on first use and cached on the :class:`Network` (see
@@ -40,6 +52,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .network import Network
 
 __all__ = ["NetworkIncidence", "ScalarIncidenceView"]
+
+#: Above this many receiver x link cells the incidence is always sparse: a
+#: dense bool matrix would cost ``cells`` bytes (64 MB at 8000 x 8000) for
+#: a freeze test the CSR transpose answers with one gather.
+SPARSE_CELL_LIMIT = 1 << 22
+
+#: Mid-sized incidences (at least ``SPARSE_MIN_CELLS`` cells) switch to CSR
+#: when fewer than ``SPARSE_DENSITY_THRESHOLD`` of the cells are non-zero;
+#: denser matrices keep the dense column-slice freeze test, which beats the
+#: gather when most links sit on most data-paths.
+SPARSE_DENSITY_THRESHOLD = 0.05
+SPARSE_MIN_CELLS = 1 << 16
 
 
 @dataclass
@@ -92,14 +116,26 @@ class NetworkIncidence:
     receiver_pair_ptr / receiver_pairs:
         CSR layout of the pairs each receiver belongs to (the transpose of
         ``pair_receivers``).
+    receiver_link_ptr / receiver_link_indices:
+        CSR layout of each receiver's data-path as sorted compact link
+        indices (row ``r`` of the membership matrix).
+    link_receiver_ptr / link_receiver_indices:
+        Transposed CSR: the receivers crossing each compact link, ascending
+        (column ``l`` of the membership matrix).
     membership:
-        ``bool[R, L]`` receiver x link data-path membership matrix.
+        ``bool[R, L]`` receiver x link data-path membership matrix.  Built
+        lazily from the CSR arrays; only dense incidences should touch it
+        (:attr:`is_sparse` consumers must stay on the CSR arrays).
+    is_sparse:
+        Whether consumers should prefer the CSR arrays over ``membership``
+        (decided by the density heuristics in the module docstring, or
+        forced through the ``sparse`` constructor argument).
     session_max_rate / session_single_rate:
         ``float64[S]`` maximum desired rates ``rho_i`` and ``bool[S]``
         single-rate flags, indexed by session id.
     """
 
-    def __init__(self, network: "Network") -> None:
+    def __init__(self, network: "Network", sparse: Optional[bool] = None) -> None:
         self.receiver_ids: List[ReceiverId] = network.all_receiver_ids()
         self.receiver_index: Dict[ReceiverId, int] = {
             rid: index for index, rid in enumerate(self.receiver_ids)
@@ -119,44 +155,90 @@ class NetworkIncidence:
         )
         self.max_capacity = float(self.capacities.max()) if num_links else 0.0
 
+        # One pass over the data-paths builds both incidence families:
+        # the receiver -> link CSR (the membership rows) and the
+        # (session, link) pair map with its downstream receiver sets.
+        link_index = self.link_index
+        path_rows: List[List[int]] = []
+        pair_map: Dict[int, List[int]] = {}
+        for r_index, rid in enumerate(self.receiver_ids):
+            session_id = rid[0]
+            row: List[int] = []
+            for link_id in network.data_path(rid):
+                compact = link_index[link_id]
+                row.append(compact)
+                # Receivers are visited in (session, index) order, so each
+                # pair's member list comes out sorted, matching the
+                # sorted(R_{i,j}) ordering of the original construction.
+                pair_map.setdefault(compact * (network.num_sessions + 1) + session_id,
+                                    []).append(r_index)
+            row.sort()
+            path_rows.append(row)
+
+        # Receiver -> link CSR (sorted rows) and its transpose.
+        row_lengths = np.fromiter(
+            (len(row) for row in path_rows), count=num_receivers, dtype=np.int64
+        )
+        self.receiver_link_ptr = np.zeros(num_receivers + 1, dtype=np.int64)
+        np.cumsum(row_lengths, out=self.receiver_link_ptr[1:])
+        if path_rows:
+            flat_links = [compact for row in path_rows for compact in row]
+        else:
+            flat_links = []
+        self.receiver_link_indices = np.array(flat_links, dtype=np.int64)
+        nnz = int(self.receiver_link_indices.size)
+
+        link_counts = np.bincount(self.receiver_link_indices, minlength=num_links)
+        self.link_receiver_ptr = np.zeros(num_links + 1, dtype=np.int64)
+        np.cumsum(link_counts, out=self.link_receiver_ptr[1:])
+        # Stable sort by link keeps receivers ascending within each link
+        # (rows are emitted in ascending receiver order).
+        order = np.argsort(self.receiver_link_indices, kind="stable")
+        self.link_receiver_indices = np.repeat(
+            np.arange(num_receivers, dtype=np.int64), row_lengths
+        )[order]
+
         # (session, link) pairs, grouped by link in compact-index order; the
-        # downstream sets R_{i,j} are flattened into one CSR array.
-        pair_link: List[int] = []
-        pair_session: List[int] = []
-        pair_lengths: List[int] = []
-        flat_receivers: List[int] = []
-        for compact, link_id in enumerate(self.relevant_links):
-            for session_id in sorted(network.sessions_on_link(link_id)):
-                downstream = sorted(
-                    network.receivers_of_session_on_link(session_id, link_id)
-                )
-                pair_link.append(compact)
-                pair_session.append(session_id)
-                pair_lengths.append(len(downstream))
-                flat_receivers.extend(self.receiver_index[rid] for rid in downstream)
-        self.pair_link = np.array(pair_link, dtype=np.int64)
-        self.pair_session = np.array(pair_session, dtype=np.int64)
-        self.pair_ptr = np.zeros(len(pair_link) + 1, dtype=np.int64)
+        # downstream sets R_{i,j} are flattened into one CSR array.  The
+        # pair_map keys encode (compact_link, session) and sort in exactly
+        # the (link, session) order the original per-link construction used.
+        pair_keys = sorted(pair_map)
+        stride = network.num_sessions + 1
+        self.pair_link = np.array([key // stride for key in pair_keys], dtype=np.int64)
+        self.pair_session = np.array([key % stride for key in pair_keys], dtype=np.int64)
+        pair_lengths = [len(pair_map[key]) for key in pair_keys]
+        self.pair_ptr = np.zeros(len(pair_keys) + 1, dtype=np.int64)
         np.cumsum(pair_lengths, out=self.pair_ptr[1:])
-        self.pair_receivers = np.array(flat_receivers, dtype=np.int64)
-        self.num_pairs = len(pair_link)
+        self.pair_receivers = np.array(
+            [r for key in pair_keys for r in pair_map[key]], dtype=np.int64
+        )
+        self.num_pairs = len(pair_keys)
 
         # Transpose: pairs incident to each receiver, CSR over receivers.
+        # pair_receivers lists receivers in ascending pair order, so a
+        # stable argsort by receiver yields each receiver's pairs ascending.
         counts = np.bincount(self.pair_receivers, minlength=num_receivers)
         self.receiver_pair_ptr = np.zeros(num_receivers + 1, dtype=np.int64)
         np.cumsum(counts, out=self.receiver_pair_ptr[1:])
-        self.receiver_pairs = np.empty(len(self.pair_receivers), dtype=np.int64)
-        cursor = self.receiver_pair_ptr[:-1].copy()
-        for pair in range(self.num_pairs):
-            members = self.pair_receivers[self.pair_ptr[pair]:self.pair_ptr[pair + 1]]
-            self.receiver_pairs[cursor[members]] = pair
-            cursor[members] += 1
+        pair_of_entry = np.repeat(
+            np.arange(self.num_pairs, dtype=np.int64),
+            np.diff(self.pair_ptr),
+        )
+        self.receiver_pairs = pair_of_entry[
+            np.argsort(self.pair_receivers, kind="stable")
+        ]
 
-        # Receiver x link membership matrix (data-path incidence).
-        self.membership = np.zeros((num_receivers, num_links), dtype=bool)
-        for index, rid in enumerate(self.receiver_ids):
-            for link_id in network.data_path(rid):
-                self.membership[index, self.link_index[link_id]] = True
+        # Density heuristics (see module docstring): a forced `sparse`
+        # argument wins; otherwise large or very sparse incidences go CSR.
+        cells = num_receivers * num_links
+        self.density = (nnz / cells) if cells else 0.0
+        if sparse is not None:
+            self.is_sparse = bool(sparse)
+        else:
+            self.is_sparse = cells > SPARSE_CELL_LIMIT or (
+                cells >= SPARSE_MIN_CELLS and self.density < SPARSE_DENSITY_THRESHOLD
+            )
+        self._membership: Optional[np.ndarray] = None
 
         self.session_max_rate = np.array(
             [session.max_rate for session in network.sessions], dtype=np.float64
@@ -175,11 +257,56 @@ class NetworkIncidence:
         np.cumsum(link_pair_counts, out=self.link_pair_ptr[1:])
         self._scalar_view: Optional[ScalarIncidenceView] = None
 
+    @property
+    def membership(self) -> np.ndarray:
+        """Dense ``bool[R, L]`` membership matrix, materialised on first use.
+
+        Sparse incidences should not need this — the water-filling freeze
+        pass walks :attr:`link_receiver_indices` instead — but building it
+        remains legal (tests compare the two representations directly).
+        """
+        if self._membership is None:
+            matrix = np.zeros((self.num_receivers, self.num_links), dtype=bool)
+            if self.receiver_link_indices.size:
+                rows = np.repeat(
+                    np.arange(self.num_receivers, dtype=np.int64),
+                    np.diff(self.receiver_link_ptr),
+                )
+                matrix[rows, self.receiver_link_indices] = True
+            self._membership = matrix
+        return self._membership
+
+    def receiver_links(self, receiver: int) -> np.ndarray:
+        """Sorted compact link indices on ``receiver``'s data-path (CSR slice)."""
+        return self.receiver_link_indices[
+            self.receiver_link_ptr[receiver]:self.receiver_link_ptr[receiver + 1]
+        ]
+
+    def link_receivers(self, link: int) -> np.ndarray:
+        """Ascending receiver indices crossing compact link ``link`` (CSR slice)."""
+        return self.link_receiver_indices[
+            self.link_receiver_ptr[link]:self.link_receiver_ptr[link + 1]
+        ]
+
+    def receivers_on_links(self, links: np.ndarray) -> np.ndarray:
+        """Boolean mask of receivers whose data-path crosses any of ``links``.
+
+        The CSR twin of ``membership[:, links].any(axis=1)``: gathers the
+        transposed index slices and scatters them into a mask, costing
+        O(total receivers on those links) instead of O(R x |links|).
+        """
+        mask = np.zeros(self.num_receivers, dtype=bool)
+        ptr = self.link_receiver_ptr
+        indices = self.link_receiver_indices
+        for link in links:
+            mask[indices[ptr[link]:ptr[link + 1]]] = True
+        return mask
+
     def scalar_view(self) -> ScalarIncidenceView:
         """Plain-list twin of the index arrays (built once, cached)."""
         if self._scalar_view is None:
             receiver_links: List[List[int]] = [
-                np.nonzero(row)[0].tolist() for row in self.membership
+                self.receiver_links(r).tolist() for r in range(self.num_receivers)
             ]
             pair_members = [
                 self.pair_members(pair).tolist() for pair in range(self.num_pairs)
@@ -231,7 +358,8 @@ class NetworkIncidence:
         ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        layout = "sparse" if self.is_sparse else "dense"
         return (
             f"NetworkIncidence(receivers={self.num_receivers}, "
-            f"links={self.num_links}, pairs={self.num_pairs})"
+            f"links={self.num_links}, pairs={self.num_pairs}, {layout})"
         )

@@ -185,6 +185,89 @@ class Network:
         return iter(self._sessions)
 
     # ------------------------------------------------------------------
+    # ingestion (topology files -> Network)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: NetworkGraph,
+        num_sessions: int = 4,
+        receivers_per_session: int = 3,
+        seed: int = 0,
+        placement: str = "random",
+        session_types: object = "multi",
+    ) -> "Network":
+        """Build a network from a bare graph plus a placement policy.
+
+        Sessions are placed by
+        :func:`repro.network.topology.placement.place_sessions` (all
+        randomness derived from ``seed`` via the ``spawn_run_entropy``
+        scheme) and routed along shortest paths.  The common tail of
+        :meth:`from_gml`, :meth:`from_json`, and generator-based
+        experiments.
+        """
+        from .topology.placement import place_sessions
+
+        sessions = place_sessions(
+            graph,
+            num_sessions=num_sessions,
+            receivers_per_session=receivers_per_session,
+            seed=seed,
+            policy=placement,
+            session_types=session_types,  # type: ignore[arg-type]
+        )
+        return cls(graph, sessions)
+
+    @classmethod
+    def from_gml(
+        cls,
+        path: object,
+        num_sessions: int = 4,
+        receivers_per_session: int = 3,
+        seed: int = 0,
+        placement: str = "random",
+        session_types: object = "multi",
+        default_capacity: float = 100.0,
+    ) -> "Network":
+        """Load a GML topology file and place sessions on it.
+
+        See :mod:`repro.network.topology.formats` for the parser and
+        capacity-attribute resolution, and
+        :mod:`repro.network.topology.placement` for the policies.
+        """
+        from .topology.formats import load_topology
+
+        graph = load_topology(path, default_capacity=default_capacity)  # type: ignore[arg-type]
+        return cls.from_graph(
+            graph,
+            num_sessions=num_sessions,
+            receivers_per_session=receivers_per_session,
+            seed=seed,
+            placement=placement,
+            session_types=session_types,
+        )
+
+    @classmethod
+    def from_json(
+        cls,
+        path: object,
+        num_sessions: int = 4,
+        receivers_per_session: int = 3,
+        seed: int = 0,
+        placement: str = "random",
+        session_types: object = "multi",
+    ) -> "Network":
+        """Load a JSON ``{distances, bandwidth}`` topology file and place sessions."""
+        return cls.from_gml(
+            path,
+            num_sessions=num_sessions,
+            receivers_per_session=receivers_per_session,
+            seed=seed,
+            placement=placement,
+            session_types=session_types,
+        )
+
+    # ------------------------------------------------------------------
     # derivation (varying sigma, membership, redundancy)
     # ------------------------------------------------------------------
     def with_session_types(self, types: Mapping[int, SessionType]) -> "Network":

@@ -185,11 +185,36 @@ class ShortestPathRouting(RoutingStrategy):
     def build(self, graph: NetworkGraph, sessions: Sequence[Session]) -> RoutingTable:
         paths: Dict[ReceiverId, Sequence[int]] = {}
         for session in sessions:
-            for receiver in session.receivers:
-                paths[receiver.receiver_id] = graph.shortest_path_links(
-                    session.sender.node, receiver.node
+            targets = [receiver.node for receiver in session.receivers]
+            try:
+                tree = graph.shortest_path_tree(session.sender.node, targets)
+            except RoutingError as exc:
+                reachable = _reachable_from(graph, session.sender.node)
+                stranded = sorted(
+                    receiver.name for receiver in session.receivers
+                    if receiver.node not in reachable
                 )
+                raise RoutingError(
+                    f"session {session.name}: receiver(s) {', '.join(stranded)} "
+                    f"are disconnected from sender node {session.sender.node!r} "
+                    f"({exc})"
+                ) from exc
+            for receiver in session.receivers:
+                paths[receiver.receiver_id] = tree[receiver.node]
         return RoutingTable(graph, sessions, paths)
+
+
+def _reachable_from(graph: NetworkGraph, source: str) -> Set[str]:
+    """Node names reachable from ``source`` (used for error reporting only)."""
+    visited = {source}
+    frontier = [source]
+    while frontier:
+        node = frontier.pop()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append(neighbor)
+    return visited
 
 
 class ExplicitRouting(RoutingStrategy):

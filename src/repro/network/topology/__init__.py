@@ -1,0 +1,49 @@
+"""Internet-scale topologies: file ingestion, generators, and placement.
+
+The paper proves its fairness properties on small stars and trees, but the
+Appendix-A water-filling construction is topology-agnostic.  This package
+supplies the *workload layer* that lets the solver run on realistic graphs:
+
+* :mod:`~repro.network.topology.formats` — dependency-free loaders/writers
+  for GML (Topology-Zoo style) and JSON (``{distances, bandwidth}``) files;
+* :mod:`~repro.network.topology.generators` — seeded random graph builders
+  (Barabási–Albert, Waxman, k-ary fat trees) whose randomness derives from
+  the :func:`repro.simulator.rng.spawn_run_entropy` scheme, so generated
+  networks are bit-reproducible across machines and prefix-stable in the
+  seed schedule;
+* :mod:`~repro.network.topology.placement` — sender/receiver placement
+  policies mapping a bare graph into the paper's ``Network``/``Session``
+  model via shortest-path routing;
+* :mod:`~repro.network.topology.metrics` — structural metrics (Brandes
+  edge betweenness) used by the ``scalefree_bottleneck`` experiment;
+* :mod:`~repro.network.topology.samples` — small embedded example files.
+"""
+
+from .formats import (
+    graph_from_gml,
+    graph_from_json,
+    graph_to_gml,
+    graph_to_json,
+    load_topology,
+    parse_gml,
+)
+from .generators import GENERATOR_MODELS, barabasi_albert, fat_tree, generate, waxman
+from .metrics import edge_betweenness
+from .placement import PLACEMENT_POLICIES, place_sessions
+
+__all__ = [
+    "parse_gml",
+    "graph_from_gml",
+    "graph_from_json",
+    "graph_to_gml",
+    "graph_to_json",
+    "load_topology",
+    "barabasi_albert",
+    "waxman",
+    "fat_tree",
+    "generate",
+    "GENERATOR_MODELS",
+    "edge_betweenness",
+    "place_sessions",
+    "PLACEMENT_POLICIES",
+]

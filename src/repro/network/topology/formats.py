@@ -1,0 +1,347 @@
+"""On-disk topology formats: GML and JSON ``{distances, bandwidth}``.
+
+Both loaders produce a :class:`~repro.network.graph.NetworkGraph` whose link
+capacities come from the file.  The GML parser is dependency-free — a small
+tokenizer plus a recursive-descent parser for the nested ``key [ ... ]``
+block structure used by Topology-Zoo exports — because ``networkx`` is not a
+declared dependency of this package.
+
+GML capacity resolution, per edge, first match wins:
+
+1. ``bandwidth`` / ``capacity`` — taken as-is (rate units);
+2. ``LinkSpeedRaw`` — bits/s, converted to Mbit/s;
+3. the loader's ``default_capacity``.
+
+The JSON schema mirrors the related benchmark repos: two nested mappings
+``{"distances": {u: {v: d}}, "bandwidth": {u: {v: c}}}`` over directed node
+pairs.  Pairs listed in both directions must agree on bandwidth (the model's
+links are undirected); disagreement is a :class:`TopologyFormatError`, not a
+silent pick.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any, Dict, Iterator, List, Mapping, Tuple, Union
+
+from ...errors import TopologyFormatError
+from ..graph import NetworkGraph
+
+__all__ = [
+    "parse_gml",
+    "graph_from_gml",
+    "graph_from_json",
+    "graph_to_gml",
+    "graph_to_json",
+    "load_topology",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: GML edge attributes consulted for the link capacity, in priority order.
+#: The value is a scale factor applied to the raw attribute.
+_CAPACITY_ATTRS: Tuple[Tuple[str, float], ...] = (
+    ("bandwidth", 1.0),
+    ("capacity", 1.0),
+    ("LinkSpeedRaw", 1e-6),  # bits/s -> Mbit/s
+)
+
+
+# ----------------------------------------------------------------------
+# GML tokenizer + parser
+# ----------------------------------------------------------------------
+def _tokenize_gml(text: str) -> Iterator[Tuple[str, Any]]:
+    """Yield ``(kind, value)`` tokens: ``[``, ``]``, strings, numbers, keys."""
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "[]":
+            yield (ch, ch)
+            i += 1
+        elif ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 1
+            if j >= n:
+                raise TopologyFormatError("GML: unterminated string literal")
+            yield ("value", text[i + 1 : j])
+            i = j + 1
+        else:
+            j = i
+            while j < n and text[j] not in ' \t\r\n[]"#':
+                j += 1
+            word = text[i:j]
+            yield ("word", word)
+            i = j
+
+
+def _coerce_scalar(word: str) -> Any:
+    """Interpret a bare GML word as int, float, or string."""
+    try:
+        return int(word)
+    except ValueError:
+        pass
+    try:
+        return float(word)
+    except ValueError:
+        return word
+
+
+def parse_gml(text: str) -> Dict[str, Any]:
+    """Parse GML text into nested dicts; repeated keys collect into lists.
+
+    Returns the attributes of the top-level ``graph [...]`` block.  ``node``
+    and ``edge`` entries are always lists (even when the file has just one)
+    so callers can iterate without special-casing.
+    """
+    tokens = list(_tokenize_gml(text))
+    pos = 0
+
+    def parse_block() -> Dict[str, Any]:
+        nonlocal pos
+        block: Dict[str, Any] = {}
+        while pos < len(tokens):
+            kind, value = tokens[pos]
+            if kind == "]":
+                pos += 1
+                return block
+            if kind != "word":
+                raise TopologyFormatError(f"GML: expected a key, got {value!r}")
+            key = value
+            pos += 1
+            if pos >= len(tokens):
+                raise TopologyFormatError(f"GML: key {key!r} has no value")
+            kind, value = tokens[pos]
+            if kind == "[":
+                pos += 1
+                parsed: Any = parse_block()
+            elif kind in ("word", "value"):
+                pos += 1
+                parsed = _coerce_scalar(value) if kind == "word" else value
+            else:
+                raise TopologyFormatError(f"GML: unexpected token {value!r} after key {key!r}")
+            if key in block:
+                existing = block[key]
+                if isinstance(existing, list):
+                    existing.append(parsed)
+                else:
+                    block[key] = [existing, parsed]
+            else:
+                block[key] = parsed
+        return block
+
+    document = parse_block()
+    if pos != len(tokens):
+        raise TopologyFormatError("GML: trailing tokens after top-level block")
+    graph = document.get("graph")
+    if graph is None:
+        raise TopologyFormatError("GML: no top-level 'graph [...]' block")
+    if isinstance(graph, list):  # multiple graph blocks: take the first
+        graph = graph[0]
+    for key in ("node", "edge"):
+        entries = graph.get(key, [])
+        if isinstance(entries, dict):
+            entries = [entries]
+        graph[key] = entries
+    return graph
+
+
+def _edge_capacity(attrs: Mapping[str, Any], default_capacity: float, where: str) -> float:
+    for attr, scale in _CAPACITY_ATTRS:
+        if attr in attrs:
+            try:
+                capacity = float(attrs[attr]) * scale
+            except (TypeError, ValueError):
+                raise TopologyFormatError(
+                    f"{where}: attribute {attr!r} is not numeric: {attrs[attr]!r}"
+                ) from None
+            if not capacity > 0 or math.isinf(capacity):
+                raise TopologyFormatError(
+                    f"{where}: bandwidth must be positive and finite, got {capacity!r}"
+                )
+            return capacity
+    return default_capacity
+
+
+def graph_from_gml(text: str, default_capacity: float = 100.0) -> NetworkGraph:
+    """Build a :class:`NetworkGraph` from GML text.
+
+    Node labels become node names (falling back to ``n{id}``); duplicate
+    labels are disambiguated with the numeric id.  Self-loop edges, which a
+    few Topology-Zoo exports contain, are dropped — the fairness model has
+    no use for them and :class:`Link` rejects them.
+    """
+    parsed = parse_gml(text)
+    names: Dict[Any, str] = {}
+    used: set = set()
+    for entry in parsed["node"]:
+        if "id" not in entry:
+            raise TopologyFormatError("GML: node block without an 'id'")
+        node_id = entry["id"]
+        label = str(entry.get("label", "")) or f"n{node_id}"
+        if label in used:
+            label = f"{label}_{node_id}"
+        names[node_id] = label
+        used.add(label)
+    graph = NetworkGraph(nodes=list(names.values()))
+    for index, entry in enumerate(parsed["edge"]):
+        where = f"GML edge {index}"
+        try:
+            source, target = entry["source"], entry["target"]
+        except KeyError:
+            raise TopologyFormatError(f"{where}: missing 'source' or 'target'") from None
+        for endpoint in (source, target):
+            if endpoint not in names:
+                raise TopologyFormatError(f"{where}: unknown node id {endpoint!r}")
+        if source == target:
+            continue
+        capacity = _edge_capacity(entry, default_capacity, where)
+        graph.add_link(names[source], names[target], capacity=capacity)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# JSON {distances, bandwidth}
+# ----------------------------------------------------------------------
+def graph_from_json(data: Union[str, Mapping[str, Any]]) -> NetworkGraph:
+    """Build a :class:`NetworkGraph` from the ``{distances, bandwidth}`` schema.
+
+    ``data`` may be JSON text or an already-decoded mapping.  Every pair in
+    ``bandwidth`` becomes one undirected link; ``distances`` is optional and
+    only cross-checked (pairs there must also carry bandwidth).
+    """
+    if isinstance(data, str):
+        try:
+            data = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise TopologyFormatError(f"JSON topology: {exc}") from exc
+    if not isinstance(data, Mapping) or "bandwidth" not in data:
+        raise TopologyFormatError("JSON topology: missing 'bandwidth' mapping")
+    bandwidth = data["bandwidth"]
+    distances = data.get("distances", {})
+    if not isinstance(bandwidth, Mapping):
+        raise TopologyFormatError("JSON topology: 'bandwidth' must map node -> node -> rate")
+
+    capacities: Dict[Tuple[str, str], float] = {}
+    order: List[Tuple[str, str]] = []
+    nodes: List[str] = []
+    seen_nodes: set = set()
+
+    def note_node(name: str) -> None:
+        if name not in seen_nodes:
+            seen_nodes.add(name)
+            nodes.append(name)
+
+    for u, neighbors in bandwidth.items():
+        note_node(str(u))
+        if not isinstance(neighbors, Mapping):
+            raise TopologyFormatError(f"JSON topology: bandwidth[{u!r}] must be a mapping")
+        for v, raw in neighbors.items():
+            note_node(str(v))
+            if str(u) == str(v):
+                raise TopologyFormatError(f"JSON topology: self-loop at node {u!r}")
+            try:
+                capacity = float(raw)
+            except (TypeError, ValueError):
+                raise TopologyFormatError(
+                    f"JSON topology: bandwidth[{u!r}][{v!r}] is not numeric: {raw!r}"
+                ) from None
+            if not capacity > 0 or math.isinf(capacity):
+                raise TopologyFormatError(
+                    f"JSON topology: bandwidth[{u!r}][{v!r}] must be positive "
+                    f"and finite, got {capacity!r}"
+                )
+            key = (str(u), str(v)) if str(u) <= str(v) else (str(v), str(u))
+            if key in capacities:
+                if capacities[key] != capacity:
+                    raise TopologyFormatError(
+                        f"JSON topology: asymmetric bandwidth for pair {key}: "
+                        f"{capacities[key]!r} vs {capacity!r}"
+                    )
+            else:
+                capacities[key] = capacity
+                order.append(key)
+
+    if isinstance(distances, Mapping):
+        for u, neighbors in distances.items():
+            if not isinstance(neighbors, Mapping):
+                continue
+            for v in neighbors:
+                key = (str(u), str(v)) if str(u) <= str(v) else (str(v), str(u))
+                if str(u) != str(v) and key not in capacities:
+                    raise TopologyFormatError(
+                        f"JSON topology: pair {key} has a distance but no bandwidth"
+                    )
+
+    graph = NetworkGraph(nodes=nodes)
+    for u, v in order:
+        graph.add_link(u, v, capacity=capacities[(u, v)])
+    return graph
+
+
+# ----------------------------------------------------------------------
+# writers
+# ----------------------------------------------------------------------
+def graph_to_gml(graph: NetworkGraph, name: str = "repro") -> str:
+    """Serialise a graph to GML text (round-trips through :func:`graph_from_gml`)."""
+    ids = {node: index for index, node in enumerate(graph.nodes)}
+    lines = ["graph [", f'  label "{name}"', "  directed 0"]
+    for node, node_id in ids.items():
+        lines += ["  node [", f"    id {node_id}", f'    label "{node}"', "  ]"]
+    for link in graph.links:
+        lines += [
+            "  edge [",
+            f"    source {ids[link.u]}",
+            f"    target {ids[link.v]}",
+            f"    bandwidth {link.capacity!r}",
+            "  ]",
+        ]
+    lines.append("]")
+    return "\n".join(lines) + "\n"
+
+
+def graph_to_json(graph: NetworkGraph) -> Dict[str, Any]:
+    """Serialise a graph to the ``{distances, bandwidth}`` schema (both directions).
+
+    Hop distances are emitted as ``1.0`` per link; the fairness model routes
+    by hop count, so files written here carry no geographic information.
+    """
+    distances: Dict[str, Dict[str, float]] = {}
+    bandwidth: Dict[str, Dict[str, float]] = {}
+    for link in graph.links:
+        for u, v in ((link.u, link.v), (link.v, link.u)):
+            distances.setdefault(u, {})[v] = 1.0
+            bandwidth.setdefault(u, {})[v] = link.capacity
+    return {"distances": distances, "bandwidth": bandwidth}
+
+
+# ----------------------------------------------------------------------
+# path-level dispatch
+# ----------------------------------------------------------------------
+def load_topology(path: PathLike, default_capacity: float = 100.0) -> NetworkGraph:
+    """Load a topology file, dispatching on its extension (``.gml``/``.json``)."""
+    location = os.fspath(path)
+    try:
+        with open(location, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise TopologyFormatError(f"cannot read topology file {location!r}: {exc}") from exc
+    suffix = os.path.splitext(location)[1].lower()
+    try:
+        if suffix == ".gml":
+            return graph_from_gml(text, default_capacity=default_capacity)
+        if suffix == ".json":
+            return graph_from_json(text)
+    except TopologyFormatError as exc:
+        raise TopologyFormatError(f"{location}: {exc}") from exc
+    raise TopologyFormatError(
+        f"unsupported topology file extension {suffix!r} for {location!r} "
+        "(expected .gml or .json)"
+    )

@@ -1,0 +1,252 @@
+"""Seeded topology generators: Barabási–Albert, Waxman, k-ary fat trees.
+
+All randomness flows through :func:`repro.simulator.rng.spawn_run_entropy`:
+a generator call with seed ``s`` spawns one 128-bit entropy value per random
+*concern* (graph structure, link capacities) from ``SeedSequence(s)`` and
+feeds each to its own Philox counter-based stream.  Two consequences the
+tests rely on:
+
+* **bit-reproducibility** — the same ``(model, parameters, seed)`` yields an
+  identical graph on every machine and NumPy version supporting Philox;
+* **concern independence** — changing how many capacity draws a model makes
+  never perturbs its structure stream, so e.g. widening the capacity range
+  cannot rewire the graph.
+
+Generated graphs are always connected: BA grows from a seed clique by
+attachment (connected by construction); Waxman's geometric edge trial can
+strand components, so a deterministic fix-up links each later component to
+its geometrically nearest predecessor node; fat trees are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+from numpy.random import Generator, Philox, SeedSequence
+
+from ...errors import NetworkModelError
+from ...simulator.rng import spawn_run_entropy
+from ..graph import NetworkGraph
+
+__all__ = ["barabasi_albert", "waxman", "fat_tree", "generate", "GENERATOR_MODELS"]
+
+#: Spawn indices of a generator run's random concerns.
+_STREAM_STRUCTURE = 0
+_STREAM_CAPACITY = 1
+
+
+def _generator_streams(seed: int) -> Tuple[Generator, Generator]:
+    """One Philox stream per random concern, derived via ``spawn_run_entropy``."""
+    structure_entropy, capacity_entropy = spawn_run_entropy(seed, 2)
+    return (
+        Generator(Philox(SeedSequence(structure_entropy))),
+        Generator(Philox(SeedSequence(capacity_entropy))),
+    )
+
+
+def _draw_capacities(
+    rng: Generator, count: int, capacity_range: Tuple[float, float]
+) -> np.ndarray:
+    low, high = capacity_range
+    if not 0 < low <= high or math.isinf(high):
+        raise NetworkModelError(
+            f"capacity_range must satisfy 0 < low <= high < inf, got {capacity_range}"
+        )
+    if low == high:
+        return np.full(count, low)
+    return rng.uniform(low, high, size=count)
+
+
+def _node_names(count: int) -> List[str]:
+    return [f"n{index}" for index in range(count)]
+
+
+def barabasi_albert(
+    num_nodes: int,
+    attachments: int = 2,
+    seed: int = 0,
+    capacity_range: Tuple[float, float] = (10.0, 100.0),
+) -> NetworkGraph:
+    """Scale-free graph by preferential attachment (Barabási–Albert).
+
+    Starts from a clique on ``attachments + 1`` nodes, then each new node
+    attaches to ``attachments`` distinct existing nodes chosen proportional
+    to degree (repeated-endpoint urn sampling).  Link capacities are drawn
+    uniformly from ``capacity_range`` on the independent capacity stream.
+    """
+    m = int(attachments)
+    n = int(num_nodes)
+    if m < 1:
+        raise NetworkModelError(f"attachments must be >= 1, got {attachments}")
+    if n < m + 1:
+        raise NetworkModelError(
+            f"num_nodes must be at least attachments + 1 ({m + 1}), got {num_nodes}"
+        )
+    structure, capacity = _generator_streams(seed)
+    names = _node_names(n)
+    edges: List[Tuple[int, int]] = []
+    # Urn of endpoints: each edge contributes both ends, so a draw from the
+    # urn picks a node with probability proportional to its degree.
+    urn: List[int] = []
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            edges.append((u, v))
+            urn.extend((u, v))
+    for new in range(m + 1, n):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(urn[int(structure.integers(len(urn)))])
+        for target in sorted(targets):
+            edges.append((target, new))
+            urn.extend((target, new))
+    capacities = _draw_capacities(capacity, len(edges), capacity_range)
+    graph = NetworkGraph(nodes=names)
+    for (u, v), c in zip(edges, capacities):
+        graph.add_link(names[u], names[v], capacity=float(c))
+    return graph
+
+
+def waxman(
+    num_nodes: int,
+    alpha: float = 0.4,
+    beta: float = 0.2,
+    seed: int = 0,
+    capacity_range: Tuple[float, float] = (10.0, 100.0),
+) -> NetworkGraph:
+    """Waxman geometric random graph with a deterministic connectivity fix-up.
+
+    Nodes are placed uniformly in the unit square; each pair ``(u, v)`` gets
+    a link with probability ``alpha * exp(-d(u, v) / (beta * L))`` where
+    ``L`` is the maximum inter-node distance.  Because the trial can leave
+    the graph disconnected, every component after the trial (beyond the one
+    containing node 0) is joined to the geometrically nearest node of the
+    already-connected part — a deterministic function of the placements, so
+    reproducibility is preserved.
+    """
+    n = int(num_nodes)
+    if n < 2:
+        raise NetworkModelError(f"num_nodes must be >= 2, got {num_nodes}")
+    if not (0 < alpha <= 1) or beta <= 0:
+        raise NetworkModelError(
+            f"waxman requires 0 < alpha <= 1 and beta > 0, got alpha={alpha}, beta={beta}"
+        )
+    structure, capacity = _generator_streams(seed)
+    positions = structure.random((n, 2))
+    deltas = positions[:, None, :] - positions[None, :, :]
+    distance = np.sqrt((deltas**2).sum(axis=2))
+    scale = float(distance.max())
+    if scale == 0.0:  # pathological all-coincident placement
+        scale = 1.0
+    upper = np.triu_indices(n, k=1)
+    probability = alpha * np.exp(-distance[upper] / (beta * scale))
+    trials = structure.random(len(probability))
+    edges = [
+        (int(u), int(v))
+        for u, v, hit in zip(upper[0], upper[1], trials < probability)
+        if hit
+    ]
+
+    # Deterministic connectivity fix-up: union components in node order,
+    # attaching each stranded component at its geometrically closest pair.
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v in edges:
+        parent[find(u)] = find(v)
+    components: dict = {}
+    for node in range(n):
+        components.setdefault(find(node), []).append(node)
+    ordered = sorted(components.values(), key=lambda members: members[0])
+    connected = list(ordered[0])
+    for component in ordered[1:]:
+        pairwise = distance[np.ix_(component, connected)]
+        flat = int(np.argmin(pairwise))
+        u = component[flat // len(connected)]
+        v = connected[flat % len(connected)]
+        edges.append((min(u, v), max(u, v)))
+        connected.extend(component)
+
+    names = _node_names(n)
+    capacities = _draw_capacities(capacity, len(edges), capacity_range)
+    graph = NetworkGraph(nodes=names)
+    for (u, v), c in zip(edges, capacities):
+        graph.add_link(names[u], names[v], capacity=float(c))
+    return graph
+
+
+def fat_tree(
+    arity: int = 4,
+    edge_capacity: float = 10.0,
+    aggregation_capacity: float = 40.0,
+    core_capacity: float = 100.0,
+) -> NetworkGraph:
+    """Deterministic k-ary fat tree (k pods, (k/2)^2 cores, k^3/4 hosts).
+
+    The standard data-centre Clos: each of ``k`` pods holds ``k/2`` edge and
+    ``k/2`` aggregation switches; core switch ``c`` connects to aggregation
+    switch ``c // (k/2)`` of every pod; each edge switch serves ``k/2``
+    hosts.  Capacities step up host->edge (``edge_capacity``),
+    edge->aggregation (``aggregation_capacity``), aggregation->core
+    (``core_capacity``).  No randomness — ideal as a fixed fixture.
+    """
+    k = int(arity)
+    if k < 2 or k % 2 != 0:
+        raise NetworkModelError(f"fat-tree arity must be even and >= 2, got {arity}")
+    half = k // 2
+    graph = NetworkGraph()
+    cores = [f"core{c}" for c in range(half * half)]
+    for name in cores:
+        graph.add_node(name)
+    for pod in range(k):
+        aggregations = [f"p{pod}a{a}" for a in range(half)]
+        edges = [f"p{pod}e{e}" for e in range(half)]
+        for a, aggregation in enumerate(aggregations):
+            for c in range(a * half, (a + 1) * half):
+                graph.add_link(cores[c], aggregation, capacity=core_capacity)
+            for edge in edges:
+                graph.add_link(aggregation, edge, capacity=aggregation_capacity)
+        for e, edge in enumerate(edges):
+            for h in range(half):
+                graph.add_link(edge, f"p{pod}e{e}h{h}", capacity=edge_capacity)
+    return graph
+
+
+#: CLI-facing registry: model name -> builder keyword signature summary.
+GENERATOR_MODELS = {
+    "ba": barabasi_albert,
+    "waxman": waxman,
+    "fat-tree": fat_tree,
+}
+
+
+def generate(
+    model: str,
+    num_nodes: int,
+    seed: int = 0,
+    attachments: int = 2,
+    alpha: float = 0.4,
+    beta: float = 0.2,
+    arity: Optional[int] = None,
+    capacity_range: Tuple[float, float] = (10.0, 100.0),
+) -> NetworkGraph:
+    """Uniform entry point used by the ``repro topo gen`` CLI."""
+    if model == "ba":
+        return barabasi_albert(
+            num_nodes, attachments=attachments, seed=seed, capacity_range=capacity_range
+        )
+    if model == "waxman":
+        return waxman(
+            num_nodes, alpha=alpha, beta=beta, seed=seed, capacity_range=capacity_range
+        )
+    if model == "fat-tree":
+        return fat_tree(arity if arity is not None else 4)
+    raise NetworkModelError(
+        f"unknown topology model {model!r}; valid: {sorted(GENERATOR_MODELS)}"
+    )

@@ -1,0 +1,65 @@
+"""Embedded sample topology files.
+
+Two small real-shaped topologies used by tests, docs, and the files shipped
+under ``examples/topologies/`` (which contain exactly these strings — a test
+keeps them in sync).  ``ABILENE_GML`` is the classic 11-node Internet2
+research backbone; ``TRIANGLE_CORE_JSON`` is a minimal ``{distances,
+bandwidth}`` document exercising the JSON loader's schema.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ABILENE_GML", "TRIANGLE_CORE_JSON"]
+
+ABILENE_GML = """\
+graph [
+  label "Abilene"
+  directed 0
+  node [ id 0 label "Seattle" ]
+  node [ id 1 label "Sunnyvale" ]
+  node [ id 2 label "LosAngeles" ]
+  node [ id 3 label "Denver" ]
+  node [ id 4 label "KansasCity" ]
+  node [ id 5 label "Houston" ]
+  node [ id 6 label "Chicago" ]
+  node [ id 7 label "Indianapolis" ]
+  node [ id 8 label "Atlanta" ]
+  node [ id 9 label "WashingtonDC" ]
+  node [ id 10 label "NewYork" ]
+  edge [ source 0 target 1 bandwidth 9920.0 ]
+  edge [ source 0 target 3 bandwidth 9920.0 ]
+  edge [ source 1 target 2 bandwidth 9920.0 ]
+  edge [ source 1 target 3 bandwidth 9920.0 ]
+  edge [ source 2 target 5 bandwidth 9920.0 ]
+  edge [ source 3 target 4 bandwidth 9920.0 ]
+  edge [ source 4 target 5 bandwidth 9920.0 ]
+  edge [ source 4 target 6 bandwidth 9920.0 ]
+  edge [ source 5 target 8 bandwidth 9920.0 ]
+  edge [ source 6 target 7 bandwidth 9920.0 ]
+  edge [ source 6 target 10 bandwidth 9920.0 ]
+  edge [ source 7 target 8 bandwidth 9920.0 ]
+  edge [ source 8 target 9 bandwidth 9920.0 ]
+  edge [ source 9 target 10 bandwidth 9920.0 ]
+]
+"""
+
+TRIANGLE_CORE_JSON = """\
+{
+  "distances": {
+    "core0": {"core1": 1.0, "core2": 1.0, "edge0": 1.0},
+    "core1": {"core0": 1.0, "core2": 1.0, "edge1": 1.0},
+    "core2": {"core0": 1.0, "core1": 1.0, "edge2": 1.0},
+    "edge0": {"core0": 1.0},
+    "edge1": {"core1": 1.0},
+    "edge2": {"core2": 1.0}
+  },
+  "bandwidth": {
+    "core0": {"core1": 100.0, "core2": 100.0, "edge0": 10.0},
+    "core1": {"core0": 100.0, "core2": 100.0, "edge1": 10.0},
+    "core2": {"core0": 100.0, "core1": 100.0, "edge2": 10.0},
+    "edge0": {"core0": 10.0},
+    "edge1": {"core1": 10.0},
+    "edge2": {"core2": 10.0}
+  }
+}
+"""

@@ -1,0 +1,85 @@
+"""Batched vs per-link bisection fallback equivalence.
+
+Non-linear link-rate functions ``v_i`` force the water-filling increment
+search onto bisection.  The vectorised engine now bisects all non-linear
+links of a round in lockstep (one array iteration per halving) instead of
+looping links in Python; this suite pins the batched path to the sequential
+per-link path — same allocations and same freeze/saturation order — and to
+the reference engine, across networks that lean on the fallback heavily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.maxmin as maxmin
+from repro.core import (
+    MaxMinTrace,
+    constant_redundancy,
+    max_min_fair_allocation,
+    random_join_link_rate,
+)
+from repro.network import random_multicast_network
+
+
+def _solve(network, functions, method="vectorized"):
+    trace = MaxMinTrace()
+    allocation = max_min_fair_allocation(
+        network, functions or None, trace=trace, method=method
+    )
+    return allocation, trace
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batched_bisection_matches_per_link(seed, monkeypatch):
+    """Networks large enough for the NumPy engine, every session non-linear."""
+    network = random_multicast_network(
+        seed=seed,
+        num_links=180,
+        num_sessions=60,
+        multi_rate_fraction=0.6,
+        max_receivers_per_session=6,
+    )
+    functions = {
+        session.session_id: random_join_link_rate(25.0 + seed)
+        for session in network.sessions
+        if session.session_id % 2 == 0
+    }
+    functions[1] = constant_redundancy(1.75)
+
+    assert maxmin._BATCHED_BISECTION is True  # batched is the default
+    batched_alloc, batched_trace = _solve(network, functions)
+
+    monkeypatch.setattr(maxmin, "_BATCHED_BISECTION", False)
+    sequential_alloc, sequential_trace = _solve(network, functions)
+
+    rids = network.all_receiver_ids()
+    batched = np.array([batched_alloc.rate(rid) for rid in rids])
+    sequential = np.array([sequential_alloc.rate(rid) for rid in rids])
+    np.testing.assert_allclose(batched, sequential, rtol=1e-9, atol=1e-9)
+    assert [step.frozen_receivers for step in batched_trace.steps] == [
+        step.frozen_receivers for step in sequential_trace.steps
+    ]
+    assert [step.saturated_links for step in batched_trace.steps] == [
+        step.saturated_links for step in sequential_trace.steps
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_batched_bisection_matches_reference_engine(seed):
+    network = random_multicast_network(
+        seed=seed,
+        num_links=16,
+        num_sessions=5,
+        multi_rate_fraction=0.5,
+        max_receivers_per_session=4,
+    )
+    functions = {0: random_join_link_rate(30.0), 2: constant_redundancy(2.0)}
+    vec_alloc, vec_trace = _solve(network, functions, method="vectorized")
+    ref_alloc, ref_trace = _solve(network, functions, method="reference")
+    for rid in network.all_receiver_ids():
+        assert vec_alloc.rate(rid) == pytest.approx(ref_alloc.rate(rid), abs=1e-7)
+    assert [step.frozen_receivers for step in vec_trace.steps] == [
+        step.frozen_receivers for step in ref_trace.steps
+    ]

@@ -81,15 +81,16 @@ def results():
 
 
 class TestRegistry:
-    def test_sixteen_experiments_registered(self):
-        assert len(ALL_KEYS) == 16
-        assert len(set(ALL_KEYS)) == 16
+    def test_seventeen_experiments_registered(self):
+        assert len(ALL_KEYS) == 17
+        assert len(set(ALL_KEYS)) == 17
 
     def test_default_suite_excludes_standalone_panel(self):
         default = experiment_keys()
         assert "figure8_panel" not in default
         assert "figure8" in default
-        assert len(default) == 15
+        assert "scalefree_bottleneck" in default
+        assert len(default) == 16
 
     def test_unknown_key_raises(self):
         with pytest.raises(KeyError):
@@ -231,6 +232,7 @@ class TestWrapperEquivalence:
             "active_nodes": experiments.ActiveNodeResult,
             "leave_latency": experiments.LeaveLatencyResult,
             "burstiness": experiments.BurstinessResult,
+            "scalefree_bottleneck": experiments.ScaleFreeBottleneckResult,
         }
         for key, result in results.items():
             assert type(result.payload) is expected[key], key

@@ -131,7 +131,7 @@ class TestRunAllJobs:
 
     def test_registry_keys_exposed(self):
         assert "figure8" in EXPERIMENT_KEYS
-        assert len(EXPERIMENT_KEYS) == 15
+        assert len(EXPERIMENT_KEYS) == 16
 
 
 class TestFigure8Jobs:

@@ -1,0 +1,174 @@
+"""Topology generators: determinism under the seed schedule, connectivity,
+structural invariants, and placement policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkModelError
+from repro.network.topology.generators import (
+    barabasi_albert,
+    fat_tree,
+    generate,
+    waxman,
+)
+from repro.network.topology.metrics import edge_betweenness
+from repro.network.topology.placement import place_sessions
+
+
+def _edge_list(graph):
+    return [(link.u, link.v, link.capacity) for link in graph.links]
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        num_nodes=st.integers(min_value=5, max_value=40),
+        attachments=st.integers(min_value=1, max_value=3),
+    )
+    def test_ba_deterministic_and_connected(self, seed, num_nodes, attachments):
+        if num_nodes < attachments + 1:
+            num_nodes = attachments + 1
+        first = barabasi_albert(num_nodes, attachments, seed=seed)
+        second = barabasi_albert(num_nodes, attachments, seed=seed)
+        assert _edge_list(first) == _edge_list(second)
+        assert first.is_connected()
+        assert first.num_nodes == num_nodes
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        num_nodes=st.integers(min_value=2, max_value=30),
+        alpha=st.floats(min_value=0.05, max_value=1.0),
+        beta=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_waxman_deterministic_and_connected(self, seed, num_nodes, alpha, beta):
+        first = waxman(num_nodes, alpha=alpha, beta=beta, seed=seed)
+        second = waxman(num_nodes, alpha=alpha, beta=beta, seed=seed)
+        assert _edge_list(first) == _edge_list(second)
+        assert first.is_connected()
+
+    def test_different_seeds_differ(self):
+        assert _edge_list(barabasi_albert(30, 2, seed=0)) != _edge_list(
+            barabasi_albert(30, 2, seed=1)
+        )
+
+    def test_capacity_stream_independent_of_structure(self):
+        """Widening the capacity range never rewires the graph."""
+        narrow = barabasi_albert(30, 2, seed=5, capacity_range=(10.0, 10.0))
+        wide = barabasi_albert(30, 2, seed=5, capacity_range=(1.0, 1000.0))
+        assert [(l.u, l.v) for l in narrow.links] == [(l.u, l.v) for l in wide.links]
+        assert all(link.capacity == 10.0 for link in narrow.links)
+
+
+class TestStructure:
+    def test_ba_edge_count(self):
+        m = 2
+        graph = barabasi_albert(50, m, seed=3)
+        seed_clique = (m + 1) * m // 2
+        assert graph.num_links == seed_clique + m * (50 - (m + 1))
+
+    def test_fat_tree_is_deterministic_clos(self):
+        graph = fat_tree(4)
+        assert graph.num_nodes == 4 + 8 + 8 + 16  # cores + agg + edge + hosts
+        assert graph.num_links == 16 + 16 + 16
+        assert graph.is_connected()
+        assert _edge_list(graph) == _edge_list(fat_tree(4))
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: barabasi_albert(2, 2, seed=0),
+            lambda: barabasi_albert(10, 0, seed=0),
+            lambda: waxman(1, seed=0),
+            lambda: waxman(10, alpha=0.0, seed=0),
+            lambda: fat_tree(3),
+            lambda: barabasi_albert(10, 2, seed=0, capacity_range=(0.0, 1.0)),
+            lambda: generate("mystery", 10),
+        ],
+    )
+    def test_invalid_parameters_raise_typed_error(self, call):
+        with pytest.raises(NetworkModelError):
+            call()
+
+    def test_generate_dispatch(self):
+        assert generate("ba", 20, seed=1).num_nodes == 20
+        assert generate("waxman", 15, seed=1).num_nodes == 15
+        assert generate("fat-tree", 0, arity=4).num_nodes == 36
+
+
+class TestBetweenness:
+    def test_path_graph_center_dominates(self):
+        from repro.network.graph import NetworkGraph
+
+        graph = NetworkGraph()
+        for index in range(4):
+            graph.add_link(f"v{index}", f"v{index + 1}", capacity=1.0)
+        betweenness = edge_betweenness(graph)
+        # On a 5-node path the middle link carries the most (s, t) pairs.
+        assert betweenness[2] == betweenness.max()
+        assert betweenness[0] == betweenness[3] == betweenness.min()
+
+    def test_pivot_approximation_scales(self):
+        graph = barabasi_albert(40, 2, seed=2)
+        exact = edge_betweenness(graph)
+        approx = edge_betweenness(graph, pivots=40)  # all nodes -> exact again
+        assert approx == pytest.approx(exact)
+
+
+class TestPlacement:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_placement_deterministic_and_prefix_stable(self, seed):
+        graph = barabasi_albert(30, 2, seed=0)
+        few = place_sessions(graph, 3, 2, seed=seed)
+        many = place_sessions(graph, 6, 2, seed=seed)
+        # Growing num_sessions never moves already-placed sessions.
+        for short, long in zip(few, many):
+            assert short.sender.node == long.sender.node
+            assert [r.node for r in short.receivers] == [r.node for r in long.receivers]
+
+    def test_hub_policy_prefers_high_degree_senders(self):
+        graph = barabasi_albert(50, 2, seed=1)
+        degree = {node: len(graph.incident_links(node)) for node in graph.nodes}
+        sessions = place_sessions(graph, 4, 2, seed=3, policy="hub")
+        median = sorted(degree.values())[len(degree) // 2]
+        assert all(degree[s.sender.node] >= median for s in sessions)
+
+    def test_leaf_policy_avoids_hubs(self):
+        graph = barabasi_albert(50, 2, seed=1)
+        degree = {node: len(graph.incident_links(node)) for node in graph.nodes}
+        top = max(degree.values())
+        sessions = place_sessions(graph, 4, 2, seed=3, policy="leaf")
+        for session in sessions:
+            members = [session.sender.node] + [r.node for r in session.receivers]
+            assert all(degree[node] < top for node in members)
+
+    def test_mixed_types_alternate(self):
+        graph = barabasi_albert(20, 2, seed=0)
+        sessions = place_sessions(graph, 4, 2, seed=0, session_types="mixed")
+        assert [s.session_type.short for s in sessions] == ["M", "S", "M", "S"]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"policy": "teleport"},
+            {"num_sessions": 0},
+            {"receivers_per_session": 0},
+            {"session_types": "sometimes"},
+        ],
+    )
+    def test_invalid_placement_rejected(self, kwargs):
+        graph = barabasi_albert(10, 2, seed=0)
+        base = {"num_sessions": 2, "receivers_per_session": 2, "seed": 0}
+        base.update(kwargs)
+        with pytest.raises(NetworkModelError):
+            place_sessions(graph, **base)
+
+    def test_too_small_graph_rejected(self):
+        graph = barabasi_albert(4, 2, seed=0)
+        with pytest.raises(NetworkModelError, match="distinct member nodes"):
+            place_sessions(graph, 1, 5, seed=0)

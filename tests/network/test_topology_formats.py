@@ -1,0 +1,209 @@
+"""Topology file ingestion: GML parser, JSON schema, writers, Network loaders."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ReproError, TopologyFormatError
+from repro.network.network import Network
+from repro.network.topology.formats import (
+    graph_from_gml,
+    graph_from_json,
+    graph_to_gml,
+    graph_to_json,
+    load_topology,
+    parse_gml,
+)
+from repro.network.topology.samples import ABILENE_GML, TRIANGLE_CORE_JSON
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "topologies"
+
+
+class TestGmlParser:
+    def test_parses_abilene(self):
+        parsed = parse_gml(ABILENE_GML)
+        assert len(parsed["node"]) == 11
+        assert len(parsed["edge"]) == 14
+        assert parsed["label"] == "Abilene"
+
+    def test_comments_and_attribute_types(self):
+        text = """
+        graph [
+          # a comment
+          directed 0
+          node [ id 0 label "a" Longitude -122.3 ]
+          node [ id 1 label "b" ]
+          edge [ source 0 target 1 LinkSpeedRaw 1e9 ]
+        ]
+        """
+        graph = graph_from_gml(text)
+        assert graph.num_nodes == 2
+        assert graph.link(0).capacity == pytest.approx(1000.0)  # bits/s -> Mbit/s
+
+    def test_single_node_block_still_a_list(self):
+        parsed = parse_gml('graph [ node [ id 0 label "only" ] ]')
+        assert parsed["node"] == [{"id": 0, "label": "only"}]
+        assert parsed["edge"] == []
+
+    def test_default_capacity_applies(self):
+        graph = graph_from_gml(
+            'graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 ] ]',
+            default_capacity=42.0,
+        )
+        assert graph.link(0).capacity == 42.0
+        assert graph.nodes == ("n0", "n1")
+
+    def test_self_loops_dropped(self):
+        graph = graph_from_gml(
+            'graph [ node [ id 0 ] node [ id 1 ] '
+            'edge [ source 0 target 0 ] edge [ source 0 target 1 ] ]'
+        )
+        assert graph.num_links == 1
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not gml at all",
+            "graph [ node [ label \"missing id\" ] ]",
+            "graph [ node [ id 0 ] edge [ source 0 target 9 ] ]",
+            "graph [ edge [ source 0 ] node [ id 0 ] ]",
+            'graph [ node [ id 0 label "unterminated ]',
+            "graph [ node [ id 0 ] node [ id 1 ] "
+            "edge [ source 0 target 1 bandwidth -3 ] ]",
+        ],
+    )
+    def test_malformed_gml_raises_typed_error(self, text):
+        with pytest.raises(TopologyFormatError):
+            graph_from_gml(text)
+
+    def test_gml_round_trip(self):
+        graph = graph_from_gml(ABILENE_GML)
+        again = graph_from_gml(graph_to_gml(graph, name="Abilene"))
+        assert again.nodes == graph.nodes
+        assert [(link.u, link.v, link.capacity) for link in again.links] == [
+            (link.u, link.v, link.capacity) for link in graph.links
+        ]
+
+
+class TestJsonSchema:
+    def test_parses_sample(self):
+        graph = graph_from_json(TRIANGLE_CORE_JSON)
+        assert graph.num_nodes == 6
+        assert graph.num_links == 6
+        assert graph.link_by_name("l1").capacity == 100.0
+
+    def test_symmetric_duplicates_collapse(self):
+        graph = graph_from_json(
+            {"bandwidth": {"a": {"b": 5.0}, "b": {"a": 5.0}}}
+        )
+        assert graph.num_links == 1
+
+    def test_asymmetric_bandwidth_rejected(self):
+        with pytest.raises(TopologyFormatError, match="asymmetric"):
+            graph_from_json({"bandwidth": {"a": {"b": 5.0}, "b": {"a": 7.0}}})
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            "not json {",
+            {"distances": {}},
+            {"bandwidth": {"a": {"a": 1.0}}},
+            {"bandwidth": {"a": {"b": 0.0}}},
+            {"bandwidth": {"a": {"b": -1.0}}},
+            {"bandwidth": {"a": {"b": "fast"}}},
+            {"bandwidth": {"a": {"b": 1.0}}, "distances": {"a": {"c": 2.0}}},
+        ],
+    )
+    def test_invalid_documents_raise_typed_error(self, data):
+        with pytest.raises(TopologyFormatError):
+            graph_from_json(data)
+
+    def test_json_round_trip(self):
+        graph = graph_from_json(TRIANGLE_CORE_JSON)
+        again = graph_from_json(json.dumps(graph_to_json(graph)))
+        assert sorted((l.u, l.v, l.capacity) for l in again.links) == sorted(
+            (l.u, l.v, l.capacity) for l in graph.links
+        )
+
+
+class TestLoadTopology:
+    def test_dispatches_on_extension(self, tmp_path):
+        gml = tmp_path / "net.gml"
+        gml.write_text(ABILENE_GML)
+        assert load_topology(gml).num_nodes == 11
+        js = tmp_path / "net.json"
+        js.write_text(TRIANGLE_CORE_JSON)
+        assert load_topology(js).num_nodes == 6
+
+    def test_missing_file_and_bad_extension(self, tmp_path):
+        with pytest.raises(TopologyFormatError, match="cannot read"):
+            load_topology(tmp_path / "absent.gml")
+        other = tmp_path / "net.yaml"
+        other.write_text("x")
+        with pytest.raises(TopologyFormatError, match="unsupported"):
+            load_topology(other)
+
+    def test_error_names_the_file(self, tmp_path):
+        bad = tmp_path / "bad.gml"
+        bad.write_text("no graph here")
+        with pytest.raises(TopologyFormatError, match="bad.gml"):
+            load_topology(bad)
+
+
+class TestExampleFiles:
+    """The shipped example files match the embedded samples byte for byte."""
+
+    def test_abilene_gml_in_sync(self):
+        assert (EXAMPLES / "abilene.gml").read_text() == ABILENE_GML
+
+    def test_triangle_json_in_sync(self):
+        assert (EXAMPLES / "triangle_core.json").read_text() == TRIANGLE_CORE_JSON
+
+
+class TestNetworkIngestion:
+    def test_from_gml_builds_routed_network(self, tmp_path):
+        path = tmp_path / "abilene.gml"
+        path.write_text(ABILENE_GML)
+        network = Network.from_gml(path, num_sessions=3, receivers_per_session=2, seed=1)
+        assert network.num_sessions == 3
+        assert network.num_receivers == 6
+        for rid in network.all_receiver_ids():
+            assert len(network.data_path(rid)) >= 1
+
+    def test_from_json_builds_routed_network(self, tmp_path):
+        path = tmp_path / "triangle.json"
+        path.write_text(TRIANGLE_CORE_JSON)
+        network = Network.from_json(path, num_sessions=2, receivers_per_session=2, seed=0)
+        assert network.num_sessions == 2
+
+    def test_ingestion_is_deterministic(self, tmp_path):
+        path = tmp_path / "abilene.gml"
+        path.write_text(ABILENE_GML)
+        first = Network.from_gml(path, num_sessions=4, receivers_per_session=2, seed=9)
+        second = Network.from_gml(path, num_sessions=4, receivers_per_session=2, seed=9)
+        assert [
+            (s.sender.node, tuple(r.node for r in s.receivers)) for s in first.sessions
+        ] == [
+            (s.sender.node, tuple(r.node for r in s.receivers)) for s in second.sessions
+        ]
+
+    def test_oversized_sessions_rejected_with_typed_error(self, tmp_path):
+        path = tmp_path / "triangle.json"
+        path.write_text(TRIANGLE_CORE_JSON)
+        with pytest.raises(ReproError, match="distinct member nodes"):
+            Network.from_json(path, num_sessions=1, receivers_per_session=10)
+
+    def test_placement_max_rate_finite(self):
+        from repro.network.topology import graph_from_gml as load
+        from repro.network.topology.placement import place_sessions
+
+        graph = load(ABILENE_GML)
+        sessions = place_sessions(
+            graph, num_sessions=2, receivers_per_session=2, seed=0, max_rate=5.0
+        )
+        assert all(session.max_rate == 5.0 for session in sessions)
+        assert all(not math.isinf(session.max_rate) for session in sessions)

@@ -76,8 +76,8 @@ class TestList:
         assert completed.returncode == 0
         listing = json.loads(completed.stdout)
         keys = {entry["key"] for entry in listing}
-        assert len(listing) == 16
-        assert {"figure8", "figure8_panel"} <= keys
+        assert len(listing) == 17
+        assert {"figure8", "figure8_panel", "scalefree_bottleneck"} <= keys
         by_key = {entry["key"]: entry for entry in listing}
         assert by_key["figure8_panel"]["default"] is False
         assert "scale" in by_key["figure8"]["spec_fields"]
@@ -383,6 +383,82 @@ class TestSigintResume:
             resumed_result = ExperimentResult.from_json((resumed_out / f"{name}.json").read_text())
             clean_result = ExperimentResult.from_json((clean_out / f"{name}.json").read_text())
             assert resumed_result.canonical_json() == clean_result.canonical_json(), name
+
+
+class TestTopo:
+    """The ``repro topo`` subcommands: generation, inspection, exit codes."""
+
+    def test_topo_in_top_level_help(self):
+        completed = _run_cli("--help")
+        assert completed.returncode == 0
+        assert "topo" in completed.stdout
+
+    def test_gen_writes_gml_and_info_reads_it_back(self, tmp_path, capsys):
+        out = tmp_path / "ba.gml"
+        assert main([
+            "topo", "gen", "--model", "ba", "--nodes", "30",
+            "--seed", "5", "--out", str(out),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "30 nodes" in captured.err
+        assert out.exists()
+        assert main(["topo", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "30 nodes" in info
+        assert "connected" in info
+
+    def test_gen_to_stdout_is_parseable_gml(self, capsys):
+        from repro.network.topology.formats import graph_from_gml
+
+        assert main(["topo", "gen", "--model", "ba", "--nodes", "12", "--seed", "1"]) == 0
+        graph = graph_from_gml(capsys.readouterr().out)
+        assert graph.num_nodes == 12
+        assert graph.is_connected()
+
+    def test_gen_json_extension_dispatches(self, tmp_path, capsys):
+        out = tmp_path / "wax.json"
+        assert main([
+            "topo", "gen", "--model", "waxman", "--nodes", "15",
+            "--seed", "2", "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert "bandwidth" in document
+
+    def test_info_json_format_is_machine_readable(self, tmp_path, capsys):
+        from repro.network.topology.samples import ABILENE_GML
+
+        path = tmp_path / "abilene.gml"
+        path.write_text(ABILENE_GML)
+        assert main(["topo", "info", str(path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["nodes"] == 11
+        assert summary["links"] == 14
+        assert summary["connected"] is True
+        assert len(summary["top_betweenness"]) == 5
+
+    def test_info_missing_file_exits_2(self, capsys):
+        assert main(["topo", "info", "does-not-exist.gml"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_gen_rejects_unknown_model(self):
+        completed = _run_cli("topo", "gen", "--model", "smallworld")
+        assert completed.returncode == 2
+
+    def test_scalefree_runs_end_to_end_and_hits_store(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["run", "scalefree_bottleneck", "--cache", cache, "--format", "json"]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "0 hit(s), 1 miss(es)" in first.err
+        assert main(argv) == 0
+        second = capsys.readouterr()
+        assert "1 hit(s), 0 miss(es)" in second.err
+        [cold], [warm] = json.loads(first.out), json.loads(second.out)
+        cold_result = ExperimentResult.from_dict(cold)
+        warm_result = ExperimentResult.from_dict(warm)
+        assert warm_result.canonical_json() == cold_result.canonical_json()
+        assert cold_result.verdict.ok
 
 
 class TestLegacyRunner:
