@@ -25,6 +25,16 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.figure8 import run_figure8_panel
+from repro.protocols.kernel import have_numba
+
+#: Engine axis of the comparison benches.  The compiled engine only runs
+#: where numba is installed — without it the lowering falls back to the
+#: bit-packed NumPy primitives and the measurement would just duplicate
+#: the ``bitpacked`` row under a misleading name.
+_COMPILED = pytest.param(
+    "compiled",
+    marks=pytest.mark.skipif(not have_numba(), reason="numba not installed"),
+)
 
 INDEPENDENT_LOSS_RATES = (0.005, 0.02, 0.05, 0.08, 0.1)
 NUM_RECEIVERS = 60
@@ -66,27 +76,30 @@ def test_bench_figure8b_high_shared_loss(benchmark):
 
 
 @pytest.mark.slow
-@pytest.mark.parametrize("engine", ("batched", "reference", "bitpacked"))
+@pytest.mark.parametrize("engine", ("batched", "reference", "bitpacked", _COMPILED))
 def test_bench_figure8_engine_comparison(benchmark, engine):
-    """All three engines on a reduced high-shared-loss panel (same results).
+    """Every engine on a reduced high-shared-loss panel (same results).
 
     The scan engines get three rounds (their gap is small, so one noisy
     round could invert the recorded ordering); the reference loop is 4-5x
-    off and one round suffices.
+    off and one round suffices.  The compiled engine gets a warmup round
+    so numba's one-time JIT compilation never pollutes the measurement.
     """
     panel = benchmark.pedantic(
         _run_panel, args=(0.05,), kwargs={"engine": engine, "duration": 400},
         rounds=1 if engine == "reference" else 3, iterations=1,
+        warmup_rounds=1 if engine == "compiled" else 0,
     )
     _check_panel(panel, coordinated_cap=2.6)
 
 
 @pytest.mark.slow
-@pytest.mark.parametrize("engine", ("batched", "bitpacked"))
+@pytest.mark.parametrize("engine", ("batched", "bitpacked", _COMPILED))
 def test_bench_figure8a_engine_comparison(benchmark, engine):
     """Scan engines on the low-shared-loss panel (a), the bit-packed win case."""
     panel = benchmark.pedantic(
         _run_panel, args=(0.0001,), kwargs={"engine": engine, "duration": 400},
         rounds=3, iterations=1,
+        warmup_rounds=1 if engine == "compiled" else 0,
     )
     _check_panel(panel, coordinated_cap=2.6)

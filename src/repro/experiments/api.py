@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..errors import ExperimentError
+from ..protocols.kernel import ENGINES
 
 __all__ = [
     "SCALES",
@@ -44,13 +45,12 @@ __all__ = [
 #: seconds; ``"paper"`` uses the paper's full sweep sizes.
 SCALES: Tuple[str, ...] = ("reduced", "paper")
 
-#: Recognised simulation engines: the time-unit-batched scan, the
-#: per-packet reference loop, and the bit-packed scan (uint64 words +
-#: popcount).  All bit-for-bit identical.  Mirrors
-#: ``repro.simulator.engine.ENGINES`` — kept as a literal so this module
-#: stays import-light (like the lazy ``RNG_SCHEME_VERSION`` import
-#: below); ``tests/experiments/test_api.py`` pins the two in lockstep.
-ENGINES: Tuple[str, ...] = ("bitpacked", "batched", "reference")
+# Recognised simulation engines: ``ENGINES`` (imported above) comes from
+# the one registry in ``repro.protocols.kernel`` (also re-exported by
+# ``repro.simulator.engine``): the bit-packed scan (uint64 words +
+# popcount, the default), the dense batched scan, the per-packet
+# reference loop, and the optional numba-compiled packed scan.  All
+# bit-for-bit identical for any seed.
 
 #: Version of the ``ExperimentResult.to_dict`` JSON layout.  Bump when the
 #: envelope's keys change shape; ``from_dict`` rejects unknown versions.
@@ -113,12 +113,12 @@ class ExperimentSpec:
         Worker processes for experiments that fan out internally (Figure
         8's point sweep).  Results are identical for every value.
     engine:
-        Simulation engine for the packet-level experiments
-        (``"bitpacked"``, the default, ``"batched"`` or ``"reference"``);
-        ignored by the closed-form experiments.  Results are identical for
-        every value, so the field is execution-only and excluded from
-        canonical JSON — cache entries address identically whichever
-        engine wrote them.
+        Simulation engine for the packet-level experiments — any name in
+        :data:`ENGINES` (``"bitpacked"``, the default, ``"batched"``,
+        ``"reference"`` or ``"compiled"``); ignored by the closed-form
+        experiments.  Results are identical for every value, so the field
+        is execution-only and excluded from canonical JSON — cache entries
+        address identically whichever engine wrote them.
     """
 
     scale: str = "reduced"

@@ -31,7 +31,7 @@ import time
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
-from .api import ExperimentResult, ExperimentSpec
+from .api import ENGINES, ExperimentResult, ExperimentSpec
 from .registry import experiment_keys, get_experiment, select_experiments
 from .resilient import resilient_map
 from .store import ResultStore
@@ -146,8 +146,8 @@ def run_all(
         Optional subset of :data:`EXPERIMENT_KEYS` to run (registry order is
         preserved regardless of the order given here).
     engine:
-        Simulation engine for the packet-level experiments:
-        ``"bitpacked"`` (default), ``"batched"`` or ``"reference"``.
+        Simulation engine for the packet-level experiments — any name in
+        :data:`repro.experiments.api.ENGINES` (default ``"bitpacked"``).
         Results are identical; only the runtime differs.
     """
     if only is not None and not list(only):
@@ -193,7 +193,7 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("bitpacked", "batched", "reference"),
+        choices=ENGINES,
         default="bitpacked",
         help="simulation engine for the packet-level experiments "
         "(identical results; 'reference' is the slow per-packet loop)",

@@ -69,8 +69,10 @@ class ActiveNodeProtocol(LayeredProtocol):
         self.group_loss_fraction = float(group_loss_fraction)
 
     def _reset_state(self) -> None:
+        super()._reset_state()
         # Packets forwarded by the active node since the group's last
-        # join/leave event.
+        # join/leave event (group-scalar; the base per-receiver counter is
+        # unused here).
         self._packets_since_group_event = 0
 
     # ------------------------------------------------------------------

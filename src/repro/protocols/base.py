@@ -113,6 +113,7 @@ class LayeredProtocol(abc.ABC):
         self.num_receivers = 0
         self.scheme: Optional[LayerScheme] = None
         self._rng: Optional[np.random.Generator] = None
+        self._received_since_event = np.zeros(0, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -132,7 +133,14 @@ class LayeredProtocol(abc.ABC):
         self._reset_state()
 
     def _reset_state(self) -> None:
-        """Hook for subclasses to (re)initialise their per-receiver arrays."""
+        """Hook for subclasses to (re)initialise their per-receiver arrays.
+
+        The base allocates the shared join-progress counter
+        (``received_since_event``) that the default hook implementations
+        below maintain; overriding subclasses must call
+        ``super()._reset_state()``.
+        """
+        self._received_since_event = np.zeros(self.num_receivers, dtype=np.int64)
 
     def bind_run_streams(self, streams: Sequence, receivers_per_run: int) -> None:
         """Attach the runs' counter-based random streams (RNG scheme 4).
@@ -353,19 +361,35 @@ class LayeredProtocol(abc.ABC):
         raise NotImplementedError  # pragma: no cover - guarded by the flag
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
-        """Receivers got ``counts`` packets with no join/leave in between."""
+        """Receivers got ``counts`` packets with no join/leave in between.
+
+        The default advances the shared join-progress counter; protocols
+        whose progress state is not a reception count (the Uncoordinated
+        countdown) override it.
+        """
+        self._received_since_event[receivers] += counts
 
     def scan_congested(self, receivers: np.ndarray) -> None:
-        """Per-receiver congestion events (mirror of :meth:`on_congestion`)."""
+        """Per-receiver congestion events (mirror of :meth:`on_congestion`).
+
+        The default resets the shared join-progress counter — the paper's
+        protocols restart their probe interval on every congestion signal,
+        dropped layer or not.
+        """
+        self._received_since_event[receivers] = 0
 
     def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
         """Per-receiver completed joins (mirror of :meth:`on_join`,
         collapsed with the join packet's own reception).
-        ``levels_receivers`` holds the receivers' post-join levels."""
+        ``levels_receivers`` holds the receivers' post-join levels.
+        The default resets the shared join-progress counter."""
+        self._received_since_event[receivers] = 0
 
     def scan_left(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
         """Per-receiver completed leaves (mirror of :meth:`on_leave`);
-        ``levels_receivers`` holds the receivers' post-leave levels."""
+        ``levels_receivers`` holds the receivers' post-leave levels.
+        The counter was already reset by the congestion signal that caused
+        the leave, so the default does nothing."""
 
     # ------------------------------------------------------------------
     # per-packet hooks
@@ -373,9 +397,11 @@ class LayeredProtocol(abc.ABC):
     def on_congestion(self, receivers: np.ndarray, levels: np.ndarray) -> None:
         """Receivers in the mask observed a congestion event on this packet.
 
-        The engine lowers their subscription level; subclasses reset any
-        join-progress state here.
+        The engine lowers their subscription level; the default resets the
+        shared join-progress counter (subclasses with other per-level
+        randomness override this).
         """
+        self._received_since_event[receivers] = 0
 
     def congestion_leaves(
         self,
@@ -408,7 +434,9 @@ class LayeredProtocol(abc.ABC):
         """
 
     def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
-        """Receivers in the mask completed a join (their level already raised)."""
+        """Receivers in the mask completed a join (their level already
+        raised).  The default resets the shared join-progress counter."""
+        self._received_since_event[receivers] = 0
 
     def on_leave(self, receivers: np.ndarray, levels: np.ndarray) -> None:
         """Receivers in the mask completed a leave (their level already
@@ -420,6 +448,11 @@ class LayeredProtocol(abc.ABC):
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------
+    @property
+    def received_since_event(self) -> np.ndarray:
+        """Per-receiver count of packets received since the last join/leave event."""
+        return self._received_since_event.copy()
+
     def join_probability_per_packet(self, levels: np.ndarray) -> np.ndarray:
         """Per-received-packet join probability giving the paper's expectation.
 

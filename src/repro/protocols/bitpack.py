@@ -23,6 +23,7 @@ and fall back to an ``unpackbits``-style byte table otherwise; see
 
 from __future__ import annotations
 
+import os
 import sys
 
 from dataclasses import dataclass
@@ -62,8 +63,13 @@ _ONE = np.uint64(1)
 
 #: Whether :func:`numpy.bitwise_count` (NumPy >= 2.0) backs :func:`popcount`.
 #: When false, popcounts run through a 256-entry per-byte table — same
-#: results, roughly 8x the memory traffic.
-HAVE_NATIVE_POPCOUNT = hasattr(np, "bitwise_count")
+#: results, roughly 8x the memory traffic.  Setting the
+#: ``REPRO_FORCE_PORTABLE_POPCOUNT`` environment variable (to any non-empty
+#: value) forces the table path even on NumPy >= 2.0, so CI can prove the
+#: portable fallback stays bit-exact without pinning an old NumPy.
+HAVE_NATIVE_POPCOUNT = hasattr(np, "bitwise_count") and not os.environ.get(
+    "REPRO_FORCE_PORTABLE_POPCOUNT"
+)
 
 # Per-byte popcount table; also the rank-select helper's byte counter.
 _BYTE_COUNTS = np.unpackbits(
@@ -95,7 +101,7 @@ if HAVE_NATIVE_POPCOUNT:
         """Per-word count of set bits (shape-preserving, small unsigned dtype)."""
         return np.bitwise_count(words)
 
-else:  # pragma: no cover - exercised only on NumPy < 2.0
+else:  # pragma: no cover - NumPy < 2.0 or REPRO_FORCE_PORTABLE_POPCOUNT
 
     def popcount(words: np.ndarray) -> np.ndarray:
         """Per-word count of set bits (shape-preserving, small unsigned dtype).

@@ -66,13 +66,8 @@ class CoordinatedProtocol(LayeredProtocol):
     def stacking_key(self) -> tuple:
         return (type(self), self.sync_threshold_fraction)
 
-    def _reset_state(self) -> None:
-        # Loss-free packets received since the last join/leave event.
-        self._received_since_event = np.zeros(self.num_receivers, dtype=np.int64)
-
-    def on_congestion(self, receivers: np.ndarray, levels: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
-
+    # Join-progress state (the received-since-event counter) and its
+    # per-packet/scan maintenance are the LayeredProtocol base defaults.
     def on_packet_received(
         self,
         received: np.ndarray,
@@ -90,9 +85,6 @@ class CoordinatedProtocol(LayeredProtocol):
         gate = self.sync_threshold_fraction * self.join_threshold(levels)
         ready = self._received_since_event >= gate
         return received & at_sync_level & ready
-
-    def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
 
     # ------------------------------------------------------------------
     # batched-scan hooks
@@ -290,17 +282,3 @@ class CoordinatedProtocol(LayeredProtocol):
         bulk = gap_counts.copy()
         bulk[midx] = np.where(fired, running[iota, first], gap_counts[midx])
         return has_join, col, bulk
-
-    def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
-        self._received_since_event[receivers] += counts
-
-    def scan_congested(self, receivers: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
-
-    def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
-
-    @property
-    def received_since_event(self) -> np.ndarray:
-        """Per-receiver count of loss-free packets since the last join/leave event."""
-        return self._received_since_event.copy()

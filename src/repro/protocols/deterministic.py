@@ -32,12 +32,8 @@ class DeterministicProtocol(LayeredProtocol):
     supports_bitpacked = True
     supports_chain_join = True
 
-    def _reset_state(self) -> None:
-        self._received_since_event = np.zeros(self.num_receivers, dtype=np.int64)
-
-    def on_congestion(self, receivers: np.ndarray, levels: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
-
+    # Join-progress state (the received-since-event counter) and its
+    # per-packet/scan maintenance are the LayeredProtocol base defaults.
     def on_packet_received(
         self,
         received: np.ndarray,
@@ -50,9 +46,6 @@ class DeterministicProtocol(LayeredProtocol):
         self._received_since_event[received] += 1
         thresholds = self.join_threshold(levels)
         return received & (self._received_since_event >= thresholds)
-
-    def on_join(self, receivers: np.ndarray, levels: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
 
     # ------------------------------------------------------------------
     # batched-scan hooks
@@ -153,17 +146,3 @@ class DeterministicProtocol(LayeredProtocol):
             col = gap_hi.copy()
             col[jidx] = bitpack.kth_set(words[jidx], base_col, need[jidx])
         return has_join, col, need
-
-    def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
-        self._received_since_event[receivers] += counts
-
-    def scan_congested(self, receivers: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
-
-    def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
-        self._received_since_event[receivers] = 0
-
-    @property
-    def received_since_event(self) -> np.ndarray:
-        """Per-receiver count of packets received since the last join/leave."""
-        return self._received_since_event.copy()

@@ -1,0 +1,494 @@
+"""Backend-neutral scan kernel: one protocol decision sequence, N lowerings.
+
+The Section-4 protocol semantics — candidate congestion selection,
+credit/bulk-reception accounting, join/leave transitions, segment refresh,
+window close — used to be encoded three times over: in the per-packet
+reference loop, the dense batched scan and the bit-packed chain drain.
+This module extracts the protocol-visible decision sequence into one
+place, split along a representation boundary:
+
+* :class:`ScanKernel` owns the *semantics*: event ordering (the
+  first-event rule), the level-step invariants (a leave only below the
+  floor, a join only below the window top), credit accounting, the hook
+  dispatch order (``scan_bulk_received`` before ``scan_congested`` /
+  ``scan_joined`` / ``scan_left``) and the event record layout the
+  simulator engine reconstructs carriage from.  Both scan lowerings and
+  the per-packet reference loop drive their transitions through it, so
+  the conformance suite checks one semantics instead of three
+  implementations.
+* :class:`BackendOps` subclasses own the *representation*: how a window's
+  reception/congestion state is stored and reduced.  :class:`DenseOps`
+  uses boolean receiver-major matrices (``argmax`` first-hits, masked
+  ``sum`` counts); :class:`PackedOps` uses ``uint64`` words with masked
+  popcounts (:mod:`repro.protocols.bitpack`);
+  :class:`~repro.protocols.compiled.CompiledOps` re-lowers the packed
+  primitives as Numba-jitted single-pass loops.  A backend supplies only
+  these primitives — adding one is a lowering exercise, not a protocol
+  reimplementation.
+
+The engine registry (:data:`ENGINES`) lives here too, as the single
+source of truth for the simulator, the experiment API and the CLI.
+
+Adding a backend
+----------------
+1. Subclass :class:`PackedOps` (or :class:`DenseOps`) and override the
+   primitives you can lower better — every override must be bit-exact
+   (same columns, same counts) because the kernel's event sequence is
+   pinned across engines by ``tests/simulator/test_engine_equivalence.py``
+   and the differential fuzzer.
+2. Register the engine name in :data:`ENGINES` (and :data:`PACKED_ENGINES`
+   or :data:`SCAN_ENGINES` as appropriate) and teach
+   :func:`backend_ops_for` to build your ops object.
+3. Nothing else: the scan, the protocols, the experiment API and the CLI
+   all read the registry, and the conformance matrix picks the new name
+   up automatically.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from . import bitpack
+
+if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
+    from .base import LayeredProtocol
+
+__all__ = [
+    "ENGINES",
+    "PACKED_ENGINES",
+    "SCAN_ENGINES",
+    "BackendOps",
+    "ChunkResult",
+    "DenseOps",
+    "DENSE_OPS",
+    "KernelTrace",
+    "PackedOps",
+    "PACKED_OPS",
+    "ScanKernel",
+    "backend_ops_for",
+    "have_numba",
+]
+
+#: Every selectable simulation engine, fastest default first.  The single
+#: source of truth: the simulator validates against it, the experiment
+#: API's spec validation imports it, and the CLI builds ``--engine``
+#: choices from it.
+ENGINES: Tuple[str, ...] = ("bitpacked", "batched", "reference", "compiled")
+
+#: Engines that run the chunked event scan (everything but the per-packet
+#: reference loop).
+SCAN_ENGINES: Tuple[str, ...] = ("bitpacked", "batched", "compiled")
+
+#: Scan engines whose chunks carry bit-packed matrices.
+PACKED_ENGINES: Tuple[str, ...] = ("bitpacked", "compiled")
+
+_HAVE_NUMBA: Optional[bool] = None
+
+
+def have_numba() -> bool:
+    """Whether the optional :mod:`numba` dependency is importable."""
+    global _HAVE_NUMBA
+    if _HAVE_NUMBA is None:
+        _HAVE_NUMBA = importlib.util.find_spec("numba") is not None
+    return _HAVE_NUMBA
+
+
+@dataclass
+class ChunkResult:
+    """What one chunk of simulation did to the session.
+
+    ``received`` counts packets received per receiver over the chunk.  The
+    ``event_*`` arrays record every subscription-level change (one entry per
+    receiver per change, in increasing packet order per receiver): the
+    packet column it happened at, the receiver, and the levels before/after
+    — enough for the engine to reconstruct per-packet carriage and
+    leave-latency advertisements without re-simulating.
+    """
+
+    received: np.ndarray
+    event_cols: np.ndarray
+    event_receivers: np.ndarray
+    event_old_levels: np.ndarray
+    event_new_levels: np.ndarray
+
+    @property
+    def num_events(self) -> int:
+        return int(self.event_cols.size)
+
+
+def _concat(parts: List[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.zeros(0, dtype=np.int64)
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+class KernelTrace:
+    """Recording instrument for the kernel's protocol-visible decisions.
+
+    Attach one to a protocol as ``protocol.kernel_trace`` and every
+    :class:`ScanKernel` the protocol passes through records the ordered
+    sequence of kernel events — (receiver, absolute packet column, kind,
+    level before/after, cumulative receptions at record time) — plus the
+    running per-receiver reception credit.  The hook-trace equivalence
+    suite (``tests/protocols/test_kernel_trace.py``) asserts all backends
+    emit the *identical ordered event sequence*, not just identical final
+    payloads.
+
+    Credits are compared only cumulatively (the per-call bulk granularity
+    legitimately differs between a per-packet loop and a windowed scan);
+    the cumulative count at each event record is backend-invariant.
+    """
+
+    def __init__(self, num_receivers: int) -> None:
+        self.cum = np.zeros(num_receivers, dtype=np.int64)
+        self.events: List[tuple] = []
+
+    def credit(self, rows, counts) -> None:
+        np.add.at(self.cum, rows, counts)
+
+    def event(self, rows, cols, kind: str, old, new) -> None:
+        rows = np.atleast_1d(np.asarray(rows))
+        cols = np.broadcast_to(np.asarray(cols), rows.shape)
+        old = np.broadcast_to(np.asarray(old), rows.shape)
+        new = np.broadcast_to(np.asarray(new), rows.shape)
+        for i in range(rows.size):
+            r = int(rows[i])
+            self.events.append(
+                (r, int(cols[i]), kind, int(old[i]), int(new[i]), int(self.cum[r]))
+            )
+
+    def per_receiver(self) -> dict:
+        """Events grouped per receiver, ordered by packet column."""
+        grouped: dict = {}
+        for ev in sorted(self.events, key=lambda e: (e[0], e[1])):
+            grouped.setdefault(ev[0], []).append(ev[1:])
+        return grouped
+
+
+class ScanKernel:
+    """The backend-neutral protocol decision sequence for one chunk.
+
+    One instance advances one chunk: it owns the received-packet credit
+    array, the level-change event records, the hook dispatch order and the
+    level-step invariants.  The scan lowerings
+    (:func:`repro.protocols.scan.scan_chunk` and
+    :func:`~repro.protocols.scan.scan_chunk_bitpacked`) call
+    :meth:`credit` / :meth:`congest` / :meth:`join` at each drained event;
+    the per-packet reference loop drives the same transitions through
+    :meth:`packet_congested` / :meth:`apply_leaves` /
+    :meth:`packet_received` / :meth:`apply_joins`.  ``levels`` is mutated
+    in place (it is the caller's state array).
+    """
+
+    def __init__(
+        self,
+        protocol: "LayeredProtocol",
+        levels: np.ndarray,
+        num_receivers: int,
+        col_offset: int = 0,
+    ) -> None:
+        self.protocol = protocol
+        self.levels = levels
+        self.received = np.zeros(num_receivers, dtype=np.int64)
+        self.col_offset = col_offset
+        self.trace: Optional[KernelTrace] = getattr(protocol, "kernel_trace", None)
+        self._ev_cols: List[np.ndarray] = []
+        self._ev_rec: List[np.ndarray] = []
+        self._ev_old: List[np.ndarray] = []
+        self._ev_new: List[np.ndarray] = []
+
+    # ---- the first-event rule ------------------------------------------
+    @staticmethod
+    def first_event(has_cong, e_cong, has_join, e_join) -> np.ndarray:
+        """Which rows' first event is the congestion candidate.
+
+        Congestion and join columns are disjoint per receiver, so the
+        earlier of the two (when both exist) is the true first event.
+        """
+        return has_cong & (~has_join | (e_cong < e_join))
+
+    # ---- scan-side transitions -----------------------------------------
+    def credit(self, rows, counts, hook_counts=None) -> None:
+        """Credit bulk receptions and mirror them to the protocol.
+
+        ``hook_counts`` lets a lowering whose ``counts`` already include a
+        join-triggering packet report the strictly-before bulk to the
+        protocol hook (the join packet's own credit reaches the protocol
+        through ``scan_joined`` semantics instead).
+        """
+        self.received[rows] += counts
+        self.protocol.scan_bulk_received(
+            rows, counts if hook_counts is None else hook_counts
+        )
+        if self.trace is not None:
+            self.trace.credit(rows, counts)
+
+    def congest(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        """Apply a congestion signal at ``cols[i]`` to receiver ``rows[i]``.
+
+        Hook order and the leave invariant (never below level 1) are owned
+        here: ``scan_congested`` for every signalled row, then the level
+        step and ``scan_left`` for the rows above the floor.
+        """
+        if rows.size == 0:
+            return
+        levels = self.levels
+        self.protocol.scan_congested(rows)
+        leave = levels[rows] > 1
+        lidx = rows[leave]
+        if self.trace is not None:
+            old = levels[rows]
+            self.trace.event(
+                rows, cols.astype(np.int64, copy=False) + self.col_offset,
+                "congest", old, old - leave,
+            )
+        if lidx.size:
+            self._ev_cols.append(cols[leave].astype(np.int64, copy=False))
+            self._ev_rec.append(lidx)
+            self._ev_old.append(levels[lidx])
+            levels[lidx] -= 1
+            self._ev_new.append(levels[lidx])
+            self.protocol.scan_left(lidx, levels[lidx])
+
+    def join(self, rows: np.ndarray, cols: np.ndarray, top: int,
+             credit_join: bool = False) -> int:
+        """Apply a join at ``cols[i]`` to receiver ``rows[i]``.
+
+        ``credit_join`` additionally credits the join-triggering packet
+        itself (the dense lowering's bulk counts are strictly-before; the
+        packed lowerings fold the join bit into the bulk credit).  Returns
+        the earliest column whose join outgrew ``top`` (the window's layer
+        slice) — the caller must truncate its window there — or ``-1``.
+        """
+        if rows.size == 0:
+            return -1
+        levels = self.levels
+        if credit_join:
+            self.received[rows] += 1
+            if self.trace is not None:
+                self.trace.credit(rows, 1)
+        self.protocol.scan_joined(rows, levels[rows] + 1)
+        jcols = cols.astype(np.int64, copy=False)
+        self._ev_cols.append(jcols)
+        self._ev_rec.append(rows)
+        old = levels[rows]
+        self._ev_old.append(old)
+        levels[rows] += 1
+        new = levels[rows]
+        self._ev_new.append(new)
+        if self.trace is not None:
+            self.trace.event(rows, jcols + self.col_offset, "join", old, new)
+        raised = new > top
+        if raised.any():
+            return int(jcols[raised].min())
+        return -1
+
+    def result(self) -> ChunkResult:
+        """The chunk's credit totals and level-change event records."""
+        return ChunkResult(
+            received=self.received,
+            event_cols=_concat(self._ev_cols),
+            event_receivers=_concat(self._ev_rec),
+            event_old_levels=_concat(self._ev_old),
+            event_new_levels=_concat(self._ev_new),
+        )
+
+    # ---- per-packet (reference-loop) transitions ------------------------
+    def packet_congested(self, congested: np.ndarray, col: int,
+                         packet) -> np.ndarray:
+        """One packet's congestion step: hooks plus the leave invariant.
+
+        Returns the leaver mask (the protocol's reaction clamped above the
+        level floor); the caller applies engine-side bookkeeping (leave
+        advertisements) before :meth:`apply_leaves`.
+        """
+        protocol = self.protocol
+        levels = self.levels
+        protocol.on_congestion(congested, levels)
+        leavers = protocol.congestion_leaves(congested, levels, packet)
+        leavers = leavers & (levels > 1)
+        if self.trace is not None:
+            rows = congested.nonzero()[0]
+            old = levels[rows]
+            self.trace.event(rows, col, "congest", old, old - leavers[rows])
+        return leavers
+
+    def apply_leaves(self, leavers: np.ndarray) -> None:
+        np.subtract(self.levels, 1, out=self.levels, where=leavers)
+        self.protocol.on_leave(leavers, self.levels)
+
+    def packet_received(self, receiving: np.ndarray, col: int, top: int,
+                        packet) -> np.ndarray:
+        """One packet's reception step: credit, hooks, the join invariant.
+
+        Returns the joiner mask (the protocol's join decision clamped
+        below the layer top ``top``).
+        """
+        protocol = self.protocol
+        levels = self.levels
+        if self.trace is not None:
+            self.trace.credit(receiving.nonzero()[0], 1)
+        joins = protocol.on_packet_received(receiving, levels, packet)
+        joins = joins & (levels < top)
+        if self.trace is not None and joins.any():
+            rows = joins.nonzero()[0]
+            old = levels[rows]
+            self.trace.event(rows, col, "join", old, old + 1)
+        return joins
+
+    def apply_joins(self, joins: np.ndarray) -> None:
+        np.add(self.levels, 1, out=self.levels, where=joins)
+        self.protocol.on_join(joins, self.levels)
+
+
+class BackendOps:
+    """Data-representation primitives one engine lowers the kernel with.
+
+    The kernel is representation-blind: everything it needs from a
+    backend is "find the first event candidate", "count receptions in a
+    range" and "rebuild a row's window state" — the narrow surfaces below.
+    Subclasses must be *bit-exact* (same columns, same counts) because the
+    cross-engine conformance matrix pins the kernel's event sequence.
+    """
+
+    #: Representation family: ``"dense"`` boolean matrices or ``"packed"``
+    #: uint64 words.
+    kind = "abstract"
+
+
+class DenseOps(BackendOps):
+    """Dense boolean receiver-major matrices (``engine="batched"``)."""
+
+    kind = "dense"
+
+    @staticmethod
+    def first_true(matrix: np.ndarray):
+        """First true column per row: ``(has, window_index)``."""
+        idx = matrix.argmax(axis=1)
+        has = matrix[np.arange(matrix.shape[0]), idx]
+        return has, idx
+
+    @staticmethod
+    def row_counts(matrix: np.ndarray) -> np.ndarray:
+        """True cells per row (int64)."""
+        return matrix.sum(axis=1, dtype=np.int64)
+
+    @staticmethod
+    def counts_before(rows_matrix: np.ndarray, iota: np.ndarray,
+                      stops: np.ndarray) -> np.ndarray:
+        """True cells per row at window indices strictly before ``stops``."""
+        return (
+            rows_matrix & (iota[None, :] < stops[:, None].astype(np.int32))
+        ).sum(axis=1, dtype=np.int64)
+
+    @staticmethod
+    def range_counts(matrix: np.ndarray, cols: np.ndarray,
+                     starts: np.ndarray, stop: int) -> np.ndarray:
+        """True cells per row at columns in ``[starts[r], stop)``."""
+        return (
+            matrix
+            & (cols[None, :] < np.int32(stop))
+            & (cols[None, :] >= starts[:, None])
+        ).sum(axis=1, dtype=np.int64)
+
+
+class PackedOps(BackendOps):
+    """uint64-packed words + popcount reductions (``engine="bitpacked"``).
+
+    Thin delegation to :mod:`repro.protocols.bitpack`, plus two fused
+    primitives (:meth:`gather_andnot_counts`, :meth:`chain_rebuild`) whose
+    NumPy compositions are the packed drain's hottest temporaries — they
+    are exactly what :class:`~repro.protocols.compiled.CompiledOps`
+    re-lowers as single-pass jitted loops.
+    """
+
+    kind = "packed"
+
+    word_base = staticmethod(bitpack.word_base)
+    start_masks = staticmethod(bitpack.start_masks)
+    tail_mask = staticmethod(bitpack.tail_mask)
+    first_set = staticmethod(bitpack.first_set)
+    row_counts = staticmethod(bitpack.row_counts)
+    prefix_counts = staticmethod(bitpack.prefix_counts)
+    counts_between = staticmethod(bitpack.counts_between)
+
+    @staticmethod
+    def gather_andnot_counts(recv: np.ndarray, hit: np.ndarray,
+                             ahead: np.ndarray) -> np.ndarray:
+        """Per hit row, count reception bits *not* selected by ``ahead``.
+
+        The generation drain's consumed-bit credit: ``ahead`` masks the
+        columns past each row's event, so the complement popcount is the
+        receptions up to and including the event column.
+        """
+        consumed = recv[hit]
+        consumed &= ~ahead
+        return bitpack.row_counts(consumed)
+
+    @staticmethod
+    def chain_rebuild(
+        masks_here: np.ndarray,
+        w_off: int,
+        levels_rows: np.ndarray,
+        pos_rows: np.ndarray,
+        edge_word: np.uint64,
+        base_ws: int,
+        bases_ws: np.ndarray,
+        ok_rows: np.ndarray,
+        recv_hit: np.ndarray,
+        chain_l: np.ndarray,
+        ws: int,
+    ):
+        """Rebuild chained rows' packed suffix after a consumed event.
+
+        Recomputes each chained row's reception words at suffix word
+        index ``ws`` onward — layer mask under the row's new level
+        (``masks_here[level, w_off:]``), masked below the row's new
+        position and at the window edge — writes them back into
+        ``recv_hit`` in place, and returns the refreshed first-congestion
+        candidate ``(has, col)`` for the chained rows.  ``ok_rows`` holds
+        the chained rows' receivability suffix aligned with ``ws``.
+        """
+        num_words = recv_hit.shape[1] - ws
+        front = bitpack.start_masks(pos_rows, base_ws, num_words, bases_ws)
+        sub_c = masks_here[levels_rows, w_off:]
+        sub_c &= front
+        sub_c[:, -1] &= edge_word
+        recv_c = sub_c & ok_rows
+        cong_c = sub_c
+        cong_c ^= recv_c
+        recv_hit[chain_l, ws:] = recv_c
+        return bitpack.first_set(cong_c, base_ws)
+
+
+#: Shared backend singletons (the ops objects are stateless).
+DENSE_OPS = DenseOps()
+PACKED_OPS = PackedOps()
+
+
+def backend_ops_for(engine: str) -> BackendOps:
+    """The ops object an engine lowers the kernel with.
+
+    ``engine="compiled"`` degrades gracefully: when :mod:`numba` is not
+    installed the packed NumPy primitives serve in its place (bit-identical
+    results, bitpacked speed), so specs naming the compiled engine stay
+    runnable everywhere.
+    """
+    if engine in ("batched", "reference"):
+        return DENSE_OPS
+    if engine == "bitpacked":
+        return PACKED_OPS
+    if engine == "compiled":
+        try:
+            from .compiled import COMPILED_OPS
+            return COMPILED_OPS
+        except ImportError:
+            return PACKED_OPS
+    raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")

@@ -79,11 +79,18 @@ scenarios across all three engines.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from . import bitpack
+from .kernel import (
+    ChunkResult,
+    DENSE_OPS,
+    PACKED_OPS,
+    BackendOps,
+    ScanKernel,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type annotations
     from .base import LayeredProtocol
@@ -147,6 +154,11 @@ class UnitChunk:
         either the packed or the dense representation, never both;
         :meth:`~repro.protocols.base.LayeredProtocol.step_chunk`
         dispatches on which one is present.
+    ops:
+        The :class:`~repro.protocols.kernel.BackendOps` the scan lowers
+        its reductions with — set by the engine to match the chunk's
+        representation (``None`` falls back to the representation's
+        default NumPy ops).
     """
 
     start_unit: int
@@ -165,47 +177,18 @@ class UnitChunk:
     receivable: Optional[np.ndarray] = None
     receivable_packed: Optional[np.ndarray] = None
     layer_masks_packed: Optional[np.ndarray] = None
+    ops: Optional[BackendOps] = None
 
     @property
     def num_packets(self) -> int:
         return int(self.layers.size)
 
 
-@dataclass
-class ChunkResult:
-    """What one chunk of simulation did to the session.
-
-    ``received`` counts packets received per receiver over the chunk.  The
-    ``event_*`` arrays record every subscription-level change (one entry per
-    receiver per change, in increasing packet order per receiver): the
-    packet column it happened at, the receiver, and the levels before/after
-    — enough for the engine to reconstruct per-packet carriage and
-    leave-latency advertisements without re-simulating.
-    """
-
-    received: np.ndarray
-    event_cols: np.ndarray
-    event_receivers: np.ndarray
-    event_old_levels: np.ndarray
-    event_new_levels: np.ndarray
-
-    @property
-    def num_events(self) -> int:
-        return int(self.event_cols.size)
-
-
-def _concat(parts: List[np.ndarray]) -> np.ndarray:
-    if not parts:
-        return np.zeros(0, dtype=np.int64)
-    if len(parts) == 1:
-        return parts[0]
-    return np.concatenate(parts)
-
-
 def scan_chunk(
     protocol: "LayeredProtocol",
     chunk: UnitChunk,
     levels: np.ndarray,
+    ops: Optional[BackendOps] = None,
 ) -> ChunkResult:
     """Advance ``levels`` (in place) through one chunk; see module docstring.
 
@@ -219,17 +202,18 @@ def scan_chunk(
     :meth:`~repro.protocols.base.LayeredProtocol.scan_joined`.
     """
     num_receivers = levels.size
+    if ops is None:
+        ops = chunk.ops if chunk.ops is not None else DENSE_OPS
 
     # Receiver-local reception outcome if subscribed: neither link lost it.
     receivable = chunk.receivable
     if receivable is None:
         receivable = ~chunk.independent_lost & ~chunk.shared_lost[None, :]
 
-    received_counts = np.zeros(num_receivers, dtype=np.int64)
-    ev_cols: List[np.ndarray] = []
-    ev_rec: List[np.ndarray] = []
-    ev_old: List[np.ndarray] = []
-    ev_new: List[np.ndarray] = []
+    kernel = ScanKernel(
+        protocol, levels, num_receivers,
+        col_offset=chunk.start_unit * chunk.packets_per_unit,
+    )
 
     n = chunk.num_packets
     window = chunk.scan_window or n
@@ -293,59 +277,32 @@ def scan_chunk(
         # set instead of the full receiver x window matrix.
         iota = np.arange(num_cols, dtype=np.int32)
         truncate_at = -1
-        e_cong = cong.argmax(axis=1)
-        has_cong = cong[everyone, e_cong]
+        has_cong, e_cong = ops.first_true(cong)
         while True:
             has_event = has_cong | has_join
             if not has_event.any():
                 break
-            # Congestion and join columns are disjoint per receiver, so the
-            # earlier of the two (when both exist) is the true first event.
-            was_cong = has_cong & (~has_join | (e_cong < e_join))
+            was_cong = kernel.first_event(has_cong, e_cong, has_join, e_join)
             e_slice = np.where(was_cong, e_cong, e_join)
             hit = np.nonzero(has_event)[0]
             e_hit = e_slice[hit]
             event_cols = cols[e_hit]
             # Receptions strictly before each event column (rows are
-            # already masked below each receiver's position).
-            bulk = (recv[hit] & (iota[None, :] < e_hit[:, None].astype(np.int32))).sum(
-                axis=1, dtype=np.int64
-            )
-            received_counts[hit] += bulk
-            protocol.scan_bulk_received(hit, bulk)
+            # already masked below each receiver's position); the
+            # join-triggering packet itself is credited by the kernel.
+            bulk = ops.counts_before(recv[hit], iota, e_hit)
+            kernel.credit(hit, bulk)
             hit_cong = was_cong[hit]
-            cidx = hit[hit_cong]
-            if cidx.size:
-                protocol.scan_congested(cidx)
-                leave = levels[cidx] > 1
-                lidx = cidx[leave]
-                if lidx.size:
-                    ev_cols.append(event_cols[hit_cong][leave].astype(np.int64))
-                    ev_rec.append(lidx)
-                    ev_old.append(levels[lidx])
-                    levels[lidx] -= 1
-                    ev_new.append(levels[lidx])
-                    protocol.scan_left(lidx, levels[lidx])
-            jidx = hit[~hit_cong]
-            if jidx.size:
-                # The join-triggering packet was itself received.
-                received_counts[jidx] += 1
-                protocol.scan_joined(jidx, levels[jidx] + 1)
-                join_cols = event_cols[~hit_cong]
-                ev_cols.append(join_cols.astype(np.int64))
-                ev_rec.append(jidx)
-                ev_old.append(levels[jidx])
-                levels[jidx] += 1
-                ev_new.append(levels[jidx])
-                raised = levels[jidx] > top
-                if raised.any():
-                    # A receiver outgrew the window's layer slice: packets
-                    # above ``top`` are missing from these columns, so its
-                    # scan must resume in a wider window.  Close this one
-                    # *before* the first such join — the joiner itself has
-                    # consumed its column, while receivers whose first event
-                    # came earlier still need their look at it.
-                    truncate_at = int(join_cols[raised].min())
+            kernel.congest(hit[hit_cong], event_cols[hit_cong])
+            # A join whose receiver outgrew the window's layer slice closes
+            # the window: packets above ``top`` are missing from these
+            # columns, so its scan must resume in a wider window — *before*
+            # the first such join, because the joiner itself has consumed
+            # its column while receivers whose first event came earlier
+            # still need their look at it.
+            truncate_at = kernel.join(
+                hit[~hit_cong], event_cols[~hit_cong], top, credit_join=True
+            )
             pos[hit] = event_cols + 1
             if truncate_at >= 0:
                 # Close the window at the earliest hit position: receivers
@@ -365,15 +322,14 @@ def scan_chunk(
             # event).  A window's worth of correlated-loss columns thus
             # drains in one pass — one segment refresh and one join-hook
             # call per *chain* instead of per event.
-            chain = cidx
+            chain = hit[hit_cong]
             while chain.size:
                 sub_c = layer_row <= levels[chain].astype(np.int16)[:, None]
                 alive = cols[None, :] >= pos[chain][:, None]
                 ok_c = ok[chain]
                 cand = sub_c & ~ok_c
                 cand &= alive
-                idx = cand.argmax(axis=1)
-                has_next = cand[np.arange(chain.size), idx]
+                has_next, idx = ops.first_true(cand)
                 if not has_next.any():
                     break
                 chain = chain[has_next]
@@ -382,7 +338,7 @@ def scan_chunk(
                 gap = sub_c[has_next] & ok_c[has_next]
                 gap &= alive[has_next]
                 gap &= iota[None, :] < idx[:, None]
-                n_gap = gap.sum(axis=1, dtype=np.int64)
+                n_gap = ops.row_counts(gap)
                 may_join = protocol.scan_chain_gap(
                     chunk, chain, levels[chain], n_gap,
                     pos[chain].astype(np.int64) - 1, nxt,
@@ -394,19 +350,8 @@ def scan_chunk(
                 if chain.size == 0:
                     break
                 nxt = nxt[keep]
-                gap_bulk = n_gap[keep]
-                received_counts[chain] += gap_bulk
-                protocol.scan_bulk_received(chain, gap_bulk)
-                protocol.scan_congested(chain)
-                leave = levels[chain] > 1
-                lidx = chain[leave]
-                if lidx.size:
-                    ev_cols.append(nxt[leave])
-                    ev_rec.append(lidx)
-                    ev_old.append(levels[lidx])
-                    levels[lidx] -= 1
-                    ev_new.append(levels[lidx])
-                    protocol.scan_left(lidx, levels[lidx])
+                kernel.credit(chain, n_gap[keep])
+                kernel.congest(chain, nxt)
                 pos[chain] = nxt + 1
             # ---- fused segment refresh ------------------------------
             # Every hit row's scan resumes at or beyond the earliest
@@ -431,9 +376,8 @@ def scan_chunk(
             cong_hit &= valid_hit
             recv[hit, resume:] = recv_hit
             cong[hit, resume:] = cong_hit
-            segment_cong = cong_hit.argmax(axis=1)
+            has_cong[hit], segment_cong = ops.first_true(cong_hit)
             e_cong[hit] = resume + segment_cong
-            has_cong[hit] = cong_hit[np.arange(hit.size), segment_cong]
             join = protocol.scan_first_join(
                 chunk, cols[resume:], hit, levels[hit], recv_hit, pos[hit], fresh=False
             )
@@ -448,31 +392,21 @@ def scan_chunk(
             # Hit receivers' rows are stale (the loop broke before their
             # refresh); their position masks keep their contribution empty,
             # which is exact because the window closes at the earliest hit.
-            closing = (
-                recv
-                & (cols[None, :] < np.int32(window_end))
-                & (cols[None, :] >= pos[:, None])
-            ).sum(axis=1, dtype=np.int64)
+            closing = ops.range_counts(recv, cols, pos, window_end)
         else:
-            closing = recv.sum(axis=1, dtype=np.int64)
-        received_counts += closing
-        protocol.scan_bulk_received(everyone, closing)
+            closing = ops.row_counts(recv)
+        kernel.credit(everyone, closing)
         np.maximum(pos, window_end, out=pos)
         lo = window_end
 
-    return ChunkResult(
-        received=received_counts,
-        event_cols=_concat(ev_cols),
-        event_receivers=_concat(ev_rec),
-        event_old_levels=_concat(ev_old),
-        event_new_levels=_concat(ev_new),
-    )
+    return kernel.result()
 
 
 def scan_chunk_bitpacked(
     protocol: "LayeredProtocol",
     chunk: UnitChunk,
     levels: np.ndarray,
+    ops: Optional[BackendOps] = None,
 ) -> ChunkResult:
     """Advance ``levels`` through one chunk on bit-packed matrices.
 
@@ -492,12 +426,13 @@ def scan_chunk_bitpacked(
     okp = chunk.receivable_packed
     level_masks = chunk.layer_masks_packed
     assert okp is not None and level_masks is not None
+    if ops is None:
+        ops = chunk.ops if chunk.ops is not None else PACKED_OPS
 
-    received_counts = np.zeros(num_receivers, dtype=np.int64)
-    ev_cols: List[np.ndarray] = []
-    ev_rec: List[np.ndarray] = []
-    ev_old: List[np.ndarray] = []
-    ev_new: List[np.ndarray] = []
+    kernel = ScanKernel(
+        protocol, levels, num_receivers,
+        col_offset=chunk.start_unit * chunk.packets_per_unit,
+    )
 
     n = chunk.num_packets
     window = chunk.scan_window or n
@@ -535,7 +470,7 @@ def scan_chunk_bitpacked(
         w_hi = (window_end + 63) >> 6
         base_col = w_lo << 6
         num_words = w_hi - w_lo
-        bases = bitpack.word_base(base_col, num_words)
+        bases = ops.word_base(base_col, num_words)
         ok = okp[:, w_lo:w_hi]
         masks_here = level_masks[:, w_lo:w_hi]
         sub = masks_here[levels]
@@ -552,7 +487,7 @@ def scan_chunk_bitpacked(
             if head:
                 sub[:, 0] &= _WORD_ONES << np.uint64(head)
         else:
-            sub &= bitpack.start_masks(np.maximum(pos, lo), base_col, num_words, bases)
+            sub &= ops.start_masks(np.maximum(pos, lo), base_col, num_words, bases)
         sub[:, -1] &= edge_word
         recv = sub & ok
         cong = sub
@@ -564,7 +499,7 @@ def scan_chunk_bitpacked(
         # rows back.  The cached candidates also feed the join hook, which
         # may skip rank-selecting joins the scan would discard (a join at
         # or past a row's congestion candidate is never consumed).
-        has_cong, e_cong = bitpack.first_set(cong, base_col)
+        has_cong, e_cong = ops.first_set(cong, base_col)
         view = bitpack.PackedWindow(recv, base_col, lo, window_end, num_obs, last_obs)
         join = protocol.scan_first_join_packed(
             chunk, view, everyone, levels, pos, fresh=True, cong=(has_cong, e_cong)
@@ -581,7 +516,7 @@ def scan_chunk_bitpacked(
             hit = (has_cong | has_join).nonzero()[0]
             if hit.size == 0:
                 break
-            was_cong = has_cong & (~has_join | (e_cong < e_join))
+            was_cong = kernel.first_event(has_cong, e_cong, has_join, e_join)
             e_col = np.where(was_cong, e_cong, e_join)
             event_cols = e_col[hit]
             hit_cong = was_cong[hit]
@@ -589,46 +524,22 @@ def scan_chunk_bitpacked(
             # One mask build serves both sides of the event: its complement
             # selects the consumed bits (receptions up to and including the
             # event column), the mask itself the refresh range beyond it.
-            ahead = bitpack.start_masks(event_cols + 1, base_col, num_words, bases)
-            consumed = recv[hit]
-            consumed &= ~ahead
-            credited = bitpack.row_counts(consumed)
+            ahead = ops.start_masks(event_cols + 1, base_col, num_words, bases)
+            credited = ops.gather_andnot_counts(recv, hit, ahead)
             # ``credited`` includes the join-triggering packet itself (a
             # received bit at the event column); congestion columns were
             # not received, so their rows credit strictly-before bits only.
-            received_counts[hit] += credited
             jidx = hit[join_rows]
             if jidx.size:
                 bulk = credited.copy()
                 bulk[join_rows] -= 1
             else:
                 bulk = credited
-            protocol.scan_bulk_received(hit, bulk)
-            cidx = hit[hit_cong]
-            if cidx.size:
-                protocol.scan_congested(cidx)
-                leave = levels[cidx] > 1
-                lidx = cidx[leave]
-                if lidx.size:
-                    ev_cols.append(event_cols[hit_cong][leave])
-                    ev_rec.append(lidx)
-                    ev_old.append(levels[lidx])
-                    levels[lidx] -= 1
-                    ev_new.append(levels[lidx])
-                    protocol.scan_left(lidx, levels[lidx])
-            if jidx.size:
-                protocol.scan_joined(jidx, levels[jidx] + 1)
-                join_cols = event_cols[join_rows]
-                ev_cols.append(join_cols)
-                ev_rec.append(jidx)
-                ev_old.append(levels[jidx])
-                levels[jidx] += 1
-                ev_new.append(levels[jidx])
-                raised = levels[jidx] > top
-                if raised.any():
-                    # A receiver outgrew the window's layer slice; close the
-                    # window before the first such join (see scan_chunk).
-                    truncate_at = int(join_cols[raised].min())
+            kernel.credit(hit, credited, bulk)
+            kernel.congest(hit[hit_cong], event_cols[hit_cong])
+            # A receiver whose join outgrew the window's layer slice closes
+            # the window before the first such join (see scan_chunk).
+            truncate_at = kernel.join(jidx, event_cols[join_rows], top)
             pos[hit] = event_cols + 1
             if truncate_at >= 0:
                 window_end = int(pos[hit].min())
@@ -659,7 +570,7 @@ def scan_chunk_bitpacked(
             recv_hit = sub_hit & ok_hit
             cong_hit = sub_hit
             cong_hit ^= recv_hit
-            has_c, e_c = bitpack.first_set(cong_hit, base_w0)
+            has_c, e_c = ops.first_set(cong_hit, base_w0)
             if protocol.supports_chain_join:
                 # ---- exact multi-event chain drain ------------------
                 # Every hit row's join-progress state was freshly reset or
@@ -693,7 +604,7 @@ def scan_chunk_bitpacked(
                     bound = np.where(hc, e_c[chain_l], window_end)
                     # Bits below each row's position are already cleared, so
                     # the gap count is one prefix popcount at the bound.
-                    n_gap = bitpack.prefix_counts(words_g, base_ws, bound)
+                    n_gap = ops.prefix_counts(words_g, base_ws, bound)
                     has_j, j_col, j_bulk = protocol.scan_chain_join_packed(
                         chunk, words_g, base_ws, rows_g,
                         levels[rows_g], n_gap, pos[rows_g] - 1, bound,
@@ -717,52 +628,23 @@ def scan_chunk_bitpacked(
                     # columns were not received, so their rows credit the
                     # gap's strictly-before receptions only.
                     bulk_c = np.where(has_j, j_bulk, n_gap)
-                    received_counts[rows_g] += bulk_c
-                    protocol.scan_bulk_received(rows_g, bulk_c - has_j)
-                    crows = rows_g[~has_j]
-                    if crows.size:
-                        protocol.scan_congested(crows)
-                        leave = levels[crows] > 1
-                        lidx = crows[leave]
-                        if lidx.size:
-                            ev_cols.append(event[~has_j][leave])
-                            ev_rec.append(lidx)
-                            ev_old.append(levels[lidx])
-                            levels[lidx] -= 1
-                            ev_new.append(levels[lidx])
-                            protocol.scan_left(lidx, levels[lidx])
-                    jrows = rows_g[has_j]
-                    if jrows.size:
-                        protocol.scan_joined(jrows, levels[jrows] + 1)
-                        jcols = event[has_j]
-                        ev_cols.append(jcols)
-                        ev_rec.append(jrows)
-                        ev_old.append(levels[jrows])
-                        levels[jrows] += 1
-                        ev_new.append(levels[jrows])
-                        raised = levels[jrows] > top
-                        if raised.any():
-                            # A receiver outgrew the window's layer slice;
-                            # close the window before the first such join
-                            # (see scan_chunk).
-                            truncate_at = int(jcols[raised].min())
+                    kernel.credit(rows_g, bulk_c, bulk_c - has_j)
+                    kernel.congest(rows_g[~has_j], event[~has_j])
+                    # A receiver whose join outgrew the window's layer slice
+                    # closes the window before the first such join (see
+                    # scan_chunk).
+                    truncate_at = kernel.join(rows_g[has_j], event[has_j], top)
                     pos[rows_g] = event + 1
                     if truncate_at >= 0:
                         break
                     # Rebuild the consumed rows' segment state under their
                     # new level and position — suffix words only; the words
                     # below the slid base stay zero for these rows.
-                    front = bitpack.start_masks(
-                        pos[rows_g], base_ws, num_words_s - ws, bases_s[ws:]
+                    has_c[chain_l], e_c[chain_l] = ops.chain_rebuild(
+                        masks_here, w0 + ws, levels[rows_g], pos[rows_g],
+                        edge_word, base_ws, bases_s[ws:],
+                        ok_hit[:, ws:][chain_l], recv_hit, chain_l, ws,
                     )
-                    sub_c = masks_here[levels[rows_g], w0 + ws:]
-                    sub_c &= front
-                    sub_c[:, -1] &= edge_word
-                    recv_c = sub_c & ok_hit[:, ws:][chain_l]
-                    cong_c = sub_c
-                    cong_c ^= recv_c
-                    recv_hit[chain_l, ws:] = recv_c
-                    has_c[chain_l], e_c[chain_l] = bitpack.first_set(cong_c, base_ws)
                 if truncate_at >= 0:
                     window_end = int(pos[hit].min())
                     break
@@ -789,7 +671,7 @@ def scan_chunk_bitpacked(
             while chain_l.size:
                 rows_g = hit[chain_l]
                 nxt = e_c[chain_l]
-                n_gap = bitpack.counts_between(
+                n_gap = ops.counts_between(
                     recv_hit[chain_l], base_w0, pos[rows_g], nxt, bases_s
                 )
                 may_join = protocol.scan_chain_gap(
@@ -803,31 +685,15 @@ def scan_chunk_bitpacked(
                     break
                 rows_g = hit[chain_l]
                 nxt = nxt[keep]
-                gap_bulk = n_gap[keep]
-                received_counts[rows_g] += gap_bulk
-                protocol.scan_bulk_received(rows_g, gap_bulk)
-                protocol.scan_congested(rows_g)
-                leave = levels[rows_g] > 1
-                lidx = rows_g[leave]
-                if lidx.size:
-                    ev_cols.append(nxt[leave])
-                    ev_rec.append(lidx)
-                    ev_old.append(levels[lidx])
-                    levels[lidx] -= 1
-                    ev_new.append(levels[lidx])
-                    protocol.scan_left(lidx, levels[lidx])
+                kernel.credit(rows_g, n_gap[keep])
+                kernel.congest(rows_g, nxt)
                 pos[rows_g] = nxt + 1
                 # Rebuild just the chained rows' segment state under their
                 # new level and position, keeping the candidate cache hot.
-                front = bitpack.start_masks(pos[rows_g], base_w0, num_words - w0, bases_s)
-                sub_c = masks_here[levels[rows_g], w0:]
-                sub_c &= front
-                sub_c[:, -1] &= edge_word
-                recv_c = sub_c & ok_hit[chain_l]
-                cong_c = sub_c
-                cong_c ^= recv_c
-                recv_hit[chain_l] = recv_c
-                has_c[chain_l], e_c[chain_l] = bitpack.first_set(cong_c, base_w0)
+                has_c[chain_l], e_c[chain_l] = ops.chain_rebuild(
+                    masks_here, w0, levels[rows_g], pos[rows_g], edge_word,
+                    base_w0, bases_s, ok_hit[chain_l], recv_hit, chain_l, 0,
+                )
                 chain_l = chain_l[has_c[chain_l]]
             # ---- write back + one join-hook call per generation -----
             if w0:
@@ -858,22 +724,15 @@ def scan_chunk_bitpacked(
             # Hit receivers' rows are stale (the loop broke before their
             # refresh); re-applying the position masks keeps their
             # contribution empty, exactly as in the dense scan.
-            closing_mask = bitpack.start_masks(
+            closing_mask = ops.start_masks(
                 np.maximum(pos, lo), base_col, num_words, bases
             )
-            closing_mask &= bitpack.tail_mask(window_end, base_col, num_words, bases)
-            closing = bitpack.row_counts(recv & closing_mask)
+            closing_mask &= ops.tail_mask(window_end, base_col, num_words, bases)
+            closing = ops.row_counts(recv & closing_mask)
         else:
-            closing = bitpack.row_counts(recv)
-        received_counts += closing
-        protocol.scan_bulk_received(everyone, closing)
+            closing = ops.row_counts(recv)
+        kernel.credit(everyone, closing)
         np.maximum(pos, window_end, out=pos)
         lo = window_end
 
-    return ChunkResult(
-        received=received_counts,
-        event_cols=_concat(ev_cols),
-        event_receivers=_concat(ev_rec),
-        event_old_levels=_concat(ev_old),
-        event_new_levels=_concat(ev_new),
-    )
+    return kernel.result()

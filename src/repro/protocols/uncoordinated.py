@@ -57,6 +57,7 @@ class UncoordinatedProtocol(LayeredProtocol):
     supports_chain_join = True
 
     def _reset_state(self) -> None:
+        super()._reset_state()
         self._streams: Optional["ReceiverDrawStreams"] = None
         self._countdown = np.full(self.num_receivers, _TOP_LEVEL_SENTINEL)
         # log(1 - q_l) per level (index 0 unused); level 1 has q = 1, whose
@@ -105,6 +106,12 @@ class UncoordinatedProtocol(LayeredProtocol):
     # ------------------------------------------------------------------
     # per-packet hooks (reference engine / direct drive)
     # ------------------------------------------------------------------
+    def on_congestion(self, receivers: np.ndarray, levels: np.ndarray) -> None:
+        # The geometric countdown is memoryless: congestion alone does not
+        # re-arm it (only the leave it may cause does, via on_leave), so the
+        # base counter reset is deliberately suppressed.
+        pass
+
     def on_packet_received(
         self,
         received: np.ndarray,
@@ -234,6 +241,10 @@ class UncoordinatedProtocol(LayeredProtocol):
 
     def scan_bulk_received(self, receivers: np.ndarray, counts: np.ndarray) -> None:
         self._countdown[receivers] -= counts
+
+    def scan_congested(self, receivers: np.ndarray) -> None:
+        # Mirror of on_congestion: the countdown survives congestion.
+        pass
 
     def scan_joined(self, receivers: np.ndarray, levels_receivers: np.ndarray) -> None:
         self._rearm(receivers, levels_receivers)

@@ -77,6 +77,13 @@ from ..errors import SimulationError
 from ..layering.layers import ExponentialLayerScheme, LayerScheme
 from ..protocols import bitpack
 from ..protocols.base import LayeredProtocol
+from ..protocols.kernel import (
+    ENGINES,
+    PACKED_ENGINES,
+    SCAN_ENGINES,
+    ScanKernel,
+    backend_ops_for,
+)
 from ..protocols.scan import UnitChunk
 from .loss import BernoulliLoss, LossProcess, NoLoss
 from .packets import PacketSchedule
@@ -102,17 +109,10 @@ __all__ = [
 #: versions.
 RNG_SCHEME_VERSION = 4
 
-#: Valid ``engine=`` arguments: the time-unit-batched event scan (default),
-#: the per-packet reference loop it is equivalent to, and the bit-packed
-#: variant of the scan (uint64 words + popcount reductions, see
-#: :mod:`repro.protocols.bitpack`).  All three produce bit-for-bit
-#: identical results for any seed.  Mirrored by the import-light
-#: ``repro.experiments.api.ENGINES`` (pinned equal by
-#: ``tests/experiments/test_api.py``).
-ENGINES = ("bitpacked", "batched", "reference")
-
-#: Engines that run the chunked scan (everything except the reference loop).
-_SCAN_ENGINES = ("bitpacked", "batched")
+# The engine registry (``ENGINES``, plus the scan/packed subsets and the
+# per-engine backend-ops factory) lives in :mod:`repro.protocols.kernel` —
+# the single source of truth shared with the experiment API and the CLI —
+# and is re-exported here for backward compatibility.
 
 IndependentLoss = Union[LossProcess, Sequence[LossProcess]]
 
@@ -275,6 +275,10 @@ class LayeredSessionSimulator:
         if chunk_units < 1:
             raise SimulationError(f"chunk_units must be positive, got {chunk_units}")
         self.engine = engine
+        #: The backend primitives this engine lowers the scan kernel with
+        #: (``engine="compiled"`` resolves to the NumPy packed primitives
+        #: when numba is absent — bit-identical, bitpacked speed).
+        self.backend_ops = backend_ops_for(engine)
         self.chunk_units = int(chunk_units)
         #: Scan-window width in time units (internal performance knob of the
         #: batched engine; 0 scans each chunk in one unbounded window).
@@ -472,7 +476,7 @@ class LayeredSessionSimulator:
             self.num_receivers, self.scheme, context.streams.protocol_rng
         )
         self.protocol.bind_run_streams([context.streams], self.num_receivers)
-        if self.engine in _SCAN_ENGINES and self.protocol.supports_batched_units:
+        if self.engine in SCAN_ENGINES and self.protocol.supports_batched_units:
             return self._run_batched([(self, context)])[0]
         return self._run_reference(context)
 
@@ -492,7 +496,7 @@ class LayeredSessionSimulator:
             return []
         stacked = (
             len(seeds) > 1
-            and self.engine in _SCAN_ENGINES
+            and self.engine in SCAN_ENGINES
             and self.protocol.supports_batched_units
             and self.protocol.supports_stacked_runs
         )
@@ -513,6 +517,11 @@ class LayeredSessionSimulator:
     def _run_reference(self, context: "_RunContext") -> SessionSimulationResult:
         num_layers = self.scheme.num_layers
         levels = np.ones(self.num_receivers, dtype=np.int64)
+        # The reference loop drives its per-packet transitions through the
+        # same backend-neutral kernel as the scan engines: hook dispatch
+        # and the level-step invariants live in one place.
+        kernel = ScanKernel(self.protocol, levels, self.num_receivers)
+        packets_per_unit = self.schedule.packets_per_unit
 
         track_advertised = self.leave_latency > 0.0
         advertised = np.ones(self.num_receivers, dtype=np.int64)
@@ -569,28 +578,24 @@ class LayeredSessionSimulator:
                     congested = subscribed & independent
                     received = subscribed & ~independent
 
+                col = unit * packets_per_unit + packet_index
                 if congested.any():
-                    self.protocol.on_congestion(congested, levels)
-                    leavers = self.protocol.congestion_leaves(congested, levels, packet)
-                    leavers = leavers & (levels > 1)
+                    leavers = kernel.packet_congested(congested, col, packet)
                     if leavers.any():
                         if track_advertised:
                             advertised[leavers] = np.maximum(
                                 advertised[leavers], levels[leavers]
                             )
                             advert_expiry[leavers] = packet.time + self.leave_latency
-                        np.subtract(levels, 1, out=levels, where=leavers)
+                        kernel.apply_leaves(leavers)
                         max_level = int(levels.max())
-                        self.protocol.on_leave(leavers, levels)
 
                 if received is not None and received.any():
                     if measuring:
                         receiver_packets[received] += 1
-                    joins = self.protocol.on_packet_received(received, levels, packet)
-                    joins = joins & (levels < num_layers)
+                    joins = kernel.packet_received(received, col, num_layers, packet)
                     if joins.any():
-                        np.add(levels, 1, out=levels, where=joins)
-                        self.protocol.on_join(joins, levels)
+                        kernel.apply_joins(joins)
                         if track_advertised:
                             advertised[joins] = np.maximum(advertised[joins], levels[joins])
                         level_max = int(levels.max())
@@ -799,7 +804,7 @@ class LayeredSessionSimulator:
         num_packets = num_units * packets_per_unit
         dense = self.protocol.needs_dense_losses
         packed = (
-            self.engine == "bitpacked"
+            self.engine in PACKED_ENGINES
             and self.protocol.supports_bitpacked
             and not dense
         )
@@ -903,6 +908,7 @@ class LayeredSessionSimulator:
             sync_ok=sync_ok,
             times=times,
             scan_window=scan_window,
+            ops=self.backend_ops if packed else None,
         )
 
     def _advertised_carriage(
@@ -1159,7 +1165,7 @@ def simulate_session_group(
     ]
     stackable = (
         len(flat) > 1
-        and lead.engine in _SCAN_ENGINES
+        and lead.engine in SCAN_ENGINES
         and lead.protocol.supports_batched_units
         and lead.protocol.supports_stacked_runs
         and all(_stack_compatible(lead, simulator) for simulator in simulators[1:])

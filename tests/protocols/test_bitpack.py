@@ -172,7 +172,12 @@ def test_popcount_matches_python_bit_count():
 
 
 def test_native_popcount_flag_reflects_numpy_version():
-    assert bp.HAVE_NATIVE_POPCOUNT == hasattr(np, "bitwise_count")
+    import os
+
+    expected = hasattr(np, "bitwise_count") and not os.environ.get(
+        "REPRO_FORCE_PORTABLE_POPCOUNT"
+    )
+    assert bp.HAVE_NATIVE_POPCOUNT == bool(expected)
 
 
 def test_empty_scatter_calls_are_noops():

@@ -1,0 +1,108 @@
+"""The optional compiled engine: registry surface and graceful fallback.
+
+``engine="compiled"`` is an *optional* fourth lowering: with :mod:`numba`
+installed it runs the jitted packed drain
+(:class:`repro.protocols.compiled.CompiledOps`); without it the NumPy
+packed primitives serve in its place — same bits, bitpacked speed — so
+specs, stored results and CLI invocations naming the compiled engine stay
+runnable on every machine.  Conformance (bit-identical payloads and hook
+traces) is covered by the equivalence matrix, the differential fuzzer and
+the trace suite, which all iterate the kernel registry; this module pins
+the registry surface itself and the fallback path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.kernel import (
+    DENSE_OPS,
+    ENGINES,
+    PACKED_ENGINES,
+    PACKED_OPS,
+    SCAN_ENGINES,
+    PackedOps,
+    backend_ops_for,
+    have_numba,
+)
+from repro.simulator import LayeredSessionSimulator
+from repro.layering import ExponentialLayerScheme
+from repro.protocols import make_protocol
+from repro.simulator import BernoulliLoss
+
+
+def _simulator(engine):
+    return LayeredSessionSimulator(
+        protocol=make_protocol("deterministic"),
+        num_receivers=5,
+        shared_loss=BernoulliLoss(0.05),
+        independent_loss=BernoulliLoss(0.05),
+        scheme=ExponentialLayerScheme(4),
+        duration_units=16,
+        engine=engine,
+    )
+
+
+class TestEngineRegistry:
+    def test_registry_contents(self):
+        assert ENGINES == ("bitpacked", "batched", "reference", "compiled")
+        assert set(SCAN_ENGINES) == set(ENGINES) - {"reference"}
+        assert set(PACKED_ENGINES) <= set(SCAN_ENGINES)
+        assert "compiled" in PACKED_ENGINES
+
+    def test_backend_ops_for_every_engine(self):
+        assert backend_ops_for("batched") is DENSE_OPS
+        assert backend_ops_for("reference") is DENSE_OPS
+        assert backend_ops_for("bitpacked") is PACKED_OPS
+        # The compiled engine's ops are packed either way: jitted when
+        # numba imports, the NumPy primitives otherwise.
+        ops = backend_ops_for("compiled")
+        assert isinstance(ops, PackedOps)
+        assert ops.kind == "packed"
+
+    def test_backend_ops_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="bogus"):
+            backend_ops_for("bogus")
+
+    def test_have_numba_is_stable_bool(self):
+        first = have_numba()
+        assert isinstance(first, bool)
+        assert have_numba() is first
+
+
+class TestCompiledFallback:
+    def test_compiled_ops_match_availability(self):
+        ops = backend_ops_for("compiled")
+        if have_numba():
+            from repro.protocols.compiled import COMPILED_OPS
+
+            assert ops is COMPILED_OPS
+        else:
+            assert ops is PACKED_OPS
+
+    def test_simulator_accepts_compiled_engine(self):
+        simulator = _simulator("compiled")
+        assert simulator.engine == "compiled"
+        assert isinstance(simulator.backend_ops, PackedOps)
+        result = simulator.run(seed=0)
+        assert result.total_sender_packets > 0
+
+    def test_compiled_matches_bitpacked_bitwise(self):
+        # One direct spot check (the full matrix lives in the equivalence
+        # suite): fallback or jitted, the compiled lowering is bit-exact.
+        compiled = _simulator("compiled").run(seed=42)
+        bitpacked = _simulator("bitpacked").run(seed=42)
+        assert compiled.shared_link_packets == bitpacked.shared_link_packets
+        assert (
+            compiled.receiver_packets.tolist()
+            == bitpacked.receiver_packets.tolist()
+        )
+        assert (
+            compiled.mean_subscription_level
+            == bitpacked.mean_subscription_level
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_every_registered_engine_runs(self, engine):
+        result = _simulator(engine).run(seed=1)
+        assert result.duration_units == 16

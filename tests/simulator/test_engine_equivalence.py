@@ -1,21 +1,27 @@
-"""Bit-for-bit conformance of all three engines (three-way matrix).
+"""Bit-for-bit conformance of every engine (cross-engine matrix).
 
-The simulator ships three engines — the per-packet ``reference`` loop, the
-time-unit-batched ``batched`` scan, and the uint64 ``bitpacked`` scan —
-that must reproduce each other *exactly* for any seed: all three consume
-the same pre-sampled counter-based random streams (``RNG_SCHEME_VERSION =
-4``), so every measured quantity — shared-link packet counts, per-receiver
-reception counts, and the subscription-level statistics — has to match to
-the last bit.  The same holds for the stacked fast paths (``run_many``,
-``simulate_session_group`` and ``star_redundancy_group``), which fold many
-independently seeded runs into one scan, and for the experiment API's
-``canonical_json()`` envelopes, which must be byte-identical across
-engines (``engine`` is an execution-only spec field).
+The simulator's engines — the per-packet ``reference`` loop, the
+time-unit-batched ``batched`` scan, the uint64 ``bitpacked`` scan and the
+optional numba ``compiled`` lowering (NumPy packed fallback when numba is
+absent) — must reproduce each other *exactly* for any seed: all of them
+lower the one :class:`repro.protocols.kernel.ScanKernel` decision sequence
+and consume the same pre-sampled counter-based random streams
+(``RNG_SCHEME_VERSION = 4``), so every measured quantity — shared-link
+packet counts, per-receiver reception counts, and the subscription-level
+statistics — has to match to the last bit.  The same holds for the stacked
+fast paths (``run_many``, ``simulate_session_group`` and
+``star_redundancy_group``), which fold many independently seeded runs into
+one scan, and for the experiment API's ``canonical_json()`` envelopes,
+which must be byte-identical across engines (``engine`` is an
+execution-only spec field).
 
-Every scan-engine case below runs against the reference loop, and the two
-scan engines are also checked against each other directly, so a drift in
-any single engine — or in the packed reductions of
-:mod:`repro.protocols.bitpack` — shows up here first.
+Every scan-engine case below runs against the reference loop, and the scan
+engines are also checked against each other directly, so a drift in any
+single engine — or in the packed reductions of
+:mod:`repro.protocols.bitpack` / the jitted loops of
+:mod:`repro.protocols.compiled` — shows up here first.  The engine lists
+come straight from the kernel registry, so a fifth engine joins the matrix
+by registering itself.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import pytest
 from repro.experiments.registry import get_experiment
 from repro.layering import ExponentialLayerScheme
 from repro.protocols import make_protocol
+from repro.protocols.kernel import SCAN_ENGINES
 from repro.simulator import (
     ENGINES,
     BernoulliLoss,
@@ -40,9 +47,9 @@ from repro.simulator import (
 
 SEEDS = list(range(10))
 PROTOCOLS = ("uncoordinated", "deterministic", "coordinated")
-#: The chunked engines under test; each is asserted against the reference
-#: loop (and thereby against the other).
-SCAN_ENGINES = ("batched", "bitpacked")
+# SCAN_ENGINES (imported from the kernel registry) are the chunked engines
+# under test; each is asserted against the reference loop (and thereby
+# against the others).
 #: Loss regimes of the matrix: (shared, independent) Bernoulli rates.
 LOSS_REGIMES = (
     ("mixed", 0.01, 0.05),
@@ -243,5 +250,5 @@ class TestCanonicalJsonAcrossEngines:
                 engine=engine,
             )
             payloads[engine] = result.canonical_json()
-        assert payloads["batched"] == payloads["reference"]
-        assert payloads["bitpacked"] == payloads["reference"]
+        for engine in ENGINES:
+            assert payloads[engine] == payloads["reference"], engine

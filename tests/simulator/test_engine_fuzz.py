@@ -1,13 +1,13 @@
-"""Differential scenario fuzzer: the three engines must agree byte-for-byte.
+"""Differential scenario fuzzer: every engine must agree byte-for-byte.
 
 Where ``test_engine_equivalence.py`` pins a hand-picked conformance matrix,
 this module *generates* scenarios with hypothesis — protocol x loss regime
 (Bernoulli, bursty Gilbert-Elliott, shared+independent mixes, dense shared
 loss, per-receiver heterogeneous processes) x receiver count x layer count
 x leave latency x durations crossing chunk and scan-window boundaries —
-and asserts that the ``reference``, ``batched`` and ``bitpacked`` engines
-serialise to byte-identical JSON payloads, shrinking any disagreement to a
-minimal repro.  The experiment-level check asserts byte-identical
+and asserts that every engine in the kernel registry (``reference``,
+``batched``, ``bitpacked`` and ``compiled``) serialises to byte-identical
+JSON payloads, shrinking any disagreement to a minimal repro.  The experiment-level check asserts byte-identical
 ``canonical_json()`` envelopes, which is exactly the document the PR-6
 result store addresses and the figures are plotted from.
 
@@ -156,8 +156,8 @@ class TestDifferentialFuzzer:
             )
             for engine in ENGINES
         }
-        assert payloads["batched"] == payloads["reference"]
-        assert payloads["bitpacked"] == payloads["reference"]
+        for engine in ENGINES:
+            assert payloads[engine] == payloads["reference"], engine
 
     @given(
         scenario=scenarios(),
@@ -174,8 +174,8 @@ class TestDifferentialFuzzer:
             ]
             for engine in ENGINES
         }
-        assert payloads["batched"] == payloads["reference"]
-        assert payloads["bitpacked"] == payloads["reference"]
+        for engine in ENGINES:
+            assert payloads[engine] == payloads["reference"], engine
 
     @given(
         scenario=scenarios(),
@@ -197,8 +197,8 @@ class TestDifferentialFuzzer:
             ]
 
         payloads = {engine: grouped(engine) for engine in ENGINES}
-        assert payloads["batched"] == payloads["reference"]
-        assert payloads["bitpacked"] == payloads["reference"]
+        for engine in ENGINES:
+            assert payloads[engine] == payloads["reference"], engine
 
     @settings(max_examples=10)
     @given(
@@ -230,8 +230,8 @@ class TestDifferentialFuzzer:
                 engine=engine,
             )
             payloads[engine] = result.canonical_json()
-        assert payloads["batched"] == payloads["reference"]
-        assert payloads["bitpacked"] == payloads["reference"]
+        for engine in ENGINES:
+            assert payloads[engine] == payloads["reference"], engine
 
 
 def _capture_packed_chunks(simulator, seed):
