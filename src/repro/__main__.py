@@ -11,6 +11,11 @@ Subcommands:
   per experiment; ``--set field=value`` overrides any spec field.
 * ``python -m repro verify`` — run experiments and print one verdict line
   each; exits non-zero if any paper claim fails to reproduce (MISMATCH).
+* ``python -m repro serve --cache DIR`` — long-running cached experiment
+  service: JSON-lines queries over a local socket, warm specs answered
+  from the store with zero simulator invocations, cold specs scheduled
+  onto a persistent hardened worker pool (``--connect ADDR --request
+  JSON`` is the matching one-shot client).
 * ``python -m repro topo info FILE`` — summarise a ``.gml``/``.json``
   topology file (nodes, links, capacity range, density, top-betweenness
   links); ``--format json`` for a machine-readable summary.
@@ -23,7 +28,9 @@ journals every completed result into a content-addressed on-disk store
 (repeated runs become O(1) lookups; an interrupted sweep resumes from its
 last completed task), ``--resume`` asserts such a checkpoint exists,
 ``--timeout`` bounds each task's wall clock, and ``--retries`` bounds
-re-attempts after worker crashes or task errors.
+re-attempts after worker crashes or task errors.  ``--shards N
+--shard-index I`` deterministically partitions the selected tasks so N
+invocations sharing a ``--cache`` directory split one sweep between them.
 
 Exit codes: ``0`` success, ``1`` verify MISMATCH, ``2`` clean error
 (:class:`~repro.errors.ReproError` — bad arguments, failed execution),
@@ -47,7 +54,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from .errors import ExecutionError, ExperimentError, ReproError
 from .experiments.api import ENGINES, SCALES, ExperimentSpec
 from .experiments.registry import Experiment, all_experiments, select_experiments
-from .experiments.runner import run_specs
+from .experiments.runner import run_specs, shard_tasks
 from .experiments.store import ResultStore
 
 __all__ = ["main"]
@@ -201,6 +208,12 @@ def _run_selected(args: argparse.Namespace):
         (experiment.key, _build_spec(experiment, args, overrides))
         for experiment in experiments
     ]
+    if args.shards != 1 or args.shard_index != 0:
+        # Partition (experiment, task) pairs together so titles/outputs
+        # stay aligned with results within this shard.
+        pairs = shard_tasks(list(zip(experiments, tasks)), args.shards, args.shard_index)
+        experiments = [experiment for experiment, _ in pairs]
+        tasks = [task for _, task in pairs]
     # "--set wins over the dedicated flags" includes jobs: an overridden
     # jobs value also drives the cross-experiment process fan-out.
     jobs = overrides.get("jobs", args.jobs)
@@ -260,6 +273,48 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 1
     print(f"all {len(experiments)} experiments reproduce the paper's claims")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .experiments.serve import request as serve_request
+    from .experiments.serve import serve
+
+    if args.connect is not None:
+        # One-shot client mode: send each --request line, print each
+        # response as one JSON line, exit 2 if any request failed.
+        payloads = args.request or ['{"op": "stats"}']
+        failed = 0
+        for text in payloads:
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ExperimentError(f"--request must be a JSON object: {error}") from None
+            try:
+                response = serve_request(args.connect, payload, timeout=args.connect_timeout)
+            except OSError as error:
+                raise ExperimentError(
+                    f"cannot reach repro-serve at {args.connect}: {error}"
+                ) from None
+            print(json.dumps(response, sort_keys=True))
+            if not response.get("ok", False):
+                failed += 1
+        return 2 if failed else 0
+    if args.request:
+        raise ExperimentError("--request requires --connect ADDR (client mode)")
+    if args.cache is None:
+        raise ExperimentError(
+            "serve needs --cache DIR (daemon mode) or --connect ADDR (client mode)"
+        )
+    store = ResultStore(Path(args.cache))
+    return serve(
+        store,
+        host=args.host,
+        port=args.port,
+        socket_path=args.socket,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
 
 
 def _cmd_topo_info(args: argparse.Namespace) -> int:
@@ -399,6 +454,24 @@ def _add_common_run_flags(parser: argparse.ArgumentParser) -> None:
         help="re-attempts allowed per task after a crash, timeout, or "
         "error (default 2); retried tasks reproduce bit-identically",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=1,
+        help="split the selected tasks deterministically across N "
+        "cooperating invocations that share a --cache directory "
+        "(round-robin by task position; see --shard-index)",
+    )
+    parser.add_argument(
+        "--shard-index",
+        type=int,
+        metavar="I",
+        default=0,
+        help="which shard (0-based, < --shards) this invocation runs; "
+        "identical command lines apart from this flag partition "
+        "identically",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -444,6 +517,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_run_flags(verify_parser)
     verify_parser.set_defaults(handler=_cmd_verify)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="long-running cached experiment service (JSON lines over a "
+        "local socket); or, with --connect, a one-shot client",
+    )
+    serve_parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result store to serve (daemon mode); warm "
+        "queries are answered from it without running the simulator",
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; the service is "
+        "unauthenticated, keep it loopback-only)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="TCP port to bind (default 0: pick an ephemeral port and "
+        "print it in the first stdout line)",
+    )
+    serve_parser.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="bind a Unix domain socket at PATH instead of TCP",
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes in the persistent pool (default 1)",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="default per-task wall-clock timeout (requests may override)",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        metavar="N",
+        default=2,
+        help="default re-attempts per task (requests may override)",
+    )
+    serve_parser.add_argument(
+        "--connect",
+        metavar="ADDR",
+        default=None,
+        help="client mode: send --request payload(s) to a running service "
+        "at HOST:PORT or a Unix socket path, print the JSON response(s)",
+    )
+    serve_parser.add_argument(
+        "--request",
+        action="append",
+        metavar="JSON",
+        help="client mode: a request object to send (repeatable; default "
+        "one {\"op\": \"stats\"} request)",
+    )
+    serve_parser.add_argument(
+        "--connect-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="client mode: bound connect and response wait (default: "
+        "wait as long as the run takes)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     topo_parser = subparsers.add_parser(
         "topo", help="inspect and generate topology files (.gml/.json)"

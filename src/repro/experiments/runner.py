@@ -30,13 +30,13 @@ import sys
 import time
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import ReproError
+from ..errors import ExperimentError, ReproError
 from .api import ENGINES, ExperimentResult, ExperimentSpec
 from .registry import experiment_keys, get_experiment, select_experiments
 from .resilient import resilient_map
 from .store import ResultStore
 
-__all__ = ["run_specs", "run_all", "main", "EXPERIMENT_KEYS"]
+__all__ = ["run_specs", "shard_tasks", "run_all", "main", "EXPERIMENT_KEYS"]
 
 
 #: Keys of the default experiment suite accepted by ``run_all(only=...)``,
@@ -113,6 +113,33 @@ def run_specs(
             on_result=_journal,
         )
     return results  # type: ignore[return-value]
+
+
+def shard_tasks(tasks: Sequence, shards: int, shard_index: int) -> List:
+    """Deterministically partition a task list across ``shards`` invocations.
+
+    Returns the sub-list owned by ``shard_index``: the tasks at positions
+    ``shard_index, shard_index + shards, ...`` (round-robin by position).
+    The partition is a pure function of the list — every host slicing the
+    same task list with the same ``shards`` computes the same partition,
+    the shards are pairwise disjoint, their union is the full list, and
+    shard sizes differ by at most one.  ``python -m repro run --shards N
+    --shard-index I`` uses this to split one sweep across hosts that
+    share a cache directory: each shard journals its own tasks, and a
+    final unsharded run (or any cache consumer) sees the union.
+
+    Invoke every shard with an identical task list — same keys, same
+    order.  The CLI builds the list from the selection arguments, so
+    command lines identical apart from ``--shard-index`` are guaranteed
+    identical partitions.
+    """
+    if shards < 1:
+        raise ExperimentError(f"shards must be >= 1, got {shards}")
+    if not 0 <= shard_index < shards:
+        raise ExperimentError(
+            f"shard index must be in [0, {shards}), got {shard_index}"
+        )
+    return [task for position, task in enumerate(tasks) if position % shards == shard_index]
 
 
 def run_all(

@@ -104,10 +104,18 @@ class StoreStats:
 
     def summary(self) -> str:
         """One-line human-readable form (printed by the CLI)."""
-        parts = [f"{self.hits} hit(s)", f"{self.misses} miss(es)"]
+        parts = [
+            f"{self.hits} hit(s)",
+            f"{self.misses} miss(es)",
+            f"{self.writes} write(s)",
+        ]
         if self.quarantined:
             parts.append(f"{self.quarantined} quarantined")
         return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (reported by the ``repro serve`` stats op)."""
+        return dataclasses.asdict(self)
 
 
 class ResultStore:
@@ -184,9 +192,25 @@ class ResultStore:
         return dataclasses.replace(result, spec=spec)
 
     def __contains__(self, task) -> bool:
-        """Whether ``(experiment_key, spec)`` has a readable entry on disk."""
+        """Whether ``(experiment_key, spec)`` has a *valid* entry on disk.
+
+        Validates exactly like :meth:`get` — a corrupt or foreign entry
+        answers ``False`` (and a corrupt one is quarantined on the way),
+        so membership always agrees with what ``get`` would serve.  Does
+        not touch the hit/miss counters: a membership probe is not a
+        lookup.
+        """
         experiment_key, spec = task
-        return self.entry_path(self.key_for(experiment_key, spec)).is_file()
+        address = self.key_for(experiment_key, spec)
+        path = self.entry_path(address)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return False
+        status, _ = self._validate(raw, address, experiment_key)
+        if status == "corrupt":
+            self._quarantine(path, address)
+        return status == "ok"
 
     def _validate(self, raw: bytes, address: str, experiment_key: str):
         """Verify one entry; returns ``(status, result)``.
@@ -225,7 +249,16 @@ class ResultStore:
             return "corrupt", None
 
     def _quarantine(self, path: Path, address: str) -> None:
-        """Move a damaged entry aside so it is never read (or served) again."""
+        """Move a damaged entry aside so it is never read (or served) again.
+
+        ``stats.quarantined`` counts only *successful* moves: when
+        ``os.replace`` fails the damaged file was typically already moved
+        (or deleted) by a racing process, so there is nothing this store
+        quarantined.  Exhausting every candidate name — a quarantine
+        directory already holding 1000 copies of one address — is a
+        structural problem and raises instead of silently leaving the
+        damaged entry in place to be re-read forever.
+        """
         quarantine_dir = self.root / "quarantine"
         quarantine_dir.mkdir(parents=True, exist_ok=True)
         for attempt in range(1000):
@@ -234,10 +267,16 @@ class ResultStore:
                 continue
             try:
                 os.replace(path, destination)
-            except OSError:  # pragma: no cover - raced with another process
-                pass
+            except OSError:
+                # Raced with another process: the entry is gone either
+                # way, but this store did not quarantine it.
+                return
             self.stats.quarantined += 1
             return
+        raise ResultStoreError(
+            f"quarantine directory {quarantine_dir} already holds 1000 entries "
+            f"for address {address}; refusing to overwrite them — clean it out"
+        )
 
     # -- write path ---------------------------------------------------------
 

@@ -53,8 +53,14 @@ def pre_arm(marker: str) -> str:
 
 
 def inject(mode: str, marker: Optional[str]) -> None:
-    """Trip ``mode`` once per ``marker``; no-op when disarmed or ``none``."""
-    if mode == "none" or marker is None or not arm(marker):
+    """Trip ``mode`` once per ``marker``; no-op when disarmed or ``none``.
+
+    Without a marker the fault fires on *every* attempt — the shape of a
+    permanent failure that exhausts the whole retry budget.
+    """
+    if mode == "none":
+        return
+    if marker is not None and not arm(marker):
         return
     if mode == "crash":
         os._exit(137)  # simulates SIGKILL/OOM: no exception, no cleanup
@@ -109,6 +115,34 @@ def hostile_to_pools(main_pid: int, value: int) -> int:
     return value * 3
 
 
+def rendezvous_then(
+    sync_dir: str, peers: tuple, me: str, mode: str, delay: float, value: int
+) -> int:
+    """Check in, wait for every peer, then (after ``delay``) fail or succeed.
+
+    Each worker drops ``sync_dir/<me>`` and spins until every name in
+    ``peers`` has checked in, so a test can force tasks in different
+    worker processes to finish near-simultaneously — e.g. to prove that a
+    sibling's success is journaled even when a permanent failure settles
+    in the same completion batch.  ``mode`` is ``"ok"`` (return
+    ``value * value``) or ``"poison"`` (raise).
+    """
+    with open(os.path.join(sync_dir, me), "w"):
+        pass
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if all(os.path.exists(os.path.join(sync_dir, name)) for name in peers):
+            break
+        time.sleep(0.005)
+    else:
+        raise RuntimeError(f"rendezvous timed out waiting for {peers!r}")
+    if delay:
+        time.sleep(delay)
+    if mode == "poison":
+        raise RuntimeError(f"injected fault: rendezvous poison ({me})")
+    return value * value
+
+
 def run_task_with_fault(marker: Optional[str], mode: str, key: str, spec) -> object:
     """One real registry task with a fault injected ahead of it.
 
@@ -130,10 +164,15 @@ class FaultProbeSpec(ExperimentSpec):
     marker: Optional[str] = None
     mode: str = "none"
     log_path: Optional[str] = None
+    #: Artificial execution time (seconds) — widens the in-flight window
+    #: so concurrent-query coalescing can be pinned deterministically.
+    sleep_seconds: float = 0.0
 
 
 def _run_probe(spec: FaultProbeSpec):
     log_invocation(spec.log_path)
+    if spec.sleep_seconds:
+        time.sleep(spec.sleep_seconds)
     inject(spec.mode, spec.marker)
     inner = get_experiment(spec.inner_key)
     return inner.run(inner.make_spec(scale=spec.scale, engine=spec.engine))

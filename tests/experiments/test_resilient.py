@@ -12,19 +12,20 @@ experiments through the fault wrappers and compare
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
 import faults
 from repro.errors import ExecutionError, SimulationError, TaskTimeoutError
 from repro.experiments.registry import get_experiment
-from repro.experiments.resilient import resilient_map
+from repro.experiments.resilient import ResilientPool, resilient_map
 from repro.experiments.runner import run_specs
+from repro.experiments.store import ResultStore
 
 #: Fast wall-clock budget for hang tests: real tasks here finish in
 #: milliseconds, so anything that trips this is genuinely stuck.
 TIMEOUT = 2.0
-
 
 class TestSerialPath:
     def test_plain_map_semantics(self):
@@ -117,6 +118,170 @@ class TestHangTimeout:
         assert "timed out" in failure.message
         # TaskTimeoutError is an ExecutionError is a ReproError.
         assert isinstance(excinfo.value, ExecutionError)
+
+
+class TestResilientPool:
+    """The persistent pool behind ``repro serve`` (and ``resilient_map``)."""
+
+    def test_submit_wait_drain(self):
+        pool = ResilientPool(faults.flaky_square, jobs=2)
+        handles = [
+            pool.submit(("/nonexistent/disarmed", "none", value), token=value)
+            for value in range(5)
+        ]
+        pool.shutdown(wait=True)
+        assert [handle.result for handle in handles] == [0, 1, 4, 9, 16]
+        assert all(handle.done() and handle.failure is None for handle in handles)
+
+    def test_terminal_failure_settles_only_its_handle(self, tmp_path):
+        pool = ResilientPool(faults.flaky_square, jobs=2, retries=0, backoff=0.0)
+        try:
+            bad = pool.submit((None, "poison", 1))  # markerless: fails every attempt
+            good = pool.submit(("/nonexistent/disarmed", "none", 6))
+            assert bad.wait(30.0) and good.wait(30.0)
+            assert bad.failure is not None
+            assert bad.failure.error_type == "RuntimeError"
+            assert isinstance(bad.exception(), ExecutionError)
+            assert good.result == 36 and good.exception() is None
+            # The pool outlives the failure: later submissions still run.
+            again = pool.submit(("/nonexistent/disarmed", "none", 7))
+            assert again.wait(30.0) and again.result == 49
+        finally:
+            pool.kill()
+
+    def test_kill_settles_unfinished_handles_as_cancelled(self):
+        pool = ResilientPool(faults.always_hang, jobs=1)
+        handle = pool.submit((1,))
+        time.sleep(0.3)
+        pool.kill()
+        assert handle.done() and handle.failure is not None
+        assert "shut down" in handle.failure.message
+        with pytest.raises(ExecutionError):
+            pool.submit((2,))
+
+    def test_submit_validates_overrides(self):
+        with pytest.raises(SimulationError):
+            ResilientPool(faults.flaky_square, jobs=-1)
+        pool = ResilientPool(faults.flaky_square, jobs=2)
+        try:
+            with pytest.raises(SimulationError):
+                pool.submit((None, "none", 1), timeout=0)
+            with pytest.raises(SimulationError):
+                pool.submit((None, "none", 1), retries=-1)
+        finally:
+            pool.shutdown(wait=True)
+
+    def test_backoff_does_not_skew_unrelated_deadline(self, tmp_path):
+        # Task A fails once and parks in a 3 s backoff window; task B hangs
+        # with a 1 s per-task timeout submitted *during* that window.  With
+        # the old inline-sleep backoff the dispatcher slept through B's
+        # deadline; the not-before design must kill B on time.
+        pool = ResilientPool(
+            faults.flaky_square, jobs=2, retries=5, backoff=3.0, max_backoff=3.0
+        )
+        try:
+            slow = pool.submit((str(tmp_path / "poison-once"), "poison", 2))
+            time.sleep(0.3)  # let A's first attempt fail and park
+            hung = pool.submit(
+                (str(tmp_path / "hang-once"), "hang", 4), timeout=1.0, retries=0
+            )
+            start = time.monotonic()
+            assert hung.wait(30.0)
+            elapsed = time.monotonic() - start
+            assert hung.failure is not None
+            assert "timed out" in hung.failure.message
+            assert hung.error_class is TaskTimeoutError
+            assert elapsed < 2.5, f"timeout enforced {elapsed:.2f}s after submit"
+            # A's retry (after its backoff matures) still succeeds.
+            assert slow.wait(30.0) and slow.result == 4
+        finally:
+            pool.kill()
+
+
+class TestJournalingGuarantees:
+    """Regression tests: fail-fast must never drop a completed sibling."""
+
+    def test_same_batch_success_is_journaled_before_fail_fast(self, tmp_path):
+        # Both workers rendezvous, then one returns and one raises — the
+        # success completes alongside (or just before) the terminal
+        # failure, and its on_result must fire even though the sweep
+        # aborts.  The old done-set loop raised mid-batch and dropped it.
+        sync = str(tmp_path)
+        peers = ("winner", "loser")
+        seen = []
+        with pytest.raises(ExecutionError) as excinfo:
+            resilient_map(
+                faults.rendezvous_then,
+                [
+                    (sync, peers, "loser", "poison", 0.25, 0),
+                    (sync, peers, "winner", "ok", 0.0, 7),
+                ],
+                jobs=2,
+                retries=0,
+                backoff=0.0,
+                on_result=lambda index, value: seen.append((index, value)),
+            )
+        assert (1, 49) in seen, "completed sibling was dropped on fail-fast"
+        (failure,) = excinfo.value.failures
+        assert failure.error_type == "RuntimeError"
+
+    def test_fail_fast_keeps_completed_result_in_checkpoint(self, tmp_path):
+        # The store-level form of the same guarantee: a sweep that aborts
+        # on one task's permanent failure must leave the other task's
+        # finished result journaled on disk for the next resume.
+        probe = get_experiment("fault_probe")
+        log_path = str(tmp_path / "invocations.log")
+        ok_spec = probe.make_spec(inner_key="figure1", log_path=log_path)
+        bad_spec = probe.make_spec(
+            inner_key="figure1", mode="poison", sleep_seconds=4.0, log_path=log_path
+        )
+        store = ResultStore(tmp_path / "cache")
+        with pytest.raises(ExecutionError):
+            run_specs(
+                [("fault_probe", bad_spec), ("fault_probe", ok_spec)],
+                jobs=2,
+                store=store,
+                retries=0,
+            )
+        fresh = ResultStore(tmp_path / "cache")
+        assert fresh.get("fault_probe", ok_spec) is not None, (
+            "completed result missing from the checkpoint after fail-fast"
+        )
+
+    def test_backoff_does_not_block_sibling_journaling(self, tmp_path):
+        # One task fails at the rendezvous and enters a 2 s backoff; its
+        # sibling completes 0.3 s later.  The sibling's on_result must
+        # fire during the backoff window, not after it (the old code
+        # slept the dispatcher inline).
+        sync = str(tmp_path)
+        peers = ("steady", "flaky")
+        journaled = {}
+        start = time.monotonic()
+        with pytest.raises(ExecutionError):
+            resilient_map(
+                faults.rendezvous_then,
+                [
+                    (sync, peers, "flaky", "poison", 0.0, 0),
+                    (sync, peers, "steady", "ok", 0.3, 5),
+                ],
+                jobs=2,
+                retries=1,
+                backoff=2.0,
+                max_backoff=2.0,
+                on_result=lambda index, value: journaled.setdefault(
+                    index, (value, time.monotonic() - start)
+                ),
+            )
+        end = time.monotonic() - start
+        assert 1 in journaled, "sibling was never journaled"
+        value, journaled_at = journaled[1]
+        assert value == 25
+        # The sweep ended >= one full backoff window after the sibling
+        # completed: its journaling did not wait for the retry sleep.
+        assert end - journaled_at >= 1.0, (
+            f"sibling journaled only {end - journaled_at:.2f}s before the end "
+            "— the dispatcher slept through its completion"
+        )
 
 
 class TestByteIdenticalAcceptance:

@@ -19,7 +19,7 @@ from repro.errors import ResultStoreError
 from repro.experiments.api import ExperimentResult
 from repro.experiments.registry import get_experiment, register_module
 from repro.experiments.runner import run_specs
-from repro.experiments.store import STORE_VERSION, ResultStore, cache_key
+from repro.experiments.store import STORE_VERSION, ResultStore, StoreStats, cache_key
 from repro.simulator.engine import RNG_SCHEME_VERSION
 
 register_module("faults")
@@ -164,6 +164,88 @@ class TestCorruptionQuarantine:
         cached = store.get(key, spec)
         assert cached is not None
         assert cached.canonical_json() == result.canonical_json()
+
+
+class TestStatsReporting:
+    def test_summary_includes_writes(self):
+        stats = StoreStats(hits=2, misses=1, writes=3)
+        assert stats.summary() == "2 hit(s), 1 miss(es), 3 write(s)"
+
+    def test_summary_appends_quarantined_only_when_nonzero(self):
+        assert "quarantined" not in StoreStats().summary()
+        assert StoreStats(quarantined=1).summary().endswith("1 quarantined")
+
+    def test_to_dict_round_trips_every_counter(self):
+        stats = StoreStats(hits=1, misses=2, writes=3, quarantined=4)
+        assert stats.to_dict() == {
+            "hits": 1, "misses": 2, "writes": 3, "quarantined": 4,
+        }
+
+
+class TestContainsValidates:
+    def _stored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key, spec = _task()
+        path = store.put(key, spec, _run_one(key, spec))
+        return store, key, spec, path
+
+    def test_valid_entry_is_contained_without_counter_noise(self, tmp_path):
+        store, key, spec, path = self._stored(tmp_path)
+        assert (key, spec) in store
+        # A membership probe is not a lookup: no hit/miss movement.
+        assert store.stats.hits == 0 and store.stats.misses == 0
+
+    def test_corrupt_entry_answers_not_contained(self, tmp_path):
+        # The old stat-only check said True here while get() missed.
+        store, key, spec, path = self._stored(tmp_path)
+        path.write_bytes(b"\x00 definitely not json")
+        assert (key, spec) not in store
+        assert not path.exists()  # quarantined on the way
+        assert store.stats.quarantined == 1
+
+    def test_foreign_entry_answers_not_contained_but_stays(self, tmp_path):
+        store, key, spec, path = self._stored(tmp_path)
+        entry = json.loads(path.read_text())
+        entry["store_version"] = STORE_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert (key, spec) not in store
+        assert path.exists() and store.stats.quarantined == 0
+
+
+class TestQuarantineAccounting:
+    def _corrupted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key, spec = _task()
+        path = store.put(key, spec, _run_one(key, spec))
+        path.write_bytes(b"garbage")
+        return store, key, spec, path
+
+    def test_raced_move_is_not_counted_as_quarantined(self, tmp_path, monkeypatch):
+        # Another process moved (or deleted) the damaged file first: the
+        # lookup is still a clean miss, but *this* store quarantined
+        # nothing and must not claim otherwise.
+        store, key, spec, path = self._corrupted(tmp_path)
+
+        def raced_replace(source, destination):
+            raise FileNotFoundError(2, "raced: already moved", str(source))
+
+        monkeypatch.setattr("repro.experiments.store.os.replace", raced_replace)
+        assert store.get(key, spec) is None
+        assert store.stats.quarantined == 0
+        assert store.stats.misses == 1
+
+    def test_exhausted_quarantine_names_surface_instead_of_silence(self, tmp_path):
+        # 1000 existing quarantine copies of one address is a structural
+        # problem; the old code silently left the damaged entry in place
+        # to be re-read (and re-"quarantined") forever.
+        store, key, spec, path = self._corrupted(tmp_path)
+        address = store.key_for(key, spec)
+        quarantine_dir = tmp_path / "quarantine"
+        quarantine_dir.mkdir()
+        for attempt in range(1000):
+            (quarantine_dir / f"{address}.{attempt}.json").touch()
+        with pytest.raises(ResultStoreError, match="quarantine"):
+            store.get(key, spec)
 
 
 class TestSchemeVersionInvalidation:
